@@ -1,0 +1,23 @@
+"""Sec 4.1/4.3: compressed vs uncompressed polynomial size, and
+summary storage vs 1% samples.
+
+Paper claims encoded below: the compression is orders of magnitude
+(their example: 4.4M monomials → ~9k compressed terms at budget 2000),
+and the summary's parameters are far smaller than the samples.
+"""
+
+from conftest import publish
+from repro.experiments.compression import run_compression
+
+
+def test_compression_size(benchmark, store, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_compression(store), rounds=1, iterations=1
+    )
+    publish(result, results_dir, "compression_size")
+
+    for row in result.rows("polynomial size on restricted flights"):
+        # Orders-of-magnitude compression at every budget.
+        assert row["ratio"] > 100, row
+    for row in result.rows("summary vs 1% sample storage"):
+        assert row["summary_param_bytes"] < row["sample_bytes"], row

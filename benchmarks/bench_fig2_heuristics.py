@@ -1,0 +1,41 @@
+"""Fig. 2(b): statistic-selection heuristics vs budget.
+
+Regenerates the ZERO / LARGE / COMPOSITE accuracy comparison on the
+restricted flights relation.  The benchmark time is the full
+experiment (summary builds are cached after the first run).
+"""
+
+from conftest import publish
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_heuristics(benchmark, store, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig2(store), rounds=1, iterations=1
+    )
+    publish(result, results_dir, "fig2_heuristics")
+
+    rows = result.rows("error by heuristic and budget")
+    by_key = {(row["heuristic"], row["budget"]): row for row in rows}
+    budgets = sorted({row["budget"] for row in rows})
+    top_budget = budgets[-1]
+    # Paper shape (b.i): LARGE and COMPOSITE near-zero heavy-hitter
+    # error at the largest budget; ZERO stuck high regardless.
+    assert by_key[("large", top_budget)]["heavy_error"] < 0.1
+    assert by_key[("composite", top_budget)]["heavy_error"] < 0.1
+    for budget in budgets:
+        assert by_key[("zero", budget)]["heavy_error"] > 0.3
+    # Paper conclusion: COMPOSITE best across all query types.
+    for budget in budgets:
+        composite_avg = (
+            by_key[("composite", budget)]["heavy_error"]
+            + by_key[("composite", budget)]["light_error"]
+            + by_key[("composite", budget)]["null_error"]
+        )
+        for other in ("zero", "large"):
+            other_avg = (
+                by_key[(other, budget)]["heavy_error"]
+                + by_key[(other, budget)]["light_error"]
+                + by_key[(other, budget)]["null_error"]
+            )
+            assert composite_avg <= other_avg + 0.05

@@ -1,0 +1,32 @@
+"""Fig. 3: active-domain sizes (dataset construction benchmark).
+
+Checks our generated datasets reproduce the paper's binned domain
+sizes exactly; the benchmark measures dataset generation time.
+"""
+
+from conftest import publish
+from repro.datasets import generate_flights
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3_domain_sizes(benchmark, store, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig3(store), rounds=1, iterations=1
+    )
+    publish(result, results_dir, "fig3_domains")
+
+    for row in result.rows("Flights"):
+        if row["attribute"] == "# possible tuples":
+            continue
+        assert row["coarse"] == row["paper_coarse"]
+        assert row["fine"] == row["paper_fine"]
+    for row in result.rows("Particles"):
+        if row["attribute"] == "# possible tuples":
+            continue
+        assert row["ours"] == row["paper"]
+
+
+def test_flights_generation_speed(benchmark):
+    """Raw generation throughput (not a paper claim; a sanity budget)."""
+    dataset = benchmark(generate_flights, num_rows=20_000, seed=3)
+    assert dataset.coarse.num_rows == 20_000

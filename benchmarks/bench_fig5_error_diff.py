@@ -1,0 +1,32 @@
+"""Fig. 5: per-template error difference vs Ent1&2&3 (FlightsCoarse).
+
+Shape assertions encode the paper's Sec 6.2 observations:
+
+* heavy hitters, pair-4 template: sampling beats Ent1&2&3 (it lacks a
+  2D statistic over (origin, dest)), and Ent3&4 — which has one —
+  outperforms Ent1&2&3 too;
+* light hitters: Ent1&2&3 beats uniform sampling on every template.
+"""
+
+from conftest import publish
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5_error_difference(benchmark, store, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig5(store), rounds=1, iterations=1
+    )
+    publish(result, results_dir, "fig5_error_diff")
+
+    heavy = {row["template"]: row for row in result.rows("heavy hitters")}
+    pair4 = heavy["OB & DB (Pair 4)"]
+    # Negative difference = method better than Ent1&2&3.
+    assert pair4["Uni"] < 0
+    assert pair4["Ent3&4"] < 0
+
+    light = result.rows("light hitters")
+    for row in light:
+        assert row["Uni"] > 0, (
+            f"uniform sampling should lose to Ent1&2&3 on light hitters "
+            f"({row['template']})"
+        )

@@ -1,0 +1,24 @@
+"""Fig. 6: F measure over light hitters + null values, Coarse & Fine.
+
+Shape assertions from Sec 6.2: the deep two-pair summaries (Ent1&2,
+Ent3&4) post the best F measures, beating the uniform sample; the
+EntropyDB family beats uniform sampling across the board.
+"""
+
+from conftest import publish
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_f_measure(benchmark, store, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig6(store), rounds=1, iterations=1
+    )
+    publish(result, results_dir, "fig6_fmeasure")
+
+    for section in ("FlightsCoarse", "FlightsFine"):
+        scores = {row["method"]: row["f_measure"] for row in result.rows(section)}
+        best_ent = max(scores["Ent1&2"], scores["Ent3&4"], scores["Ent1&2&3"])
+        assert best_ent > scores["Uni"], section
+        # The deep summaries beat the breadth-first one (more buckets
+        # catch more empty regions — the paper's Fig. 6 explanation).
+        assert max(scores["Ent1&2"], scores["Ent3&4"]) >= scores["Ent1&2&3"] - 0.02

@@ -1,0 +1,33 @@
+"""Fig. 7: Particles — query accuracy and runtime vs data size.
+
+Shape assertions from Sec 6.3:
+
+* sampling beats the summaries on heavy hitters (coarse bucketization);
+* EntAll beats EntNo2D on the template covered by its 2D statistics
+  (density & grp);
+* summary query latency stays interactive (well under the paper's 1 s
+  bound) at every data size.
+"""
+
+from conftest import publish
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_particles(benchmark, store, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig7(store), rounds=1, iterations=1
+    )
+    publish(result, results_dir, "fig7_particles")
+
+    heavy = result.rows("heavy hitters")
+    template1 = [row for row in heavy if row["template"].startswith("den")]
+    for row in template1:
+        # 2D statistics over (density, grp)/(density, mass) must help.
+        assert row["EntAll_err"] <= row["EntNo2D_err"] + 0.02
+    for row in heavy:
+        assert row["Uni_err"] <= row["EntAll_err"] + 0.05, (
+            "sampling should win on heavy hitters (coarse buckets)"
+        )
+        # Interactive latency: paper bound is 1000 ms.
+        assert row["EntAll_ms"] < 1000.0
+        assert row["EntNo2D_ms"] < 1000.0

@@ -1,0 +1,33 @@
+"""Fig. 8: breadth vs depth in statistic selection, Coarse & Fine.
+
+Shape assertions from Sec 6.4:
+
+* Ent1&2&3 (more attribute pairs, fewer buckets) posts the lowest
+  heavy-hitter error among the MaxEnt methods;
+* Ent3&4 (attribute cover + more buckets) posts the best F measure;
+* No2D is the weakest on heavy hitters (no correlation correction).
+"""
+
+from conftest import publish
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig8_statistic_selection(benchmark, store, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig8(store), rounds=1, iterations=1
+    )
+    publish(result, results_dir, "fig8_stat_selection")
+
+    for section in ("FlightsCoarse", "FlightsFine"):
+        rows = {row["method"]: row for row in result.rows(section)}
+        errors = {name: row["heavy_error"] for name, row in rows.items()}
+        f_scores = {name: row["f_measure"] for name, row in rows.items()}
+        assert errors["Ent1&2&3"] <= min(
+            errors["No2D"], errors["Ent1&2"], errors["Ent3&4"]
+        ) + 0.02, section
+        assert errors["No2D"] >= max(
+            errors["Ent1&2"], errors["Ent1&2&3"]
+        ) - 0.02, section
+        assert f_scores["Ent3&4"] >= max(
+            f_scores["No2D"], f_scores["Ent1&2"], f_scores["Ent1&2&3"]
+        ) - 0.05, section

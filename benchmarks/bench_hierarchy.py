@@ -1,0 +1,107 @@
+"""Extension bench: hierarchical summaries (Sec 7 future work).
+
+Not a paper figure — this quantifies the design the paper sketches:
+a coarse state-level summary serving group queries instantly, with
+per-state city-level polynomials built lazily on first drill-down.
+Measured: coarse-query latency, first-drill (leaf build) latency,
+warm-drill latency, and drill-down accuracy.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import publish
+from repro.core.hierarchy import HierarchicalSummary
+from repro.evaluation.metrics import relative_error
+from repro.evaluation.reporting import ExperimentResult
+from repro.stats.predicates import Conjunction, RangePredicate, SetPredicate
+
+
+def _build_hierarchy(store):
+    dataset = store.flights()
+    relation = dataset.fine.project(["origin_city", "fl_time", "distance"])
+    hierarchy = HierarchicalSummary(
+        relation,
+        "origin_city",
+        coarsen=lambda label: label[0],  # (state, city) -> state
+        coarse_kwargs={
+            "pairs": [("origin_city", "distance")],
+            "per_pair_budget": 60,
+            "max_iterations": 10,
+        },
+        leaf_kwargs={"max_iterations": 10},
+    )
+    return relation, hierarchy
+
+
+def test_hierarchical_drilldown(benchmark, store, results_dir):
+    relation, hierarchy = benchmark.pedantic(
+        lambda: _build_hierarchy(store), rounds=1, iterations=1
+    )
+    schema = relation.schema
+    domain = schema.domain("origin_city")
+
+    result = ExperimentResult(
+        "Hierarchical summaries (Sec 7 extension)",
+        "Coarse state queries vs lazy city drill-downs on FlightsFine "
+        f"origin cities ({hierarchy.num_groups} states, "
+        f"{domain.size} cities).",
+    )
+
+    rows = []
+    # Coarse query: one whole state.
+    wa_cities = [
+        index for index, label in enumerate(domain.labels) if label[0] == "WA"
+    ]
+    state_query = Conjunction(schema, {"origin_city": SetPredicate(wa_cities)})
+    start = time.perf_counter()
+    estimate = hierarchy.count(state_query)
+    coarse_ms = (time.perf_counter() - start) * 1e3
+    truth = relation.count_where(state_query.attribute_masks())
+    rows.append(
+        {
+            "query": "whole state (coarse level)",
+            "latency_ms": coarse_ms,
+            "rel_error": relative_error(truth, estimate.expectation),
+            "leaves_built": hierarchy.leaf_builds,
+        }
+    )
+
+    # Cold and warm drill-downs on the busiest cities.
+    marginal = relation.marginal("origin_city")
+    busiest = np.argsort(marginal)[::-1][:5]
+    for label_index in busiest.tolist():
+        query = Conjunction(
+            schema, {"origin_city": RangePredicate.point(label_index)}
+        )
+        builds_before = hierarchy.leaf_builds
+        start = time.perf_counter()
+        estimate = hierarchy.count(query)
+        cold_ms = (time.perf_counter() - start) * 1e3
+        built_now = hierarchy.leaf_builds > builds_before
+        start = time.perf_counter()
+        hierarchy.count(query)
+        warm_ms = (time.perf_counter() - start) * 1e3
+        truth = relation.count_where(query.attribute_masks())
+        rows.append(
+            {
+                "query": f"city {domain.label_of(label_index)[1]} (drill)",
+                "latency_ms": cold_ms,
+                "warm_ms": warm_ms,
+                "built_leaf": built_now,
+                "rel_error": relative_error(truth, estimate.expectation),
+                "leaves_built": hierarchy.leaf_builds,
+            }
+        )
+    result.add_section("coarse vs drill-down", rows)
+    publish(result, results_dir, "hierarchy_extension")
+
+    # Assertions: lazy building, warm drills cheaper than leaf-building
+    # cold drills, accurate answers at both levels.
+    assert rows[0]["leaves_built"] == 0
+    assert rows[-1]["leaves_built"] >= 1
+    for row in rows:
+        assert row["rel_error"] < 0.05, row
+        if row.get("built_leaf"):
+            assert row["warm_ms"] < row["latency_ms"]

@@ -1,0 +1,82 @@
+"""Sec 5 latency claims: interactive query answering.
+
+Micro-benchmarks over the largest flights summary (Ent1&2&3): point
+queries, range queries, and a full GROUP BY, plus the experiment-level
+latency table comparing with the 1% sample.  The paper's bound —
+average < 500 ms, max < 1 s on a domain of ~1e10 tuples — should hold
+with two orders of magnitude to spare on our substrate.
+"""
+
+import numpy as np
+
+from conftest import publish
+from repro.experiments.latency import run_latency
+from repro.query.backends import SummaryBackend
+from repro.stats.predicates import Conjunction, RangePredicate
+
+
+def test_latency_table(benchmark, store, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_latency(store), rounds=1, iterations=1
+    )
+    publish(result, results_dir, "query_latency")
+
+    for row in result.rows("per-query latency"):
+        if row["method"].startswith("Ent"):
+            assert row["mean_ms"] < 500.0, row
+            assert row["max_ms"] < 1000.0, row
+
+
+def _summary_backend(store):
+    return SummaryBackend(store.flights_summary("Ent1&2&3", "coarse"))
+
+
+def test_point_query_latency(benchmark, store):
+    backend = _summary_backend(store)
+    schema = backend.schema
+    predicate = Conjunction(
+        schema,
+        {
+            "origin_state": RangePredicate.point(4),
+            "dest_state": RangePredicate.point(31),
+        },
+    )
+    count = benchmark(backend.count, predicate)
+    assert count >= 0.0
+
+
+def test_range_query_latency(benchmark, store):
+    backend = _summary_backend(store)
+    schema = backend.schema
+    predicate = Conjunction(
+        schema,
+        {
+            "fl_time": RangePredicate(10, 40),
+            "distance": RangePredicate(20, 60),
+        },
+    )
+    count = benchmark(backend.count, predicate)
+    assert count >= 0.0
+
+
+def test_group_by_latency(benchmark, store):
+    backend = _summary_backend(store)
+    grouped = benchmark(backend.group_counts, ["dest_state"], None)
+    assert len(grouped) == 54
+    assert np.isclose(
+        sum(grouped.values()), backend.summary.total, rtol=1e-6
+    )
+
+
+def test_polynomial_evaluation_latency(benchmark, store):
+    """Raw masked evaluation — the Sec 4.2 primitive behind every query."""
+    summary = store.flights_summary("Ent1&2&3", "coarse")
+    poly = summary.polynomial
+    rng = np.random.default_rng(0)
+    masks = {
+        pos: rng.random(size) > 0.5 for pos, size in enumerate(poly.sizes)
+    }
+    for mask in masks.values():
+        mask[0] = True
+    value = benchmark(poly.evaluate, summary.params, masks)
+    assert value >= 0.0

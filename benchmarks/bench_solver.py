@@ -1,0 +1,75 @@
+"""Sec 3.3 / 6.1: solver cost and convergence.
+
+The paper reports model computation as the dominant preprocessing cost
+(30 Mirror Descent sweeps, error threshold 1e-6).  These benchmarks
+time one full sweep and a complete solve on the mid-size
+configuration, and publish the per-configuration convergence table.
+"""
+
+from conftest import publish
+from repro.core.polynomial import CompressedPolynomial
+from repro.core.solver import MirrorDescentSolver
+from repro.experiments.solver_trace import run_solver_trace
+from repro.stats.selection import build_statistic_set
+
+
+def test_solver_trace_table(benchmark, store, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_solver_trace(store), rounds=1, iterations=1
+    )
+    publish(result, results_dir, "solver_trace")
+
+    for row in result.rows("per-configuration cost"):
+        # Error trace must reach well under 1% relative violation.
+        assert row["final_error"] < 0.01, row
+    traces = result.rows("error trace")
+    for method in {row["method"] for row in traces}:
+        errors = [row["max_error"] for row in traces if row["method"] == method]
+        assert errors[-1] < errors[0], method
+
+
+def _mid_polynomial(store):
+    relation = store.flights_relation("coarse")
+    statistic_set = build_statistic_set(
+        relation,
+        pairs=[("fl_time", "distance"), ("origin_state", "dest_state")],
+        per_pair_budget=min(store.scale.budget_two_pairs, 300),
+    )
+    return CompressedPolynomial(statistic_set)
+
+
+def test_single_sweep(benchmark, store):
+    poly = _mid_polynomial(store)
+    solver = MirrorDescentSolver(poly, max_iterations=1)
+
+    def one_sweep():
+        params, report = solver.solve()
+        return report
+
+    report = benchmark.pedantic(one_sweep, rounds=3, iterations=1)
+    assert report.iterations == 1
+
+
+def test_full_solve(benchmark, store):
+    poly = _mid_polynomial(store)
+    iterations = store.scale.solver_iterations
+
+    def solve():
+        solver = MirrorDescentSolver(poly, max_iterations=iterations)
+        _, report = solver.solve()
+        return report
+
+    report = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert report.final_error < 0.01
+
+
+def test_polynomial_construction(benchmark, store):
+    """Term enumeration cost (the other half of preprocessing)."""
+    relation = store.flights_relation("coarse")
+    statistic_set = build_statistic_set(
+        relation,
+        pairs=[("fl_time", "distance"), ("origin_state", "dest_state")],
+        per_pair_budget=min(store.scale.budget_two_pairs, 300),
+    )
+    poly = benchmark(CompressedPolynomial, statistic_set)
+    assert poly.num_terms > 0

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md §4).  Summaries and datasets are cached — in-process and on
+disk under ``.cache/summaries`` — so repeated runs skip the model
+fitting.  Accuracy tables are written to ``benchmarks/results/`` and
+printed (visible with ``pytest -s``).
+
+Scale is controlled by ``REPRO_SCALE`` (``paper`` default, ``small``
+for quick runs).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.configs import default_store
+
+
+@pytest.fixture(scope="session")
+def store():
+    """Process-wide experiment store at the active scale."""
+    return default_store()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def publish(result, results_dir: Path, name: str) -> None:
+    """Write an ExperimentResult to disk and echo it."""
+    text = result.to_text()
+    (results_dir / f"{name}.txt").write_text(text)
+    (results_dir / f"{name}.md").write_text(result.to_markdown())
+    print()
+    print(text)

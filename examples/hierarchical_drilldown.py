@@ -1,0 +1,123 @@
+"""Hierarchical summaries: drill from states down to cities (Sec 7).
+
+The paper's future-work proposal for large categorical domains: keep a
+small coarse summary (states) for most queries and build per-state
+fine summaries (cities) lazily only when a query actually drills down.
+This example also demonstrates possible-world sampling — generating a
+plausible synthetic instance straight from a fitted model.
+
+Run:  python examples/hierarchical_drilldown.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import Domain, Relation, Schema, integer_domain
+from repro.core import HierarchicalSummary, sample_world_sequential
+from repro.stats.predicates import Conjunction, RangePredicate, SetPredicate
+
+
+def build_city_relation(num_rows: int = 20_000, seed: int = 13) -> Relation:
+    """Flight departures by city: a 21-value city attribute grouped
+    into 6 states, plus an hour-of-day attribute."""
+    states = {
+        "WA": ["Seattle", "Spokane", "Tacoma"],
+        "CA": ["LA", "SF", "Fresno", "Oakland", "SanDiego"],
+        "NY": ["NYC", "Buffalo", "Albany"],
+        "TX": ["Houston", "Dallas", "Austin", "ElPaso"],
+        "FL": ["Miami", "Orlando", "Tampa"],
+        "IL": ["Chicago", "Springfield", "Peoria"],
+    }
+    labels = [(state, city) for state, cities in states.items() for city in cities]
+    schema = Schema([Domain("city", labels), integer_domain("hour", 24)])
+    rng = np.random.default_rng(seed)
+    popularity = 1.0 / (np.arange(len(labels)) + 1.0) ** 0.9
+    popularity /= popularity.sum()
+    city = rng.choice(len(labels), size=num_rows, p=popularity)
+    hour = np.clip(
+        rng.normal(13, 4, num_rows).astype(np.int64) + (city % 3), 0, 23
+    )
+    return Relation(schema, [city, hour])
+
+
+def main() -> None:
+    relation = build_city_relation()
+    print(f"data: {relation!r}")
+
+    start = time.perf_counter()
+    hierarchy = HierarchicalSummary(
+        relation,
+        "city",
+        coarsen=lambda label: label[0],
+        coarse_kwargs={
+            "pairs": [("city", "hour")], "per_pair_budget": 12,
+            "max_iterations": 30,
+        },
+        leaf_kwargs={"max_iterations": 30},
+    )
+    print(
+        f"coarse summary over {hierarchy.num_groups} states built in "
+        f"{time.perf_counter() - start:.1f}s (0 leaves yet)\n"
+    )
+
+    schema = relation.schema
+    city_domain = schema.domain("city")
+
+    def truth(predicate):
+        return relation.count_where(predicate.attribute_masks())
+
+    # State-level query: served by the coarse model, no leaf built.
+    wa_cities = [i for i, label in enumerate(city_domain.labels) if label[0] == "WA"]
+    state_query = Conjunction(schema, {"city": SetPredicate(wa_cities)})
+    estimate = hierarchy.count(state_query)
+    print(
+        f"all WA departures:        est {estimate.expectation:8.1f}  "
+        f"true {truth(state_query):6d}  (leaves built: {hierarchy.leaf_builds})"
+    )
+
+    # City-level queries: leaves appear lazily, one per drilled state.
+    for city_name in ("Seattle", "SF", "Austin"):
+        index = next(
+            i for i, label in enumerate(city_domain.labels)
+            if label[1] == city_name
+        )
+        query = Conjunction(schema, {"city": RangePredicate.point(index)})
+        start = time.perf_counter()
+        estimate = hierarchy.count(query)
+        ms = (time.perf_counter() - start) * 1e3
+        print(
+            f"{city_name:10s} departures:    est {estimate.expectation:8.1f}  "
+            f"true {truth(query):6d}  (leaves built: {hierarchy.leaf_builds}, "
+            f"{ms:.0f} ms)"
+        )
+
+    # Drill with an extra predicate: morning flights from LA.
+    la = next(i for i, l in enumerate(city_domain.labels) if l[1] == "LA")
+    morning = Conjunction(
+        schema, {"city": RangePredicate.point(la), "hour": RangePredicate(6, 11)}
+    )
+    estimate = hierarchy.count(morning)
+    print(
+        f"LA morning departures:    est {estimate.expectation:8.1f}  "
+        f"true {truth(morning):6d}"
+    )
+
+    # ------------------------------------------------------------------
+    # Possible-world sampling: synthesize an instance from the CA leaf.
+    leaf = hierarchy.leaf("CA")
+    world = sample_world_sequential(leaf.polynomial, leaf.params, rng=1)
+    print(
+        f"\nsampled a synthetic CA world with {world.num_rows} rows; "
+        "city marginals (sampled vs model statistic):"
+    )
+    for index, label in enumerate(leaf.schema.domain("city").labels):
+        sampled = int(world.marginal("city")[index])
+        expected = leaf.statistic_set.one_dim[
+            leaf.schema.position("city")
+        ][index]
+        print(f"  {label[1]:10s} {sampled:6d} vs {expected:8.1f}")
+
+
+if __name__ == "__main__":
+    main()

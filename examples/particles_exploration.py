@@ -1,0 +1,99 @@
+"""Exploring N-body simulation snapshots with a MaxEnt summary.
+
+Mirrors the paper's astronomy use case (Sec 6.3): a scientist asks
+aggregate questions over a large particle table — cluster membership,
+density profiles, per-type mass distributions — against a compact
+summary instead of the raw snapshots.
+
+Run:  python examples/particles_exploration.py
+"""
+
+import os
+import time
+
+from repro import EntropySummary
+from repro.baselines import ExactBackend, stratified_sample
+from repro.datasets import generate_particles
+from repro.query import SQLEngine, SummaryBackend
+from repro.stats import pair_correlations
+
+
+def main() -> None:
+    rows = int(os.environ.get("REPRO_ROWS", "40000"))
+    print(f"generating particles ({rows} per snapshot x 3 snapshots) ...")
+    dataset = generate_particles(rows_per_snapshot=rows, seed=11)
+    relation = dataset.relation
+
+    print("\nmost correlated attribute pairs (candidates for 2D stats):")
+    names = relation.schema.attribute_names
+    for (a, b), score in pair_correlations(relation)[:5]:
+        print(f"  {names[a]:9s} x {names[b]:9s}  V = {score:.3f}")
+
+    print("\nbuilding the EntAll summary (top pairs, 60 buckets each) ...")
+    start = time.perf_counter()
+    summary = EntropySummary.build(
+        relation,
+        pairs=[("density", "grp"), ("mass", "type"), ("x", "y")],
+        per_pair_budget=60,
+        max_iterations=20,
+        name="EntAll",
+    )
+    print(f"  built in {time.perf_counter() - start:.1f}s — {summary!r}")
+
+    approx = SQLEngine(SummaryBackend(summary), table_name="Particles")
+    exact = SQLEngine(ExactBackend(relation), table_name="Particles")
+    strat = SQLEngine(
+        stratified_sample(relation, ("density", "grp"), fraction=0.01, seed=5),
+        table_name="Particles",
+    )
+
+    questions = [
+        (
+            "clustered star particles",
+            "SELECT COUNT(*) FROM Particles WHERE grp = 1 AND type = 'star'",
+        ),
+        (
+            "dense gas outside clusters (rare!)",
+            "SELECT COUNT(*) FROM Particles WHERE grp = 0 AND type = 'gas' "
+            "AND density >= 40",
+        ),
+        (
+            "central region of the box",
+            "SELECT COUNT(*) FROM Particles WHERE x BETWEEN 0.4 AND 0.6 "
+            "AND y BETWEEN 0.4 AND 0.6 AND z BETWEEN 0.4 AND 0.6",
+        ),
+        (
+            "first snapshot only",
+            "SELECT COUNT(*) FROM Particles WHERE snapshot = 0 AND grp = 1",
+        ),
+    ]
+    print(f"\n{'question':40s} {'summary':>10s} {'strat 1%':>10s} {'exact':>9s}")
+    for label, sql in questions:
+        print(
+            f"{label:40s} {approx.count(sql):10.1f} "
+            f"{strat.count(sql):10.1f} {exact.count(sql):9.0f}"
+        )
+
+    # Per-type breakdown through the model.
+    print("\nparticle counts by type (summary GROUP BY):")
+    result = approx.execute(
+        "SELECT type, COUNT(*) AS cnt FROM Particles GROUP BY type "
+        "ORDER BY cnt DESC"
+    )
+    for row in result.rows:
+        print(f"  {row.labels[0]:5s} {row.count:10.1f}")
+
+    print("\ncluster fraction per snapshot (summary vs exact):")
+    for snapshot in (0, 1, 2):
+        sql = (
+            f"SELECT COUNT(*) FROM Particles WHERE snapshot = {snapshot} "
+            "AND grp = 1"
+        )
+        print(
+            f"  snapshot {snapshot}: {approx.count(sql):10.1f}  "
+            f"(exact {exact.count(sql):.0f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

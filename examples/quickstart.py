@@ -1,0 +1,102 @@
+"""Quickstart: summarize a relation and ask it questions.
+
+Walks the full EntropyDB pipeline on a small synthetic sales table:
+
+1. build a discrete relation,
+2. fit a MaxEnt summary with 2D statistics on the correlated pair,
+3. answer SQL counting queries and compare with the exact answers,
+4. inspect variance / confidence intervals and the summary's size.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Domain, EntropySummary, Relation, Schema, integer_domain
+from repro.baselines import ExactBackend
+from repro.query import SQLEngine, SummaryBackend
+
+
+def build_sales_relation(num_rows: int = 5000, seed: int = 42) -> Relation:
+    """A toy sales table: region and product are correlated, month is
+    uniform — the exact setting where a MaxEnt summary shines."""
+    schema = Schema(
+        [
+            Domain("region", ["north", "south", "east", "west"]),
+            Domain("product", ["widget", "gadget", "gizmo", "doohickey"]),
+            integer_domain("month", 12),
+        ]
+    )
+    rng = np.random.default_rng(seed)
+    region = rng.choice(4, size=num_rows, p=[0.4, 0.3, 0.2, 0.1])
+    # Each region strongly prefers one product.
+    product = np.where(
+        rng.random(num_rows) < 0.7, region, rng.integers(0, 4, num_rows)
+    )
+    month = rng.integers(0, 12, num_rows)
+    return Relation(schema, [region, product, month])
+
+
+def main() -> None:
+    relation = build_sales_relation()
+    print(f"data: {relation!r}\n")
+
+    # -- 1. build the summary -----------------------------------------
+    summary = EntropySummary.build(
+        relation,
+        pairs=[("region", "product")],  # the correlated pair
+        per_pair_budget=8,              # 8 KD-tree rectangles
+        max_iterations=50,
+        name="sales",
+    )
+    print(f"summary: {summary!r}")
+    print(f"solver:  {summary.report!r}")
+    size = summary.size_report()
+    print(
+        f"size:    {size['num_terms']} compressed terms vs "
+        f"{size['num_uncompressed_monomials']} monomials uncompressed\n"
+    )
+
+    # -- 2. answer SQL against both the summary and the exact data ----
+    approx = SQLEngine(SummaryBackend(summary), table_name="sales")
+    exact = SQLEngine(ExactBackend(relation), table_name="sales")
+    queries = [
+        "SELECT COUNT(*) FROM sales WHERE region = 'north'",
+        "SELECT COUNT(*) FROM sales WHERE region = 'north' AND product = 'widget'",
+        "SELECT COUNT(*) FROM sales WHERE product = 'gizmo' AND month BETWEEN 0 AND 5",
+        "SELECT COUNT(*) FROM sales WHERE region IN ('east', 'west') AND month = 3",
+    ]
+    print(f"{'query':70s}  {'approx':>9s}  {'exact':>7s}")
+    for sql in queries:
+        print(f"{sql:70s}  {approx.count(sql):9.1f}  {exact.count(sql):7.0f}")
+
+    # -- 3. GROUP BY with ORDER/LIMIT ----------------------------------
+    print("\ntop regions (approximate):")
+    result = approx.execute(
+        "SELECT region, COUNT(*) AS cnt FROM sales GROUP BY region "
+        "ORDER BY cnt DESC LIMIT 3"
+    )
+    for row in result.rows:
+        print(f"  {row.labels[0]:8s} {row.count:9.1f}")
+
+    # -- 4. uncertainty -------------------------------------------------
+    from repro.stats.predicates import Conjunction, RangePredicate
+
+    predicate = Conjunction(
+        relation.schema,
+        {"region": RangePredicate.point(3), "product": RangePredicate.point(0)},
+    )
+    estimate = summary.count(predicate)
+    low, high = estimate.ci95
+    true = exact.count(
+        "SELECT COUNT(*) FROM sales WHERE region = 'west' AND product = 'widget'"
+    )
+    print(
+        f"\nwest/widget: {estimate.expectation:.1f} "
+        f"(std {estimate.std:.1f}, 95% CI [{low:.1f}, {high:.1f}]), true {true:.0f}"
+    )
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim so editable installs work without the `wheel` package
+(this environment is offline; PEP 517 builds need bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""EntropyDB reproduction: probabilistic database summarization for
+interactive data exploration (Orr, Balazinska, Suciu — VLDB 2017).
+
+The public API centers on three steps:
+
+1. load or generate a discrete :class:`~repro.data.relation.Relation`,
+2. build an :class:`~repro.core.summary.EntropySummary` (choose 2D
+   statistics, compress the polynomial, fit with Mirror Descent),
+3. ask counting/group-by queries — via predicates or the SQL front-end
+   in :mod:`repro.query`.
+
+See ``examples/quickstart.py`` for a complete tour.
+"""
+
+from repro.core import (
+    CompressedPolynomial,
+    EntropySummary,
+    InferenceEngine,
+    MirrorDescentSolver,
+    ModelParameters,
+    NaivePolynomial,
+    QueryEstimate,
+    SolverReport,
+)
+from repro.data import (
+    Bucket,
+    Domain,
+    EquiWidthBinner,
+    Relation,
+    Schema,
+    TopKGroupBinner,
+    integer_domain,
+)
+from repro.errors import (
+    BudgetError,
+    DomainError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SolverError,
+    StatisticError,
+)
+from repro.stats import (
+    Conjunction,
+    RangePredicate,
+    SetPredicate,
+    Statistic,
+    StatisticSet,
+    build_statistic_set,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BudgetError",
+    "Bucket",
+    "CompressedPolynomial",
+    "Conjunction",
+    "Domain",
+    "DomainError",
+    "EntropySummary",
+    "EquiWidthBinner",
+    "InferenceEngine",
+    "MirrorDescentSolver",
+    "ModelParameters",
+    "NaivePolynomial",
+    "QueryError",
+    "QueryEstimate",
+    "RangePredicate",
+    "Relation",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "SetPredicate",
+    "SolverError",
+    "SolverReport",
+    "Statistic",
+    "StatisticError",
+    "StatisticSet",
+    "TopKGroupBinner",
+    "build_statistic_set",
+    "integer_domain",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Baselines the paper compares against: exact execution, uniform
+sampling, and stratified sampling."""
+
+from repro.baselines.exact import ExactBackend
+from repro.baselines.sampling import WeightedSampleBackend
+from repro.baselines.stratified import stratified_sample
+from repro.baselines.uniform import uniform_sample
+
+__all__ = [
+    "ExactBackend",
+    "WeightedSampleBackend",
+    "stratified_sample",
+    "uniform_sample",
+]

@@ -1,0 +1,51 @@
+"""Exact query execution — the ground truth every method is scored
+against."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.relation import Relation
+from repro.stats.predicates import Conjunction
+
+
+class ExactBackend:
+    """Answers counting queries by scanning the full relation."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.schema = relation.schema
+
+    def count(self, predicate: Conjunction) -> float:
+        return float(self.relation.count_where(predicate.attribute_masks()))
+
+    def sum_values(self, attr, weights, predicate: Conjunction | None) -> float:
+        """Exact ``SUM(w(attr))`` under a conjunction."""
+        import numpy as np
+
+        pos = self.schema.position(attr)
+        weights = np.asarray(weights, dtype=float)
+        if predicate is not None and not predicate.is_trivial():
+            keep = self.relation.select_mask(predicate.attribute_masks())
+        else:
+            keep = np.ones(self.relation.num_rows, dtype=bool)
+        return float(weights[self.relation.column(pos)[keep]].sum())
+
+    def group_counts(
+        self, attrs: Sequence[str], predicate: Conjunction | None
+    ) -> dict[tuple, float]:
+        relation = self.relation
+        if predicate is not None and not predicate.is_trivial():
+            relation = relation.filter(predicate.attribute_masks())
+        positions = [self.schema.position(attr) for attr in attrs]
+        domains = [self.schema.domain(pos) for pos in positions]
+        raw = relation.group_by_counts(positions)
+        return {
+            tuple(
+                domain.label_of(index) for domain, index in zip(domains, key)
+            ): float(count)
+            for key, count in raw.items()
+        }
+
+    def __repr__(self):
+        return f"ExactBackend(n={self.relation.num_rows})"

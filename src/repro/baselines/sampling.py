@@ -1,0 +1,97 @@
+"""Shared machinery for sampling baselines: weighted sample backends.
+
+A sample is a sub-relation plus one Horvitz–Thompson weight per sampled
+row (``weight = 1 / inclusion probability``).  Counting queries sum the
+weights of matching rows, which makes uniform and stratified estimators
+the same code path with different weight constructions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.errors import ReproError
+from repro.stats.predicates import Conjunction
+
+
+class WeightedSampleBackend:
+    """A materialized sample with per-row weights."""
+
+    def __init__(self, sample: Relation, weights: np.ndarray, name: str = "sample"):
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape[0] != sample.num_rows:
+            raise ReproError("one weight per sampled row required")
+        if weights.size and weights.min() <= 0:
+            raise ReproError("sample weights must be positive")
+        self.sample = sample
+        self.weights = weights
+        self.schema = sample.schema
+        self.name = name
+
+    @property
+    def num_rows(self) -> int:
+        return self.sample.num_rows
+
+    def storage_bytes(self) -> int:
+        """Approximate storage: 8-byte codes per cell plus the weights
+        (how the evaluation compares sample size with summary size)."""
+        return self.num_rows * (self.schema.num_attributes + 1) * 8
+
+    # -- CountBackend interface -----------------------------------------
+    def count(self, predicate: Conjunction) -> float:
+        mask = self.sample.select_mask(predicate.attribute_masks())
+        return float(self.weights[mask].sum())
+
+    def sum_values(self, attr, value_weights, predicate: Conjunction | None) -> float:
+        """Horvitz–Thompson ``SUM(w(attr))``: Σ row_weight · w(value)."""
+        pos = self.schema.position(attr)
+        value_weights = np.asarray(value_weights, dtype=float)
+        if predicate is not None and not predicate.is_trivial():
+            keep = self.sample.select_mask(predicate.attribute_masks())
+        else:
+            keep = np.ones(self.num_rows, dtype=bool)
+        values = value_weights[self.sample.column(pos)[keep]]
+        return float((self.weights[keep] * values).sum())
+
+    def group_counts(
+        self, attrs: Sequence[str], predicate: Conjunction | None
+    ) -> dict[tuple, float]:
+        positions = [self.schema.position(attr) for attr in attrs]
+        domains = [self.schema.domain(pos) for pos in positions]
+        if predicate is not None and not predicate.is_trivial():
+            keep = self.sample.select_mask(predicate.attribute_masks())
+        else:
+            keep = np.ones(self.num_rows, dtype=bool)
+        if not keep.any():
+            return {}
+        sizes = [domain.size for domain in domains]
+        flat = np.zeros(self.num_rows, dtype=np.int64)
+        for pos, size in zip(positions, sizes):
+            flat = flat * size + self.sample.column(pos)
+        flat = flat[keep]
+        weights = self.weights[keep]
+        order = np.argsort(flat, kind="stable")
+        flat = flat[order]
+        weights = weights[order]
+        boundaries = np.flatnonzero(np.diff(flat)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [flat.shape[0]]])
+        result: dict[tuple, float] = {}
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            key_flat = int(flat[start])
+            key = []
+            for size in reversed(sizes):
+                key.append(key_flat % size)
+                key_flat //= size
+            labels = tuple(
+                domain.label_of(index)
+                for domain, index in zip(domains, reversed(key))
+            )
+            result[labels] = float(weights[start:end].sum())
+        return result
+
+    def __repr__(self):
+        return f"WeightedSampleBackend({self.name!r}, rows={self.num_rows})"

@@ -1,0 +1,104 @@
+"""Stratified sampling baseline (the paper's ``Strat1``–``Strat4``).
+
+Strata are the distinct value combinations of a chosen attribute set
+(the paper stratifies on the same attribute pairs its summaries use for
+2D statistics).  Allocation follows the BlinkDB-style house allocation:
+every stratum receives up to ``cap`` rows, where ``cap`` is the largest
+value whose total stays within the sample budget — small strata are
+fully kept (rare groups survive), large strata are capped.  Weights are
+``stratum_size / rows_kept``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.sampling import WeightedSampleBackend
+from repro.data.relation import Relation
+from repro.errors import ReproError
+
+
+def _house_allocation_cap(sizes: np.ndarray, budget: int) -> int:
+    """Largest per-stratum cap whose Σ min(size, cap) ≤ budget."""
+    low, high = 1, int(sizes.max())
+    best = 1
+    while low <= high:
+        mid = (low + high) // 2
+        used = int(np.minimum(sizes, mid).sum())
+        if used <= budget:
+            best = mid
+            low = mid + 1
+        else:
+            high = mid - 1
+    return best
+
+
+def stratified_sample(
+    relation: Relation,
+    attrs: Sequence,
+    fraction: float | None = None,
+    size: int | None = None,
+    seed: int = 0,
+    name: str | None = None,
+) -> WeightedSampleBackend:
+    """Stratified sample over the given attributes.
+
+    Parameters
+    ----------
+    attrs:
+        Stratification attributes (names or positions), typically an
+        attribute pair.
+    fraction / size:
+        Total sample budget (exactly one must be given).
+    """
+    total = relation.num_rows
+    if total == 0:
+        raise ReproError("cannot sample an empty relation")
+    if (fraction is None) == (size is None):
+        raise ReproError("give exactly one of fraction or size")
+    if size is None:
+        if not 0 < fraction <= 1:
+            raise ReproError(f"fraction must be in (0, 1], got {fraction}")
+        size = max(1, int(round(fraction * total)))
+    if not 0 < size <= total:
+        raise ReproError(f"sample size must be in [1, {total}], got {size}")
+
+    positions = [relation.schema.position(attr) for attr in attrs]
+    if not positions:
+        raise ReproError("stratified sampling needs at least one attribute")
+
+    sizes_per_pos = [relation.schema.domain(pos).size for pos in positions]
+    flat = np.zeros(total, dtype=np.int64)
+    for pos, domain_size in zip(positions, sizes_per_pos):
+        flat = flat * domain_size + relation.column(pos)
+    order = np.argsort(flat, kind="stable")
+    flat_sorted = flat[order]
+    boundaries = np.flatnonzero(np.diff(flat_sorted)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [total]])
+    stratum_sizes = ends - starts
+
+    cap = _house_allocation_cap(stratum_sizes, size)
+    rng = np.random.default_rng(seed)
+    chosen_rows: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        stratum = order[start:end]
+        keep = min(cap, stratum.shape[0])
+        if keep == stratum.shape[0]:
+            picked = stratum
+        else:
+            picked = rng.choice(stratum, size=keep, replace=False)
+        chosen_rows.append(picked)
+        weights.append(np.full(keep, stratum.shape[0] / keep, dtype=float))
+
+    rows = np.concatenate(chosen_rows)
+    weight = np.concatenate(weights)
+    sorter = np.argsort(rows)
+    sample = relation.sample_rows(rows[sorter])
+    if name is None:
+        names = [relation.schema.attribute_names[pos] for pos in positions]
+        name = "Strat(" + ",".join(names) + ")"
+    return WeightedSampleBackend(sample, weight[sorter], name=name)

@@ -1,0 +1,40 @@
+"""Uniform sampling baseline (the paper's ``Uni``, Sec 6.2).
+
+A simple random sample without replacement; every sampled row carries
+weight ``n / sample_size``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.sampling import WeightedSampleBackend
+from repro.data.relation import Relation
+from repro.errors import ReproError
+
+
+def uniform_sample(
+    relation: Relation,
+    fraction: float | None = None,
+    size: int | None = None,
+    seed: int = 0,
+    name: str = "Uni",
+) -> WeightedSampleBackend:
+    """Draw a uniform sample of ``fraction`` (e.g. 0.01 for the paper's
+    1% samples) or an absolute ``size``."""
+    total = relation.num_rows
+    if total == 0:
+        raise ReproError("cannot sample an empty relation")
+    if (fraction is None) == (size is None):
+        raise ReproError("give exactly one of fraction or size")
+    if size is None:
+        if not 0 < fraction <= 1:
+            raise ReproError(f"fraction must be in (0, 1], got {fraction}")
+        size = max(1, int(round(fraction * total)))
+    if not 0 < size <= total:
+        raise ReproError(f"sample size must be in [1, {total}], got {size}")
+    rng = np.random.default_rng(seed)
+    rows = rng.choice(total, size=size, replace=False)
+    sample = relation.sample_rows(np.sort(rows))
+    weights = np.full(size, total / size, dtype=float)
+    return WeightedSampleBackend(sample, weights, name=name)

@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+EntropyDB as a tool: generate datasets, fit summaries, query them, and
+re-run the paper's experiments, all from the shell.
+
+::
+
+    python -m repro generate flights --rows 50000 --out data/flights
+    python -m repro build --data data/flights --pairs fl_time:distance \\
+        --budget 300 --out models/flights
+    python -m repro query --model models/flights \\
+        --sql "SELECT COUNT(*) FROM R WHERE distance >= 1000"
+    python -m repro info --model models/flights
+    python -m repro experiment fig5 --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.core.summary import EntropySummary
+from repro.data.serialize import load_relation, save_relation
+from repro.errors import ReproError
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EntropyDB: probabilistic database summaries (VLDB'17)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic dataset and save it"
+    )
+    generate.add_argument(
+        "dataset", choices=["flights", "flights-fine", "particles"]
+    )
+    generate.add_argument("--rows", type=int, default=50_000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True, help="output path prefix")
+
+    build = commands.add_parser("build", help="fit a summary from saved data")
+    build.add_argument("--data", required=True, help="relation path prefix")
+    build.add_argument(
+        "--pairs",
+        default="",
+        help="comma-separated 2D pairs as attrA:attrB (empty = 1D only)",
+    )
+    build.add_argument("--budget", type=int, default=200, help="buckets per pair")
+    build.add_argument(
+        "--heuristic", choices=["composite", "large", "zero"], default="composite"
+    )
+    build.add_argument("--iterations", type=int, default=30)
+    build.add_argument("--out", required=True, help="model path prefix")
+
+    query = commands.add_parser("query", help="run SQL against a saved model")
+    query.add_argument("--model", required=True, help="model path prefix")
+    query.add_argument("--sql", required=True)
+    query.add_argument(
+        "--rounded", action="store_true", help="round estimates the paper's way"
+    )
+
+    info = commands.add_parser("info", help="describe a saved model")
+    info.add_argument("--model", required=True)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one of the paper's experiments"
+    )
+    experiment.add_argument(
+        "name",
+        choices=[
+            "fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
+            "compression", "latency", "solver", "variance", "strategy",
+        ],
+    )
+    experiment.add_argument("--scale", choices=["paper", "small"], default=None)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.dataset in ("flights", "flights-fine"):
+        from repro.datasets import generate_flights
+
+        dataset = generate_flights(num_rows=args.rows, seed=args.seed)
+        relation = dataset.fine if args.dataset == "flights-fine" else dataset.coarse
+    else:
+        from repro.datasets import generate_particles
+
+        dataset = generate_particles(
+            rows_per_snapshot=args.rows, seed=args.seed
+        )
+        relation = dataset.relation
+    save_relation(relation, args.out)
+    print(f"wrote {relation!r} to {args.out}.(schema.json|columns.npz)")
+    return 0
+
+
+def _parse_pairs(spec: str) -> list[tuple[str, str]]:
+    pairs = []
+    for chunk in filter(None, (part.strip() for part in spec.split(","))):
+        if ":" not in chunk:
+            raise ReproError(
+                f"pair {chunk!r} must have the form attrA:attrB"
+            )
+        left, _, right = chunk.partition(":")
+        pairs.append((left.strip(), right.strip()))
+    return pairs
+
+
+def _cmd_build(args) -> int:
+    relation = load_relation(args.data)
+    pairs = _parse_pairs(args.pairs)
+    summary = EntropySummary.build(
+        relation,
+        pairs=pairs or None,
+        per_pair_budget=args.budget if pairs else None,
+        heuristic=args.heuristic,
+        max_iterations=args.iterations,
+        name=os.path.basename(args.out),
+    )
+    summary.save(args.out)
+    report = summary.size_report()
+    print(
+        f"built {summary!r}\n"
+        f"  solver: {summary.report!r}\n"
+        f"  terms: {report['num_terms']} "
+        f"(uncompressed {report['num_uncompressed_monomials']})\n"
+        f"  saved to {args.out}.(json|npz)"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.query import SQLEngine, SummaryBackend
+
+    summary = EntropySummary.load(args.model)
+    engine = SQLEngine(
+        SummaryBackend(summary, rounded=args.rounded), table_name="R"
+    )
+    result = engine.execute(args.sql)
+    if result.is_scalar:
+        print(f"{result.scalar:.3f}")
+    else:
+        for row in result.rows:
+            labels = "\t".join(str(label) for label in row.labels)
+            print(f"{labels}\t{row.count:.3f}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    summary = EntropySummary.load(args.model)
+    report = summary.size_report()
+    print(f"model:      {summary.name}")
+    print(f"cardinality {summary.total}")
+    print(f"schema:     {summary.schema!r}")
+    print(
+        f"statistics: {summary.statistic_set.num_one_dim} 1D + "
+        f"{summary.statistic_set.num_multi_dim} multi-dim"
+    )
+    print(
+        f"polynomial: {report['num_terms']} terms in "
+        f"{report['num_components']} components "
+        f"(uncompressed {report['num_uncompressed_monomials']})"
+    )
+    print(f"storage:    {report['total_bytes']} bytes in memory")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+    from repro import experiments
+
+    runners = {
+        "fig2": experiments.run_fig2,
+        "fig3": experiments.run_fig3,
+        "fig5": experiments.run_fig5,
+        "fig6": experiments.run_fig6,
+        "fig7": experiments.run_fig7,
+        "fig8": experiments.run_fig8,
+        "compression": experiments.run_compression,
+        "latency": experiments.run_latency,
+        "solver": experiments.run_solver_trace,
+        "variance": experiments.run_variance,
+        "strategy": experiments.run_strategy_ablation,
+    }
+    result = runners[args.name]()
+    print(result.to_text())
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "info": _cmd_info,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv=None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""Uncompressed MaxEnt polynomial — one monomial per possible tuple.
+
+This is Eq. (5) taken literally: ``P = Σ_{t∈Tup} Π_j α_j^{⟨c_j,t⟩}``.
+It is exponential in the schema size and exists purely as a *ground
+truth oracle*: the test suite checks that the compressed polynomial,
+its gradients, its masked evaluations, and the solver's expected values
+all agree with this object on small schemas.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.variables import ModelParameters
+from repro.data.frequency import all_tuples
+from repro.errors import SolverError
+from repro.stats.statistic import StatisticSet
+
+
+class NaivePolynomial:
+    """Materialized monomial table for small schemas.
+
+    For each possible tuple we precompute its per-attribute value
+    indices and the set of multi-dimensional statistics it satisfies.
+    """
+
+    def __init__(self, statistic_set: StatisticSet):
+        self.statistic_set = statistic_set
+        self.schema = statistic_set.schema
+        self.sizes = self.schema.sizes()
+        tuples = list(all_tuples(self.schema))
+        self.tuple_indices = np.asarray(tuples, dtype=np.int64)
+        num_tuples = self.tuple_indices.shape[0]
+        self.num_deltas = statistic_set.num_multi_dim
+        membership = np.zeros((num_tuples, self.num_deltas), dtype=bool)
+        for j, statistic in enumerate(statistic_set.multi_dim):
+            satisfied = np.ones(num_tuples, dtype=bool)
+            for pos in statistic.positions:
+                rng = statistic.range_at(pos)
+                column = self.tuple_indices[:, pos]
+                satisfied &= (column >= rng.low) & (column <= rng.high)
+            membership[:, j] = satisfied
+        self.membership = membership
+
+    @property
+    def num_monomials(self) -> int:
+        return self.tuple_indices.shape[0]
+
+    # ------------------------------------------------------------------
+    def monomials(
+        self,
+        params: ModelParameters,
+        masks: Mapping[int, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Value of every monomial: ``Π_i α_{i,t_i} Π_{j: t ⊨ π_j} δ_j``."""
+        values = np.ones(self.num_monomials, dtype=float)
+        for pos in range(self.schema.num_attributes):
+            alpha = params.alphas[pos]
+            if masks and pos in masks:
+                alpha = np.where(np.asarray(masks[pos], dtype=bool), alpha, 0.0)
+            values = values * alpha[self.tuple_indices[:, pos]]
+        for j in range(self.num_deltas):
+            member = self.membership[:, j]
+            values[member] *= params.deltas[j]
+        return values
+
+    def evaluate(
+        self,
+        params: ModelParameters,
+        masks: Mapping[int, np.ndarray] | None = None,
+    ) -> float:
+        return float(self.monomials(params, masks).sum())
+
+    def attribute_gradient(self, params: ModelParameters, pos: int) -> np.ndarray:
+        """``∂P/∂α_{pos,v}`` for all values ``v``, by direct summation."""
+        monomials = self.monomials(params)
+        alpha = params.alphas[pos]
+        column = self.tuple_indices[:, pos]
+        gradient = np.zeros(self.sizes[pos], dtype=float)
+        for value in range(self.sizes[pos]):
+            rows = column == value
+            if alpha[value] != 0:
+                gradient[value] = monomials[rows].sum() / alpha[value]
+            else:
+                # Recompute the monomials with this α set to 1.
+                saved = alpha[value]
+                alpha[value] = 1.0
+                gradient[value] = self.monomials(params)[rows].sum()
+                alpha[value] = saved
+        return gradient
+
+    def delta_gradient(self, params: ModelParameters, stat_id: int) -> float:
+        """``∂P/∂δ_{stat_id}`` by direct summation."""
+        member = self.membership[:, stat_id]
+        delta = float(params.deltas[stat_id])
+        if delta != 0:
+            return float(self.monomials(params)[member].sum() / delta)
+        saved = params.deltas[stat_id]
+        params.deltas[stat_id] = 1.0
+        value = float(self.monomials(params)[member].sum())
+        params.deltas[stat_id] = saved
+        return value
+
+    # ------------------------------------------------------------------
+    def expected_count(
+        self,
+        params: ModelParameters,
+        total: int,
+        masks: Mapping[int, np.ndarray] | None = None,
+    ) -> float:
+        """``E[⟨q, I⟩] = n · P[masked]/P`` for a conjunctive query,
+        straight from the definition (Sec 3.2's extended-polynomial
+        route collapses to this because ``∂P_q/∂β`` at ``β=1`` is the
+        masked monomial sum)."""
+        full = self.evaluate(params)
+        if full <= 0:
+            raise SolverError("naive polynomial evaluates to 0")
+        return total * self.evaluate(params, masks) / full
+
+    def tuple_probabilities(self, params: ModelParameters) -> np.ndarray:
+        """Per-tuple probability ``p_t = monomial_t / P`` — the
+        distribution a single row follows under the model."""
+        monomials = self.monomials(params)
+        total = monomials.sum()
+        if total <= 0:
+            raise SolverError("naive polynomial evaluates to 0")
+        return monomials / total

@@ -1,0 +1,286 @@
+"""Mirror Descent solver for the MaxEnt model (Sec 3.3, Algorithm 1).
+
+Each step picks one variable ``α_j`` and solves ``∂Ψ/∂α_j = 0`` in
+closed form while all other variables stay fixed (Eq. 12):
+
+    α_j  =  s_j (P − α_j P_{α_j})  /  ((n − s_j) P_{α_j})
+
+Because ``P`` is linear in every variable, neither ``P − α_j P_{α_j}``
+nor ``P_{α_j}`` depends on ``α_j``, and — by overcompleteness — the
+partials of two 1D variables of the *same* attribute are mutually
+independent.  The solver exploits both facts:
+
+* one gradient pass per attribute yields ``P_{α_j}`` for all of its
+  values simultaneously (a difference-array accumulation over terms),
+  after which the per-value updates run with ``P`` maintained
+  incrementally;
+* multi-dimensional variables update one at a time through a per-term
+  index, with component values maintained incrementally.
+
+Statistics with ``s_j = 0`` pin their variable to exactly 0 — the
+paper's ZERO-statistic observation (Sec 4.3) — and are never revisited.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.core.polynomial import (
+    CompressedPolynomial,
+    check_parameter_shapes,
+    initial_parameters,
+)
+from repro.core.variables import ModelParameters
+from repro.errors import SolverError
+
+#: Updates stop moving a variable when its partial is this small; the
+#: monomials containing it have vanished (another variable is 0).
+_TINY_GRADIENT = 1e-300
+
+
+class SolverReport:
+    """Convergence trace of one solve."""
+
+    def __init__(self):
+        self.iterations = 0
+        self.converged = False
+        self.error_trace: list[float] = []
+        self.seconds = 0.0
+
+    @property
+    def final_error(self) -> float:
+        return self.error_trace[-1] if self.error_trace else float("inf")
+
+    def __repr__(self):
+        return (
+            f"SolverReport(iterations={self.iterations}, "
+            f"converged={self.converged}, final_error={self.final_error:.3g}, "
+            f"seconds={self.seconds:.2f})"
+        )
+
+
+class MirrorDescentSolver:
+    """Coordinate Mirror Descent over the compressed polynomial.
+
+    Parameters
+    ----------
+    polynomial:
+        The compressed polynomial built from the statistic set to fit.
+    max_iterations:
+        Sweep budget; the paper uses 30 (Sec 6.1).
+    threshold:
+        Convergence threshold on ``max_j |s_j − E[⟨c_j,I⟩]| / n``.
+    """
+
+    def __init__(
+        self,
+        polynomial: CompressedPolynomial,
+        max_iterations: int = 30,
+        threshold: float = 1e-6,
+    ):
+        if max_iterations < 1:
+            raise SolverError("max_iterations must be >= 1")
+        self.polynomial = polynomial
+        self.statistic_set = polynomial.statistic_set
+        self.max_iterations = max_iterations
+        self.threshold = threshold
+        self._delta_plan = None
+
+    # ------------------------------------------------------------------
+    def _build_delta_plan(self):
+        """Per-statistic index tables for the multi-dim sweep.
+
+        For statistic ``j``: the rows of its component's term table that
+        contain it, and a padded matrix of the *other* statistics in
+        each of those terms.  Padding points at a sentinel slot whose
+        ``δ − 1`` is 1, so ``Π (δ_other − 1)`` is one vectorized
+        ``np.prod`` instead of a Python loop per term.
+        """
+        poly = self.polynomial
+        sentinel = poly.num_deltas  # extra slot, value fixed at 2.0
+        plan = []
+        for stat_id in range(poly.num_deltas):
+            component_index = poly.component_of_stat(stat_id)
+            component = poly.components[component_index]
+            terms = component.stat_terms.get(stat_id)
+            if terms is None or terms.size == 0:
+                plan.append(None)
+                continue
+            rows = terms.astype(np.int64)
+            others = [
+                [other for other in component.term_stats[term] if other != stat_id]
+                for term in rows.tolist()
+            ]
+            width = max((len(row) for row in others), default=0)
+            matrix = np.full((rows.size, max(width, 1)), sentinel, dtype=np.int64)
+            for index, row in enumerate(others):
+                matrix[index, : len(row)] = row
+            plan.append((component_index, rows, matrix))
+        return plan
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        params: ModelParameters | None = None,
+        callback: Callable[[int, float], None] | None = None,
+    ) -> tuple[ModelParameters, SolverReport]:
+        """Fit the model; returns the parameters and a report."""
+        poly = self.polynomial
+        if params is None:
+            params = initial_parameters(poly)
+        else:
+            params = params.copy()
+            check_parameter_shapes(poly, params)
+
+        report = SolverReport()
+        start = time.perf_counter()
+        for iteration in range(self.max_iterations):
+            self._sweep_one_dim(params)
+            self._sweep_multi_dim(params)
+            error = self.max_constraint_error(params)
+            report.error_trace.append(error)
+            report.iterations = iteration + 1
+            if callback is not None:
+                callback(iteration, error)
+            if error < self.threshold:
+                report.converged = True
+                break
+        report.seconds = time.perf_counter() - start
+        return params, report
+
+    # ------------------------------------------------------------------
+    def _sweep_one_dim(self, params: ModelParameters) -> None:
+        poly = self.polynomial
+        total = self.statistic_set.total
+        for pos in range(poly.schema.num_attributes):
+            parts = poly.evaluation_parts(params)
+            gradient = poly.attribute_gradient(parts, pos)
+            value = parts.value
+            alpha = params.alphas[pos]
+            targets = self.statistic_set.one_dim[pos]
+            for index, target in enumerate(targets):
+                grad = gradient[index]
+                if target == 0.0:
+                    value -= alpha[index] * grad
+                    alpha[index] = 0.0
+                    continue
+                if grad <= _TINY_GRADIENT:
+                    continue
+                if target >= total:
+                    # The value appears in every row; its siblings all
+                    # have s = 0 and go to 0, which forces E = n.
+                    continue
+                rest = value - alpha[index] * grad
+                if rest < 0.0:
+                    rest = 0.0
+                updated = target * rest / ((total - target) * grad)
+                value = rest + updated * grad
+                alpha[index] = updated
+            if value <= 0.0:
+                raise SolverError(
+                    "polynomial collapsed to 0 during solving; statistics "
+                    "are inconsistent with the cardinality"
+                )
+
+    def _sweep_multi_dim(self, params: ModelParameters) -> None:
+        poly = self.polynomial
+        if poly.num_deltas == 0:
+            return
+        if self._delta_plan is None:
+            self._delta_plan = self._build_delta_plan()
+        total = self.statistic_set.total
+        parts = poly.evaluation_parts(params)
+        component_values = list(parts.component_values)
+        free_product = parts.free_product
+        range_products = parts.range_products
+        # Extended δ vector: the trailing sentinel slot keeps (δ−1) = 1
+        # for the padding entries of the per-statistic index matrices.
+        extended = np.append(params.deltas, 2.0)
+
+        for stat_id, statistic in enumerate(self.statistic_set.multi_dim):
+            plan = self._delta_plan[stat_id]
+            if plan is None:
+                continue
+            component_index, rows, others = plan
+            target = statistic.value
+            # Gradient of Q_c w.r.t. δ: per term, drop its (δ−1) factor.
+            dprod_excl = np.prod(extended[others] - 1.0, axis=1)
+            term_excl = range_products[component_index][rows] * dprod_excl
+            grad_q = float(term_excl.sum())
+            outer = free_product
+            for other_index, other_value in enumerate(component_values):
+                if other_index != component_index:
+                    outer *= other_value
+            grad = grad_q * outer
+            value = outer * component_values[component_index]
+
+            old = float(extended[stat_id])
+            if target == 0.0:
+                updated = 0.0
+            elif abs(grad) <= _TINY_GRADIENT or target >= total:
+                continue
+            else:
+                rest = value - old * grad
+                if rest < 0.0:
+                    rest = 0.0
+                updated = target * rest / ((total - target) * grad)
+                if updated < 0.0:
+                    updated = 0.0
+            extended[stat_id] = updated
+            component_values[component_index] += (updated - old) * grad_q
+        params.deltas[:] = extended[:-1]
+
+    # ------------------------------------------------------------------
+    def max_constraint_error(self, params: ModelParameters) -> float:
+        """``max_j |s_j − E[⟨c_j,I⟩]| / n`` across all statistics."""
+        poly = self.polynomial
+        total = self.statistic_set.total
+        parts = poly.evaluation_parts(params)
+        if parts.value <= 0:
+            raise SolverError("polynomial evaluates to 0")
+        worst = 0.0
+        for pos in range(poly.schema.num_attributes):
+            expected = poly.expected_one_dim(parts, params, total, pos)
+            targets = np.asarray(self.statistic_set.one_dim[pos])
+            worst = max(worst, float(np.abs(expected - targets).max()))
+        for stat_id, statistic in enumerate(self.statistic_set.multi_dim):
+            expected = poly.expected_multi_dim(parts, params, total, stat_id)
+            worst = max(worst, abs(expected - statistic.value))
+        return worst / total
+
+    def constraint_errors(self, params: ModelParameters) -> dict:
+        """Detailed per-family errors (used by diagnostics and tests)."""
+        poly = self.polynomial
+        total = self.statistic_set.total
+        parts = poly.evaluation_parts(params)
+        one_dim = []
+        for pos in range(poly.schema.num_attributes):
+            expected = poly.expected_one_dim(parts, params, total, pos)
+            targets = np.asarray(self.statistic_set.one_dim[pos])
+            one_dim.append(np.abs(expected - targets))
+        multi = np.asarray(
+            [
+                abs(
+                    poly.expected_multi_dim(parts, params, total, stat_id)
+                    - statistic.value
+                )
+                for stat_id, statistic in enumerate(self.statistic_set.multi_dim)
+            ]
+        )
+        return {"one_dim": one_dim, "multi_dim": multi}
+
+
+def solve_statistics(
+    polynomial: CompressedPolynomial,
+    max_iterations: int = 30,
+    threshold: float = 1e-6,
+    callback: Callable[[int, float], None] | None = None,
+) -> tuple[ModelParameters, SolverReport]:
+    """Convenience wrapper: fit a polynomial's statistic set."""
+    solver = MirrorDescentSolver(
+        polynomial, max_iterations=max_iterations, threshold=threshold
+    )
+    return solver.solve(callback=callback)

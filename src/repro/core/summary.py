@@ -1,0 +1,234 @@
+"""EntropyDB summaries: build → fit → query → persist.
+
+An :class:`EntropySummary` is the user-facing object of the library: it
+owns the statistic set Φ, the compressed polynomial, the fitted
+parameters, and an :class:`~repro.core.inference.InferenceEngine`.  The
+paper stores the variables in Postgres and the factorization in a text
+file (Sec 5); we persist both to a JSON + NPZ pair.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.inference import InferenceEngine, QueryEstimate
+from repro.core.polynomial import CompressedPolynomial, check_parameter_shapes
+from repro.core.solver import MirrorDescentSolver, SolverReport
+from repro.core.variables import ModelParameters
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.data.serialize import decode_schema, encode_schema
+from repro.stats.predicates import Conjunction, RangePredicate
+from repro.stats.selection import build_statistic_set
+from repro.stats.statistic import Statistic, StatisticSet
+
+
+class EntropySummary:
+    """A query-able probabilistic summary of one relation."""
+
+    def __init__(
+        self,
+        statistic_set: StatisticSet,
+        polynomial: CompressedPolynomial,
+        params: ModelParameters,
+        report: SolverReport | None = None,
+        name: str = "summary",
+    ):
+        check_parameter_shapes(polynomial, params)
+        self.statistic_set = statistic_set
+        self.polynomial = polynomial
+        self.params = params
+        self.report = report
+        self.name = name
+        self.engine = InferenceEngine(polynomial, params, statistic_set.total)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        relation: Relation,
+        pairs: Sequence[tuple] | None = None,
+        per_pair_budget: int | None = None,
+        budget: int = 0,
+        num_pairs: int = 0,
+        strategy: str = "cover",
+        heuristic: str = "composite",
+        exclude_attrs: Sequence = (),
+        max_iterations: int = 30,
+        threshold: float = 1e-6,
+        name: str = "summary",
+        seed: int = 0,
+    ) -> "EntropySummary":
+        """Build and fit a summary straight from data.
+
+        ``pairs``/``per_pair_budget`` select explicit 2D statistics
+        (paper Fig. 4 style); ``budget``/``num_pairs`` trigger automatic
+        pair selection (Sec 4.3).  Leave both empty for a 1D-only
+        summary (the paper's *No2D*).
+        """
+        statistic_set = build_statistic_set(
+            relation,
+            budget=budget,
+            num_pairs=num_pairs,
+            pairs=pairs,
+            per_pair_budget=per_pair_budget,
+            strategy=strategy,
+            heuristic=heuristic,
+            exclude_attrs=exclude_attrs,
+            seed=seed,
+        )
+        return cls.from_statistics(
+            statistic_set,
+            max_iterations=max_iterations,
+            threshold=threshold,
+            name=name,
+        )
+
+    @classmethod
+    def from_statistics(
+        cls,
+        statistic_set: StatisticSet,
+        max_iterations: int = 30,
+        threshold: float = 1e-6,
+        name: str = "summary",
+    ) -> "EntropySummary":
+        """Fit a summary from an already-assembled statistic set."""
+        polynomial = CompressedPolynomial(statistic_set)
+        solver = MirrorDescentSolver(
+            polynomial, max_iterations=max_iterations, threshold=threshold
+        )
+        params, report = solver.solve()
+        return cls(statistic_set, polynomial, params, report, name)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self.statistic_set.schema
+
+    @property
+    def total(self) -> int:
+        return self.statistic_set.total
+
+    def count(self, predicate: Conjunction) -> QueryEstimate:
+        """Estimate ``SELECT COUNT(*) WHERE predicate``."""
+        return self.engine.estimate(predicate)
+
+    def count_labels(self, values: Mapping) -> QueryEstimate:
+        """Point-query convenience: attribute → *label* equality."""
+        indexed = {}
+        for attr, label in values.items():
+            pos = self.schema.position(attr)
+            indexed[pos] = self.schema.domain(pos).index_of(label)
+        return self.engine.point_estimate(indexed)
+
+    def group_by(
+        self,
+        attrs: Sequence,
+        predicate: Conjunction | None = None,
+    ) -> dict[tuple, QueryEstimate]:
+        """Model-side GROUP BY COUNT(*) over attribute labels."""
+        positions = [self.schema.position(attr) for attr in attrs]
+        raw = self.engine.group_by(positions, predicate)
+        domains = [self.schema.domain(pos) for pos in positions]
+        return {
+            tuple(domain.label_of(index) for domain, index in zip(domains, key)): value
+            for key, value in raw.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    def size_report(self) -> dict:
+        """Polynomial and parameter storage footprint."""
+        report = self.polynomial.size_report()
+        report["parameter_bytes"] = sum(
+            alpha.nbytes for alpha in self.params.alphas
+        ) + self.params.deltas.nbytes
+        term_bytes = 0
+        for component in self.polynomial.components:
+            for pos in component.positions:
+                term_bytes += component.lo[pos].nbytes + component.hi[pos].nbytes
+            term_bytes += component.stat_ids.nbytes + component.stat_indptr.nbytes
+        report["term_bytes"] = term_bytes
+        report["total_bytes"] = report["parameter_bytes"] + term_bytes
+        return report
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, prefix) -> None:
+        """Write ``<prefix>.json`` (statistics) + ``<prefix>.npz``
+        (parameters)."""
+        prefix = Path(prefix)
+        prefix.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "name": self.name,
+            "total": self.statistic_set.total,
+            "schema": encode_schema(self.schema),
+            "one_dim": [list(counts) for counts in self.statistic_set.one_dim],
+            "multi_dim": [
+                _encode_statistic(statistic)
+                for statistic in self.statistic_set.multi_dim
+            ],
+        }
+        prefix.with_suffix(".json").write_text(json.dumps(document))
+        np.savez_compressed(prefix.with_suffix(".npz"), **self.params.to_arrays())
+
+    @classmethod
+    def load(cls, prefix) -> "EntropySummary":
+        """Inverse of :meth:`save`; rebuilds the polynomial structure
+        from the statistics and reattaches the fitted parameters."""
+        prefix = Path(prefix)
+        document = json.loads(prefix.with_suffix(".json").read_text())
+        schema = decode_schema(document["schema"])
+        statistic_set = StatisticSet(
+            schema,
+            document["total"],
+            document["one_dim"],
+        )
+        for encoded in document["multi_dim"]:
+            statistic_set.add_multi_dim(_decode_statistic(schema, encoded))
+        with np.load(prefix.with_suffix(".npz")) as arrays:
+            params = ModelParameters.from_arrays(dict(arrays))
+        polynomial = CompressedPolynomial(statistic_set)
+        return cls(statistic_set, polynomial, params, None, document["name"])
+
+    def __repr__(self):
+        return (
+            f"EntropySummary({self.name!r}, n={self.total}, "
+            f"stats={self.statistic_set.num_statistics}, "
+            f"terms={self.polynomial.num_terms})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Statistic serialization (schemas/labels live in repro.data.serialize)
+# ----------------------------------------------------------------------
+
+def _encode_statistic(statistic: Statistic):
+    return {
+        "value": statistic.value,
+        "ranges": [
+            [pos, statistic.range_at(pos).low, statistic.range_at(pos).high]
+            for pos in statistic.positions
+        ],
+    }
+
+
+def _decode_statistic(schema: Schema, encoded) -> Statistic:
+    predicate = Conjunction(
+        schema,
+        {
+            pos: RangePredicate(low, high)
+            for pos, low, high in encoded["ranges"]
+        },
+    )
+    return Statistic(predicate, encoded["value"])

@@ -1,0 +1,81 @@
+"""Model parameters: the variable values ``α_j`` of the MaxEnt polynomial.
+
+Following the paper's notation we keep two families:
+
+* ``alphas`` — one array per attribute holding the 1D variables
+  (``α_j`` for ``j ∈ J_i``, indexed by domain value), and
+* ``deltas`` — one array entry per multi-dimensional statistic
+  (the ``δ`` variables of Sec 4.1).
+
+All values are non-negative reals; a fresh model starts at 1.0
+everywhere, which makes the polynomial count tuples uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+class ModelParameters:
+    """Mutable container for the fitted variable values."""
+
+    __slots__ = ("alphas", "deltas")
+
+    def __init__(self, alphas: Sequence[np.ndarray], deltas: np.ndarray):
+        self.alphas = [np.asarray(alpha, dtype=float) for alpha in alphas]
+        self.deltas = np.asarray(deltas, dtype=float)
+        for alpha in self.alphas:
+            if alpha.ndim != 1:
+                raise SolverError("alpha arrays must be one-dimensional")
+            if alpha.size and alpha.min() < 0:
+                raise SolverError("alpha values must be non-negative")
+        if self.deltas.ndim != 1:
+            raise SolverError("delta array must be one-dimensional")
+        if self.deltas.size and self.deltas.min() < 0:
+            raise SolverError("delta values must be non-negative")
+
+    @classmethod
+    def initial(cls, sizes: Sequence[int], num_deltas: int) -> "ModelParameters":
+        """All-ones starting point (the uniform model)."""
+        return cls(
+            [np.ones(size, dtype=float) for size in sizes],
+            np.ones(num_deltas, dtype=float),
+        )
+
+    def copy(self) -> "ModelParameters":
+        return ModelParameters(
+            [alpha.copy() for alpha in self.alphas], self.deltas.copy()
+        )
+
+    @property
+    def num_variables(self) -> int:
+        """Total variable count ``k``."""
+        return sum(alpha.size for alpha in self.alphas) + self.deltas.size
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flat dict representation used by save/load."""
+        out = {
+            f"alpha_{pos}": alpha for pos, alpha in enumerate(self.alphas)
+        }
+        out["deltas"] = self.deltas
+        return out
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "ModelParameters":
+        positions = sorted(
+            int(key.split("_", 1)[1])
+            for key in arrays
+            if key.startswith("alpha_")
+        )
+        if positions != list(range(len(positions))):
+            raise SolverError("parameter archive is missing alpha arrays")
+        alphas = [arrays[f"alpha_{pos}"] for pos in positions]
+        return cls(alphas, arrays["deltas"])
+
+    def __repr__(self):
+        sizes = [alpha.size for alpha in self.alphas]
+        return f"ModelParameters(alphas={sizes}, deltas={self.deltas.size})"

@@ -1,0 +1,42 @@
+"""Data substrate: domains, binning, schemas, and the column-store
+relation used for ground truth and statistic extraction."""
+
+from repro.data.binning import Bucket, EquiWidthBinner, TopKGroupBinner
+from repro.data.domain import Domain, integer_domain
+from repro.data.loaders import (
+    CategoricalColumn,
+    GroupedColumn,
+    NumericColumn,
+    load_csv,
+)
+from repro.data.serialize import load_relation, save_relation
+from repro.data.frequency import (
+    all_tuples,
+    frequency_vector,
+    relation_from_frequency,
+    tuple_index,
+    unflatten_index,
+)
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+
+__all__ = [
+    "Bucket",
+    "CategoricalColumn",
+    "GroupedColumn",
+    "NumericColumn",
+    "Domain",
+    "EquiWidthBinner",
+    "Relation",
+    "Schema",
+    "TopKGroupBinner",
+    "all_tuples",
+    "frequency_vector",
+    "integer_domain",
+    "load_csv",
+    "load_relation",
+    "save_relation",
+    "relation_from_frequency",
+    "tuple_index",
+    "unflatten_index",
+]

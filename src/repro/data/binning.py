@@ -1,0 +1,189 @@
+"""Bucketization strategies for continuous and high-cardinality attributes.
+
+The paper (Sec 6.1) prepares its datasets by:
+
+* binning real-valued attributes into **equi-width buckets**, and
+* reducing city cardinality by keeping the **top-2 most popular cities
+  per state** and folding the rest into an ``'Other'`` city
+  (the *FlightsFine* relation).
+
+Both strategies are implemented here.  A binner converts a raw numpy
+column into dense bucket indices plus a :class:`~repro.data.domain.Domain`
+whose labels describe the buckets, so downstream code never sees raw
+values.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.domain import Domain
+from repro.errors import DomainError
+
+
+class Bucket:
+    """A half-open numeric interval ``[low, high)`` used as a bin label.
+
+    The last bucket of an equi-width binning is closed on the right so
+    the maximum value falls inside it.
+    """
+
+    __slots__ = ("low", "high", "closed_right")
+
+    def __init__(self, low: float, high: float, closed_right: bool = False):
+        if not low < high:
+            raise DomainError(f"bucket bounds must satisfy low < high, got [{low}, {high})")
+        self.low = float(low)
+        self.high = float(high)
+        self.closed_right = bool(closed_right)
+
+    def __contains__(self, value) -> bool:
+        if self.closed_right:
+            return self.low <= value <= self.high
+        return self.low <= value < self.high
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def __eq__(self, other):
+        if not isinstance(other, Bucket):
+            return NotImplemented
+        return (self.low, self.high, self.closed_right) == (
+            other.low, other.high, other.closed_right,
+        )
+
+    def __hash__(self):
+        return hash((self.low, self.high, self.closed_right))
+
+    def __repr__(self) -> str:
+        bracket = "]" if self.closed_right else ")"
+        return f"[{self.low:g}, {self.high:g}{bracket}"
+
+
+class EquiWidthBinner:
+    """Equi-width bucketizer over a numeric range.
+
+    Parameters
+    ----------
+    name:
+        Attribute name (used for the produced domain).
+    low, high:
+        Inclusive range of raw values covered by the buckets.
+    num_buckets:
+        Number of equal-width buckets (``N_i`` of the bucketized domain).
+    """
+
+    def __init__(self, name: str, low: float, high: float, num_buckets: int):
+        if num_buckets <= 0:
+            raise DomainError(f"num_buckets must be positive, got {num_buckets}")
+        if not low < high:
+            raise DomainError(f"binner range must satisfy low < high, got [{low}, {high}]")
+        self.name = name
+        self.low = float(low)
+        self.high = float(high)
+        self.num_buckets = int(num_buckets)
+        self._width = (self.high - self.low) / self.num_buckets
+        edges = self.low + self._width * np.arange(self.num_buckets + 1)
+        edges[-1] = self.high
+        self.edges = edges
+        buckets = [
+            Bucket(edges[i], edges[i + 1], closed_right=(i == self.num_buckets - 1))
+            for i in range(self.num_buckets)
+        ]
+        self.domain = Domain(name, buckets)
+
+    def bin_values(self, values: np.ndarray) -> np.ndarray:
+        """Map raw numeric values to bucket indices.
+
+        Values outside ``[low, high]`` raise :class:`DomainError`; the
+        model has no bucket for them.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.size and (values.min() < self.low or values.max() > self.high):
+            raise DomainError(
+                f"values for {self.name!r} fall outside the binned range "
+                f"[{self.low}, {self.high}]"
+            )
+        indices = np.floor((values - self.low) / self._width).astype(np.int64)
+        # The maximum raw value lands exactly on the final edge; clamp it
+        # into the last (right-closed) bucket.
+        np.clip(indices, 0, self.num_buckets - 1, out=indices)
+        return indices
+
+    def bucket_of(self, value: float) -> int:
+        """Bucket index for a single raw value."""
+        return int(self.bin_values(np.asarray([value]))[0])
+
+
+class TopKGroupBinner:
+    """Keep the top-``k`` most frequent values per group; fold the rest.
+
+    This reproduces the paper's city binning: "binning cities such that
+    the two most popular cities in each state are separated and the
+    remaining less popular cities are grouped into a city called
+    'Other'".  Labels of kept values are ``(group, value)`` pairs and
+    the folded label is ``(group, other_label)``.
+
+    Parameters
+    ----------
+    name:
+        Attribute name for the produced domain.
+    groups, values:
+        Parallel sequences: ``groups[r]`` is the group (state) of row
+        ``r`` and ``values[r]`` the raw value (city).
+    k:
+        Number of most-popular values kept per group.
+    other_label:
+        Label used for folded values within each group.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        groups: Sequence,
+        values: Sequence,
+        k: int = 2,
+        other_label: str = "Other",
+    ):
+        if k <= 0:
+            raise DomainError(f"k must be positive, got {k}")
+        if len(groups) != len(values):
+            raise DomainError("groups and values must have equal length")
+        self.name = name
+        self.k = int(k)
+        self.other_label = other_label
+
+        counts: dict = defaultdict(Counter)
+        for group, value in zip(groups, values):
+            counts[group][value] += 1
+
+        self._kept: dict = {}
+        labels = []
+        for group in sorted(counts, key=str):
+            top = [value for value, _ in counts[group].most_common(self.k)]
+            self._kept[group] = set(top)
+            for value in sorted(top, key=str):
+                labels.append((group, value))
+            labels.append((group, other_label))
+        self.domain = Domain(name, labels)
+
+    def bin_pair(self, group, value):
+        """Map one (group, value) pair to its domain label."""
+        kept = self._kept.get(group)
+        if kept is None:
+            raise DomainError(f"unknown group {group!r} for attribute {self.name!r}")
+        if value in kept:
+            return (group, value)
+        return (group, self.other_label)
+
+    def bin_rows(self, groups: Sequence, values: Sequence) -> np.ndarray:
+        """Map parallel (group, value) columns to dense domain indices."""
+        out = np.empty(len(groups), dtype=np.int64)
+        index_of = self.domain.index_of
+        for row, (group, value) in enumerate(zip(groups, values)):
+            out[row] = index_of(self.bin_pair(group, value))
+        return out

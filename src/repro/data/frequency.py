@@ -1,0 +1,92 @@
+"""Frequency vectors — the ``n^I`` view of an instance (paper Sec 3.1).
+
+A frequency vector assigns a count to every possible tuple of the
+schema's cross product.  It is only materializable for small schemas
+(``|Tup| = Π N_i`` entries) and is used by the naive polynomial oracle
+and by tests; large-schema code paths work from marginals and
+contingency tables instead (:class:`~repro.data.relation.Relation`).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import SchemaError
+
+#: Refuse to materialize cross products bigger than this; callers that
+#: need more are using the wrong abstraction.
+MAX_MATERIALIZED_TUPLES = 2_000_000
+
+
+def tuple_index(schema: Schema, indices) -> int:
+    """Row-major position of a tuple of per-attribute indices in ``Tup``."""
+    sizes = schema.sizes()
+    if len(indices) != len(sizes):
+        raise SchemaError("tuple arity does not match schema")
+    flat = 0
+    for index, size in zip(indices, sizes):
+        if not 0 <= index < size:
+            raise SchemaError(f"index {index} out of domain range [0, {size})")
+        flat = flat * size + index
+    return flat
+
+
+def unflatten_index(schema: Schema, flat: int) -> tuple[int, ...]:
+    """Inverse of :func:`tuple_index`."""
+    sizes = schema.sizes()
+    out = []
+    for size in reversed(sizes):
+        out.append(flat % size)
+        flat //= size
+    return tuple(reversed(out))
+
+
+def all_tuples(schema: Schema):
+    """Iterate over all possible tuples (as index tuples) in row-major
+    order — the enumeration of ``Tup`` used by the naive polynomial."""
+    if schema.num_possible_tuples() > MAX_MATERIALIZED_TUPLES:
+        raise SchemaError(
+            "refusing to enumerate more than "
+            f"{MAX_MATERIALIZED_TUPLES} possible tuples"
+        )
+    return itertools.product(*[range(size) for size in schema.sizes()])
+
+
+def frequency_vector(relation: Relation) -> np.ndarray:
+    """Dense frequency vector ``n^I`` of a relation (length ``|Tup|``)."""
+    total = relation.schema.num_possible_tuples()
+    if total > MAX_MATERIALIZED_TUPLES:
+        raise SchemaError(
+            "refusing to materialize a frequency vector with "
+            f"{total} entries"
+        )
+    flat = np.zeros(relation.num_rows, dtype=np.int64)
+    for pos, size in enumerate(relation.schema.sizes()):
+        flat = flat * size + relation.column(pos)
+    return np.bincount(flat, minlength=total)
+
+
+def relation_from_frequency(schema: Schema, freq: np.ndarray) -> Relation:
+    """Materialize *one* relation whose frequency vector is ``freq``.
+
+    The instance-to-vector mapping is many-to-one (instances are
+    ordered); this returns the canonical instance with tuples emitted
+    in row-major ``Tup`` order.
+    """
+    freq = np.asarray(freq)
+    if freq.shape[0] != schema.num_possible_tuples():
+        raise SchemaError("frequency vector length does not match schema")
+    if freq.size and freq.min() < 0:
+        raise SchemaError("frequency vector must be non-negative")
+    rows = np.repeat(np.arange(freq.shape[0], dtype=np.int64), freq.astype(np.int64))
+    matrix = np.empty((rows.shape[0], schema.num_attributes), dtype=np.int64)
+    remaining = rows
+    for pos in range(schema.num_attributes - 1, -1, -1):
+        size = schema.sizes()[pos]
+        matrix[:, pos] = remaining % size
+        remaining = remaining // size
+    return Relation.from_index_rows(schema, matrix)

@@ -1,0 +1,24 @@
+"""Synthetic datasets reproducing the paper's evaluation data
+structure (see DESIGN.md §5 for the substitution rationale)."""
+
+from repro.datasets.flights import (
+    FlightsDataset,
+    STATE_CODES,
+    flights_restricted,
+    generate_flights,
+)
+from repro.datasets.particles import (
+    PARTICLE_TYPES,
+    ParticlesDataset,
+    generate_particles,
+)
+
+__all__ = [
+    "FlightsDataset",
+    "PARTICLE_TYPES",
+    "ParticlesDataset",
+    "STATE_CODES",
+    "flights_restricted",
+    "generate_flights",
+    "generate_particles",
+]

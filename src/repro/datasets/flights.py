@@ -1,0 +1,232 @@
+"""Synthetic US-flights dataset (substitute for the 5 GB BTS dump).
+
+The paper's evaluation (Sec 6.1) uses flights with attributes
+``(fl_date, origin, dest, fl_time, distance)`` at two granularities:
+
+* **FlightsCoarse** — origin/dest are states (54 values),
+* **FlightsFine** — origin/dest are cities binned to the top-2 per
+  state plus ``'Other'`` (147 values).
+
+and the Fig. 3 domain sizes: 307 dates, 62 flight-time buckets, 81
+distance buckets.  This generator reproduces the *structure* the
+experiments rely on:
+
+* a synthetic geography: every state has planar coordinates, so route
+  distance is a deterministic function of (origin, dest) — making
+  pairs (origin, distance), (dest, distance), (origin, dest) strongly
+  correlated, like the real data;
+* flight time ≈ distance / speed + taxi overhead + noise — the paper's
+  most correlated pair 3 (fl_time, distance);
+* Zipf-skewed state and route popularity — heavy hitters, light
+  hitters, and plenty of empty cells;
+* uniform flight dates — the attribute the paper deliberately leaves
+  out of 2D statistics.
+
+The substitution preserves the comparative behaviour of the methods
+(see DESIGN.md §5); absolute counts differ from the BTS data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.binning import EquiWidthBinner, TopKGroupBinner
+from repro.data.domain import Domain, integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import ReproError
+
+#: 50 states + DC + 3 territories = 54 location values (Fig. 3).
+STATE_CODES = [
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+    "HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+    "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+    "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+    "DC", "PR", "VI", "GU",
+]
+
+NUM_DATES = 307
+NUM_TIME_BUCKETS = 62
+NUM_DISTANCE_BUCKETS = 81
+
+#: Cruise speed and overhead used to derive flight time from distance.
+_SPEED_MILES_PER_MIN = 7.5
+_OVERHEAD_MIN = 35.0
+
+#: States with a single airport city (keeps the fine domain at
+#: 39·3 + 15·2 = 147 values, matching Fig. 3).
+_NUM_SINGLE_CITY_STATES = 15
+
+
+class FlightsDataset:
+    """Generated flights with both granularities and their binners."""
+
+    def __init__(
+        self,
+        coarse: Relation,
+        fine: Relation,
+        time_binner: EquiWidthBinner,
+        distance_binner: EquiWidthBinner,
+        city_binner: TopKGroupBinner,
+    ):
+        self.coarse = coarse
+        self.fine = fine
+        self.time_binner = time_binner
+        self.distance_binner = distance_binner
+        self.city_binner = city_binner
+
+    @property
+    def num_rows(self) -> int:
+        return self.coarse.num_rows
+
+
+def generate_flights(num_rows: int = 200_000, seed: int = 7) -> FlightsDataset:
+    """Generate the synthetic flights data at both granularities."""
+    if num_rows < 1:
+        raise ReproError("num_rows must be positive")
+    rng = np.random.default_rng(seed)
+    num_states = len(STATE_CODES)
+
+    # Synthetic geography: coordinates in miles over a 2800 x 1500 box.
+    coords = np.column_stack(
+        [rng.uniform(0, 2800, num_states), rng.uniform(0, 1500, num_states)]
+    )
+    # State popularity: Zipf-like with random permutation of ranks.
+    ranks = rng.permutation(num_states) + 1
+    popularity = 1.0 / ranks**1.1
+    popularity /= popularity.sum()
+
+    # Route gravity: popularity product damped by distance, no self loops.
+    pairwise = np.sqrt(
+        ((coords[:, None, :] - coords[None, :, :]) ** 2).sum(axis=2)
+    )
+    gravity = np.outer(popularity, popularity) / (1.0 + (pairwise / 450.0) ** 2)
+    np.fill_diagonal(gravity, 0.0)
+    route_probs = (gravity / gravity.sum()).ravel()
+
+    routes = rng.choice(route_probs.size, size=num_rows, p=route_probs)
+    origin_state = (routes // num_states).astype(np.int64)
+    dest_state = (routes % num_states).astype(np.int64)
+
+    # Distance: geography plus jitter for airport placement.
+    raw_distance = pairwise[origin_state, dest_state]
+    raw_distance = raw_distance + rng.normal(0.0, 25.0, num_rows)
+    raw_distance = np.clip(raw_distance, 30.0, None)
+
+    # Flight time: linear in distance plus noise (pair 3's correlation).
+    raw_time = (
+        raw_distance / _SPEED_MILES_PER_MIN
+        + _OVERHEAD_MIN
+        + rng.normal(0.0, 12.0, num_rows)
+    )
+    raw_time = np.clip(raw_time, 20.0, None)
+
+    # Dates: uniform over the 307 binned days.
+    fl_date = rng.integers(0, NUM_DATES, num_rows)
+
+    distance_binner = EquiWidthBinner(
+        "distance", 0.0, float(raw_distance.max()) + 1.0, NUM_DISTANCE_BUCKETS
+    )
+    time_binner = EquiWidthBinner(
+        "fl_time", 0.0, float(raw_time.max()) + 1.0, NUM_TIME_BUCKETS
+    )
+    distance = distance_binner.bin_values(raw_distance)
+    fl_time = time_binner.bin_values(raw_time)
+
+    coarse_schema = Schema(
+        [
+            integer_domain("fl_date", NUM_DATES),
+            Domain("origin_state", STATE_CODES),
+            Domain("dest_state", STATE_CODES),
+            time_binner.domain,
+            distance_binner.domain,
+        ]
+    )
+    coarse = Relation(
+        coarse_schema,
+        [fl_date, origin_state, dest_state, fl_time, distance],
+    )
+
+    fine, city_binner = _build_fine(
+        rng, origin_state, dest_state, fl_date, fl_time, distance,
+        time_binner, distance_binner,
+    )
+    return FlightsDataset(coarse, fine, time_binner, distance_binner, city_binner)
+
+
+def _build_fine(
+    rng, origin_state, dest_state, fl_date, fl_time, distance,
+    time_binner, distance_binner,
+):
+    """Assign cities within states and apply the top-2 + 'Other' binning."""
+    num_states = len(STATE_CODES)
+    num_rows = origin_state.shape[0]
+
+    # City inventory: the first _NUM_SINGLE_CITY_STATES states in a
+    # shuffled order have one city; the rest have 4-8 with Zipf
+    # popularity inside the state.
+    shuffled = rng.permutation(num_states)
+    single_city = set(shuffled[:_NUM_SINGLE_CITY_STATES].tolist())
+    city_names: dict[int, list[str]] = {}
+    city_probs: dict[int, np.ndarray] = {}
+    for state in range(num_states):
+        count = 1 if state in single_city else int(rng.integers(4, 9))
+        city_names[state] = [
+            f"{STATE_CODES[state]}-City{index}" for index in range(count)
+        ]
+        weights = 1.0 / (np.arange(count) + 1.0) ** 1.3
+        city_probs[state] = weights / weights.sum()
+
+    def assign_cities(states: np.ndarray) -> list[str]:
+        cities = np.empty(num_rows, dtype=object)
+        for state in range(num_states):
+            rows = np.flatnonzero(states == state)
+            if rows.size == 0:
+                continue
+            picks = rng.choice(
+                len(city_names[state]), size=rows.size, p=city_probs[state]
+            )
+            names = city_names[state]
+            for row, pick in zip(rows.tolist(), picks.tolist()):
+                cities[row] = names[pick]
+        return cities.tolist()
+
+    origin_city_raw = assign_cities(origin_state)
+    dest_city_raw = assign_cities(dest_state)
+    origin_groups = [STATE_CODES[state] for state in origin_state.tolist()]
+    dest_groups = [STATE_CODES[state] for state in dest_state.tolist()]
+
+    # One binner learned from the union of both endpoints so origin and
+    # dest share the same city domain.
+    city_binner = TopKGroupBinner(
+        "city",
+        origin_groups + dest_groups,
+        origin_city_raw + dest_city_raw,
+        k=2,
+    )
+    origin_city = city_binner.bin_rows(origin_groups, origin_city_raw)
+    dest_city = city_binner.bin_rows(dest_groups, dest_city_raw)
+
+    origin_domain = Domain("origin_city", city_binner.domain.labels)
+    dest_domain = Domain("dest_city", city_binner.domain.labels)
+    fine_schema = Schema(
+        [
+            integer_domain("fl_date", NUM_DATES),
+            origin_domain,
+            dest_domain,
+            time_binner.domain,
+            distance_binner.domain,
+        ]
+    )
+    fine = Relation(
+        fine_schema,
+        [fl_date, origin_city, dest_city, fl_time, distance],
+    )
+    return fine, city_binner
+
+
+def flights_restricted(dataset: FlightsDataset) -> Relation:
+    """The Sec 4.3 experiment relation: flights restricted to
+    ``(fl_date, fl_time, distance)``."""
+    return dataset.coarse.project(["fl_date", "fl_time", "distance"])

@@ -1,0 +1,174 @@
+"""Synthetic N-body particle snapshots (substitute for the 210 GB
+ChaNGa astronomy simulation of Sec 6.1/6.3).
+
+The relation is ``Particles(density, mass, x, y, z, grp, type,
+snapshot)`` with the Fig. 3 domain sizes (58, 52, 21, 21, 21, 2, 3, 3).
+The generator is a drifting Gaussian-mixture model that reproduces the
+structure Fig. 7's experiments depend on:
+
+* ``grp`` flags cluster membership; in-cluster particles have much
+  higher density — the strong (density, grp) correlation the paper's
+  stratified baseline exploits;
+* positions cluster around mixture centers that drift between the
+  three snapshots, so (x, y), (x, z), (y, z) are correlated;
+* ``type`` (gas / dark / star) has cluster-dependent frequencies and
+  determines the mass scale, correlating (mass, type) and
+  (density, mass).
+
+Each snapshot contributes ``rows_per_snapshot`` rows; Fig. 7's scaling
+experiment selects the one-, two-, and three-snapshot prefixes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.binning import EquiWidthBinner
+from repro.data.domain import Domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import ReproError
+
+NUM_DENSITY_BUCKETS = 58
+NUM_MASS_BUCKETS = 52
+NUM_POSITION_BUCKETS = 21
+NUM_SNAPSHOTS = 3
+
+PARTICLE_TYPES = ["gas", "dark", "star"]
+
+#: Mixture configuration.
+_NUM_CLUSTERS = 12
+_CLUSTER_FRACTION = 0.55
+_CLUSTER_SPREAD = 0.035
+_DRIFT_SCALE = 0.05
+
+#: Mass scale (log-space mean, std) per particle type.
+_MASS_PARAMS = {"gas": (0.0, 0.35), "dark": (2.2, 0.4), "star": (1.1, 0.5)}
+
+#: Type mixture inside and outside clusters.
+_TYPE_PROBS_CLUSTER = np.asarray([0.25, 0.45, 0.30])
+_TYPE_PROBS_FIELD = np.asarray([0.45, 0.50, 0.05])
+
+
+class ParticlesDataset:
+    """Generated particle snapshots with snapshot-prefix selection."""
+
+    def __init__(self, relation: Relation, rows_per_snapshot: int):
+        self.relation = relation
+        self.rows_per_snapshot = rows_per_snapshot
+
+    def snapshots(self, count: int) -> Relation:
+        """Relation restricted to the first ``count`` snapshots (the
+        Fig. 7 subsets of growing size)."""
+        if not 1 <= count <= NUM_SNAPSHOTS:
+            raise ReproError(
+                f"snapshot count must be in [1, {NUM_SNAPSHOTS}], got {count}"
+            )
+        pos = self.relation.schema.position("snapshot")
+        mask = np.zeros(NUM_SNAPSHOTS, dtype=bool)
+        mask[:count] = True
+        return self.relation.filter({pos: mask})
+
+
+def generate_particles(
+    rows_per_snapshot: int = 100_000, seed: int = 11
+) -> ParticlesDataset:
+    """Generate all three snapshots."""
+    if rows_per_snapshot < 1:
+        raise ReproError("rows_per_snapshot must be positive")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.15, 0.85, size=(_NUM_CLUSTERS, 3))
+    cluster_weights = rng.dirichlet(np.full(_NUM_CLUSTERS, 1.2))
+
+    columns = {
+        name: [] for name in ("density", "mass", "x", "y", "z", "grp", "type", "snap")
+    }
+    for snapshot in range(NUM_SNAPSHOTS):
+        drift = rng.normal(0.0, _DRIFT_SCALE, size=centers.shape)
+        centers = np.clip(centers + drift, 0.05, 0.95)
+        snap = _generate_snapshot(rng, centers, cluster_weights, rows_per_snapshot)
+        for name, values in snap.items():
+            columns[name].append(values)
+        columns["snap"].append(np.full(rows_per_snapshot, snapshot, dtype=np.int64))
+
+    raw = {name: np.concatenate(parts) for name, parts in columns.items()}
+
+    density_binner = EquiWidthBinner(
+        "density", 0.0, float(raw["density"].max()) + 1e-6, NUM_DENSITY_BUCKETS
+    )
+    mass_binner = EquiWidthBinner(
+        "mass", 0.0, float(raw["mass"].max()) + 1e-6, NUM_MASS_BUCKETS
+    )
+    position_binners = {
+        axis: EquiWidthBinner(axis, 0.0, 1.0, NUM_POSITION_BUCKETS)
+        for axis in ("x", "y", "z")
+    }
+
+    schema = Schema(
+        [
+            density_binner.domain,
+            mass_binner.domain,
+            position_binners["x"].domain,
+            position_binners["y"].domain,
+            position_binners["z"].domain,
+            Domain("grp", [0, 1]),
+            Domain("type", PARTICLE_TYPES),
+            Domain("snapshot", list(range(NUM_SNAPSHOTS))),
+        ]
+    )
+    relation = Relation(
+        schema,
+        [
+            density_binner.bin_values(raw["density"]),
+            mass_binner.bin_values(raw["mass"]),
+            position_binners["x"].bin_values(raw["x"]),
+            position_binners["y"].bin_values(raw["y"]),
+            position_binners["z"].bin_values(raw["z"]),
+            raw["grp"],
+            raw["type"],
+            raw["snap"],
+        ],
+    )
+    return ParticlesDataset(relation, rows_per_snapshot)
+
+
+def _generate_snapshot(rng, centers, cluster_weights, num_rows):
+    in_cluster = rng.random(num_rows) < _CLUSTER_FRACTION
+    num_clustered = int(in_cluster.sum())
+
+    positions = rng.uniform(0.0, 1.0, size=(num_rows, 3))
+    assignment = rng.choice(_NUM_CLUSTERS, size=num_clustered, p=cluster_weights)
+    positions[in_cluster] = np.clip(
+        centers[assignment] + rng.normal(0.0, _CLUSTER_SPREAD, (num_clustered, 3)),
+        0.0,
+        1.0,
+    )
+
+    # Density: log-normal, boosted inside clusters and near centers.
+    log_density = rng.normal(0.6, 0.5, num_rows)
+    log_density[in_cluster] += rng.normal(2.3, 0.6, num_clustered)
+    density = np.exp(log_density)
+
+    # Types: different mixtures inside and outside clusters.
+    types = np.empty(num_rows, dtype=np.int64)
+    types[in_cluster] = rng.choice(3, size=num_clustered, p=_TYPE_PROBS_CLUSTER)
+    types[~in_cluster] = rng.choice(
+        3, size=num_rows - num_clustered, p=_TYPE_PROBS_FIELD
+    )
+
+    # Mass: type-dependent log-normal.
+    mass = np.empty(num_rows, dtype=float)
+    for type_index, type_name in enumerate(PARTICLE_TYPES):
+        rows = types == type_index
+        mean, std = _MASS_PARAMS[type_name]
+        mass[rows] = np.exp(rng.normal(mean, std, int(rows.sum())))
+
+    return {
+        "density": density,
+        "mass": mass,
+        "x": positions[:, 0],
+        "y": positions[:, 1],
+        "z": positions[:, 2],
+        "grp": in_cluster.astype(np.int64),
+        "type": types,
+    }

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro (EntropyDB reproduction) package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DomainError(ReproError):
+    """A value is outside an attribute's active domain, or a domain is
+    malformed (empty, unordered buckets, ...)."""
+
+
+class SchemaError(ReproError):
+    """A relation, statistic, or query references attributes inconsistently
+    with the schema."""
+
+
+class StatisticError(ReproError):
+    """A statistic set violates the model's structural assumptions
+    (e.g. overlapping 2D statistics on the same attribute pair)."""
+
+
+class SolverError(ReproError):
+    """The Mirror Descent solver failed to make progress or was given an
+    infeasible statistic set."""
+
+
+class QueryError(ReproError):
+    """A query cannot be parsed or is not supported by the engine."""
+
+
+class BudgetError(ReproError):
+    """A statistic-selection budget is invalid or cannot be met."""

@@ -1,0 +1,37 @@
+"""Evaluation utilities: metrics, harness, reporting."""
+
+from repro.evaluation.harness import (
+    MethodRun,
+    error_difference_table,
+    f_measure_over,
+    predicate_for_labels,
+    run_methods,
+    run_workload,
+)
+from repro.evaluation.metrics import (
+    f_measure,
+    mean_relative_error,
+    precision_recall,
+    relative_error,
+)
+from repro.evaluation.reporting import (
+    ExperimentResult,
+    ascii_table,
+    markdown_table,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "MethodRun",
+    "ascii_table",
+    "error_difference_table",
+    "f_measure",
+    "f_measure_over",
+    "markdown_table",
+    "mean_relative_error",
+    "precision_recall",
+    "predicate_for_labels",
+    "relative_error",
+    "run_methods",
+    "run_workload",
+]

@@ -1,0 +1,110 @@
+"""Shared experiment harness: run workloads against methods, time them,
+and aggregate metrics.
+
+A *method* is any :class:`~repro.query.engine.CountBackend` with a
+name; the harness runs every workload query through it, records the
+per-query estimate and latency, and computes the Sec 6.2 metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.evaluation.metrics import f_measure, mean_relative_error
+from repro.stats.predicates import Conjunction
+from repro.workloads.selection_queries import Workload
+
+
+class MethodRun:
+    """Per-method results for one workload."""
+
+    __slots__ = ("method", "workload_kind", "estimates", "true_counts", "seconds")
+
+    def __init__(self, method, workload_kind, estimates, true_counts, seconds):
+        self.method = method
+        self.workload_kind = workload_kind
+        self.estimates = estimates
+        self.true_counts = true_counts
+        self.seconds = seconds
+
+    @property
+    def mean_error(self) -> float:
+        return mean_relative_error(self.true_counts, self.estimates)
+
+    @property
+    def mean_latency(self) -> float:
+        return self.seconds / max(len(self.estimates), 1)
+
+    def __repr__(self):
+        return (
+            f"MethodRun({self.method!r}, {self.workload_kind!r}, "
+            f"err={self.mean_error:.3f}, {self.mean_latency*1e3:.2f} ms/q)"
+        )
+
+
+def run_workload(backend, name: str, workload: Workload, schema) -> MethodRun:
+    """Execute every point query of a workload against a backend."""
+    estimates = []
+    true_counts = []
+    start = time.perf_counter()
+    for query in workload:
+        conjunction = query.conjunction(schema)
+        estimates.append(float(backend.count(conjunction)))
+        true_counts.append(query.true_count)
+    seconds = time.perf_counter() - start
+    return MethodRun(name, workload.kind, estimates, true_counts, seconds)
+
+
+def run_methods(
+    methods: dict[str, object],
+    workload: Workload,
+    schema,
+) -> dict[str, MethodRun]:
+    """Run one workload against every named backend."""
+    return {
+        name: run_workload(backend, name, workload, schema)
+        for name, backend in methods.items()
+    }
+
+
+def f_measure_over(
+    backend,
+    light: Workload,
+    null: Workload,
+    schema,
+) -> float:
+    """F measure of one backend over a light + null workload pair."""
+    light_estimates = [
+        float(backend.count(query.conjunction(schema))) for query in light
+    ]
+    null_estimates = [
+        float(backend.count(query.conjunction(schema))) for query in null
+    ]
+    return f_measure(light_estimates, null_estimates)
+
+
+def error_difference_table(
+    runs: dict[str, "MethodRun"], reference: str
+) -> dict[str, float]:
+    """Fig. 5's quantity: mean error of each method minus the
+    reference's mean error (positive ⇒ reference is better)."""
+    reference_error = runs[reference].mean_error
+    return {
+        name: run.mean_error - reference_error
+        for name, run in runs.items()
+        if name != reference
+    }
+
+
+def predicate_for_labels(schema, assignments: Sequence[tuple]) -> Conjunction:
+    """Build a conjunction from (attribute, label) pairs — convenience
+    for experiment drivers."""
+    from repro.stats.predicates import RangePredicate
+
+    mapping = {}
+    for attr, label in assignments:
+        pos = schema.position(attr)
+        index = schema.domain(pos).index_of(label)
+        mapping[pos] = RangePredicate.point(index)
+    return Conjunction(schema, mapping)

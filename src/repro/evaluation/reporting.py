@@ -1,0 +1,89 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment driver returns rows of dicts; these helpers format
+them as aligned ASCII (for terminal / bench logs) or Markdown (for
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def ascii_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Align rows of dicts into a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_stringify(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[index]) for line in table))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in table
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def markdown_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """The same rows as a Markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = "| " + " | ".join(columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    body = [
+        "| " + " | ".join(_stringify(row.get(column, "")) for column in columns) + " |"
+        for row in rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+class ExperimentResult:
+    """Named result of one experiment: free-form rows plus context."""
+
+    def __init__(self, name: str, description: str):
+        self.name = name
+        self.description = description
+        self.sections: list[tuple[str, list[dict]]] = []
+
+    def add_section(self, title: str, rows: list[dict]) -> None:
+        self.sections.append((title, rows))
+
+    def rows(self, title: str) -> list[dict]:
+        for section_title, rows in self.sections:
+            if section_title == title:
+                return rows
+        raise KeyError(f"no section {title!r} in {self.name}")
+
+    def to_text(self) -> str:
+        parts = [f"== {self.name} ==", self.description, ""]
+        for title, rows in self.sections:
+            parts.append(f"-- {title} --")
+            parts.append(ascii_table(rows))
+            parts.append("")
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        parts = [f"### {self.name}", "", self.description, ""]
+        for title, rows in self.sections:
+            parts.append(f"**{title}**")
+            parts.append("")
+            parts.append(markdown_table(rows))
+            parts.append("")
+        return "\n".join(parts)
+
+    def __repr__(self):
+        return f"ExperimentResult({self.name!r}, sections={len(self.sections)})"

@@ -1,0 +1,52 @@
+"""Experiment drivers, one per table/figure of the paper's evaluation.
+
+Each ``run_*`` function returns an
+:class:`~repro.evaluation.reporting.ExperimentResult`; the
+``benchmarks/`` directory wraps them in pytest-benchmark targets.
+"""
+
+from repro.experiments.compression import run_compression
+from repro.experiments.configs import (
+    COARSE_PAIRS,
+    FINE_PAIRS,
+    MAXENT_METHODS,
+    PAPER,
+    SMALL,
+    ExperimentStore,
+    Scale,
+    active_scale,
+    default_store,
+)
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.latency import run_latency
+from repro.experiments.solver_trace import run_solver_trace
+from repro.experiments.strategy_ablation import run_strategy_ablation
+from repro.experiments.variance import run_variance
+
+__all__ = [
+    "COARSE_PAIRS",
+    "FINE_PAIRS",
+    "MAXENT_METHODS",
+    "PAPER",
+    "SMALL",
+    "ExperimentStore",
+    "Scale",
+    "active_scale",
+    "default_store",
+    "run_compression",
+    "run_fig2",
+    "run_fig3",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_latency",
+    "run_solver_trace",
+    "run_strategy_ablation",
+    "run_variance",
+]

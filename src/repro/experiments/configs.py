@@ -1,0 +1,267 @@
+"""Experiment configuration: scales, summary definitions (Fig. 4), and
+a build cache.
+
+Scale presets
+-------------
+``paper``
+    The paper's statistic budgets (B = 3000 split as in Fig. 4, Fig. 2
+    budgets 500/1000/2000, 1% samples, 30 solver iterations) on
+    generated datasets scaled to laptop size.
+``small``
+    Everything shrunk ~4x for CI and quick runs.
+
+Select with the ``REPRO_SCALE`` environment variable (default
+``paper``).  Summaries are cached in-process and on disk (``.cache/``)
+keyed by dataset, configuration, and scale, because Fig. 5, 6, and 8
+share the same fitted models.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.baselines import stratified_sample, uniform_sample
+from repro.core.summary import EntropySummary
+from repro.data.relation import Relation
+from repro.datasets import generate_flights, generate_particles
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All knobs the experiment drivers read."""
+
+    name: str
+    flights_rows: int
+    particles_rows_per_snapshot: int
+    #: Per-pair bucket budget for the two-pair summaries (Ent1&2, Ent3&4).
+    budget_two_pairs: int
+    #: Per-pair bucket budget for Ent1&2&3.
+    budget_three_pairs: int
+    #: Fig. 2 heuristic budgets.
+    fig2_budgets: tuple[int, ...]
+    #: Per-pair budget for the particles EntAll summary.
+    particles_pair_budget: int
+    #: Absolute row budget of the particles samples (the paper uses a
+    #: constant 1 GB sample for every snapshot subset, Sec 6.3).
+    particles_sample_rows: int
+    num_heavy: int
+    num_light: int
+    num_null: int
+    sample_fraction: float
+    solver_iterations: int
+
+    def describe(self) -> str:
+        return (
+            f"scale={self.name}: flights n={self.flights_rows}, particles "
+            f"n={self.particles_rows_per_snapshot}/snapshot, budgets "
+            f"2-pair={self.budget_two_pairs} 3-pair={self.budget_three_pairs}, "
+            f"samples={self.sample_fraction:.0%}, iterations={self.solver_iterations}"
+        )
+
+
+PAPER = Scale(
+    name="paper",
+    flights_rows=200_000,
+    particles_rows_per_snapshot=100_000,
+    budget_two_pairs=750,
+    budget_three_pairs=333,
+    fig2_budgets=(500, 1000, 2000),
+    particles_pair_budget=100,
+    particles_sample_rows=8000,
+    num_heavy=100,
+    num_light=100,
+    num_null=200,
+    sample_fraction=0.01,
+    solver_iterations=30,
+)
+
+SMALL = Scale(
+    name="small",
+    flights_rows=50_000,
+    particles_rows_per_snapshot=25_000,
+    budget_two_pairs=200,
+    budget_three_pairs=90,
+    fig2_budgets=(150, 300, 600),
+    particles_pair_budget=50,
+    particles_sample_rows=2500,
+    num_heavy=40,
+    num_light=40,
+    num_null=80,
+    sample_fraction=0.01,
+    solver_iterations=15,
+)
+
+_SCALES = {"paper": PAPER, "small": SMALL}
+
+
+def active_scale() -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (default ``paper``)."""
+    name = os.environ.get("REPRO_SCALE", "paper").lower()
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown REPRO_SCALE={name!r}; choose from {sorted(_SCALES)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Fig. 4: the attribute pairs and summary configurations
+# ----------------------------------------------------------------------
+
+#: Pair ids → coarse attribute names (paper Sec 6.2: 1C, 2C, 3, 4C).
+COARSE_PAIRS = {
+    1: ("origin_state", "distance"),
+    2: ("dest_state", "distance"),
+    3: ("fl_time", "distance"),
+    4: ("origin_state", "dest_state"),
+}
+
+#: Pair ids → fine attribute names (1F, 2F, 3, 4F).
+FINE_PAIRS = {
+    1: ("origin_city", "distance"),
+    2: ("dest_city", "distance"),
+    3: ("fl_time", "distance"),
+    4: ("origin_city", "dest_city"),
+}
+
+#: The four MaxEnt methods of Fig. 4: name → pair ids.
+MAXENT_METHODS = {
+    "No2D": (),
+    "Ent1&2": (1, 2),
+    "Ent3&4": (3, 4),
+    "Ent1&2&3": (1, 2, 3),
+}
+
+
+def summary_pairs(method: str, variant: str) -> list[tuple[str, str]]:
+    """Attribute pairs of one Fig. 4 method on ``coarse`` or ``fine``."""
+    table = COARSE_PAIRS if variant == "coarse" else FINE_PAIRS
+    return [table[pair_id] for pair_id in MAXENT_METHODS[method]]
+
+
+def method_pair_budget(method: str, scale: Scale) -> int:
+    """Per-pair bucket budget of one Fig. 4 method."""
+    count = len(MAXENT_METHODS[method])
+    if count == 0:
+        return 0
+    return scale.budget_two_pairs if count <= 2 else scale.budget_three_pairs
+
+
+# ----------------------------------------------------------------------
+# Build cache
+# ----------------------------------------------------------------------
+
+class ExperimentStore:
+    """Caches datasets, summaries, and samples for one scale.
+
+    Summaries additionally persist to ``cache_dir`` so separate bench
+    processes do not refit the same models.
+    """
+
+    def __init__(self, scale: Scale | None = None, cache_dir=None):
+        self.scale = scale or active_scale()
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self._datasets: dict[str, object] = {}
+        self._summaries: dict[str, EntropySummary] = {}
+        self._samples: dict[str, object] = {}
+
+    # -- datasets --------------------------------------------------------
+    def flights(self):
+        if "flights" not in self._datasets:
+            self._datasets["flights"] = generate_flights(
+                num_rows=self.scale.flights_rows, seed=7
+            )
+        return self._datasets["flights"]
+
+    def particles(self):
+        if "particles" not in self._datasets:
+            self._datasets["particles"] = generate_particles(
+                rows_per_snapshot=self.scale.particles_rows_per_snapshot, seed=11
+            )
+        return self._datasets["particles"]
+
+    def flights_relation(self, variant: str) -> Relation:
+        dataset = self.flights()
+        if variant == "coarse":
+            return dataset.coarse
+        if variant == "fine":
+            return dataset.fine
+        raise ReproError(f"unknown flights variant {variant!r}")
+
+    # -- summaries -------------------------------------------------------
+    def summary(self, key: str, builder) -> EntropySummary:
+        """Fetch a summary by cache key, building (or loading) on miss."""
+        if key in self._summaries:
+            return self._summaries[key]
+        if self.cache_dir is not None:
+            prefix = self.cache_dir / f"{self.scale.name}-{key}"
+            if prefix.with_suffix(".json").exists():
+                summary = EntropySummary.load(prefix)
+                self._summaries[key] = summary
+                return summary
+        summary = builder()
+        self._summaries[key] = summary
+        if self.cache_dir is not None:
+            summary.save(self.cache_dir / f"{self.scale.name}-{key}")
+        return summary
+
+    def flights_summary(self, method: str, variant: str) -> EntropySummary:
+        """One of the Fig. 4 summaries on coarse or fine flights."""
+        key = f"flights-{variant}-{method.replace('&', '_')}"
+        relation = self.flights_relation(variant)
+        pairs = summary_pairs(method, variant)
+
+        def build():
+            return EntropySummary.build(
+                relation,
+                pairs=pairs or None,
+                per_pair_budget=method_pair_budget(method, self.scale) or None,
+                max_iterations=self.scale.solver_iterations,
+                name=f"{method}-{variant}",
+            )
+
+        return self.summary(key, build)
+
+    # -- samples ---------------------------------------------------------
+    def flights_uniform(self, variant: str):
+        key = f"uni-{variant}"
+        if key not in self._samples:
+            self._samples[key] = uniform_sample(
+                self.flights_relation(variant),
+                fraction=self.scale.sample_fraction,
+                seed=23,
+                name="Uni",
+            )
+        return self._samples[key]
+
+    def flights_stratified(self, pair_id: int, variant: str):
+        key = f"strat{pair_id}-{variant}"
+        if key not in self._samples:
+            table = COARSE_PAIRS if variant == "coarse" else FINE_PAIRS
+            self._samples[key] = stratified_sample(
+                self.flights_relation(variant),
+                table[pair_id],
+                fraction=self.scale.sample_fraction,
+                seed=23 + pair_id,
+                name=f"Strat{pair_id}",
+            )
+        return self._samples[key]
+
+
+_DEFAULT_STORE: ExperimentStore | None = None
+
+
+def default_store() -> ExperimentStore:
+    """Process-wide store at the active scale with on-disk caching."""
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None or _DEFAULT_STORE.scale != active_scale():
+        cache_dir = Path(
+            os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".cache" / "summaries")
+        )
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        _DEFAULT_STORE = ExperimentStore(active_scale(), cache_dir)
+    return _DEFAULT_STORE

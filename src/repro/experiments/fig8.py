@@ -1,0 +1,103 @@
+"""Fig. 8: choosing 2D statistics — breadth vs depth.
+
+Compares the four Fig. 4 MaxEnt configurations (No2D, Ent1&2, Ent3&4,
+Ent1&2&3) on six two-attribute templates over origin / dest / time /
+distance: (a) average heavy-hitter error, (b) F measure over light
+hitters + nulls.  Run on both FlightsCoarse and FlightsFine.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.evaluation.harness import run_workload
+from repro.evaluation.metrics import f_measure
+from repro.evaluation.reporting import ExperimentResult
+from repro.experiments.configs import (
+    ExperimentStore,
+    MAXENT_METHODS,
+    default_store,
+)
+from repro.query.backends import SummaryBackend
+from repro.workloads.selection_queries import (
+    heavy_hitters,
+    light_hitters,
+    nonexistent_values,
+)
+
+_CORE = ("origin_state", "dest_state", "fl_time", "distance")
+
+
+def fig8_templates(variant: str) -> list[tuple[str, str]]:
+    """All six attribute pairs of the pair-1..4 cover."""
+    core = _CORE
+    if variant == "fine":
+        core = tuple(
+            attr.replace("origin_state", "origin_city").replace(
+                "dest_state", "dest_city"
+            )
+            for attr in core
+        )
+    return [tuple(t) for t in itertools.combinations(core, 2)]
+
+
+def run_fig8(store: ExperimentStore | None = None) -> ExperimentResult:
+    """Regenerate Fig. 8: MaxEnt-method comparison (breadth vs depth)."""
+    store = store or default_store()
+    scale = store.scale
+
+    result = ExperimentResult(
+        "Fig 8: statistic selection (breadth vs depth)",
+        "Heavy-hitter error and F measure of the four MaxEnt methods over "
+        "six 2-attribute templates. Paper shape: Ent1&2&3 (more pairs, "
+        "fewer buckets) best on heavy hitters; Ent3&4 (covers all "
+        "attributes, more buckets) best F measure; No2D worst. "
+        f"({scale.describe()})",
+    )
+
+    for variant in ("coarse", "fine"):
+        relation = store.flights_relation(variant)
+        backends = {
+            name: SummaryBackend(store.flights_summary(name, variant))
+            for name in MAXENT_METHODS
+        }
+        rounded = {
+            name: SummaryBackend(backend.summary, rounded=True)
+            for name, backend in backends.items()
+        }
+        errors: dict[str, list[float]] = {name: [] for name in MAXENT_METHODS}
+        f_scores: dict[str, list[float]] = {name: [] for name in MAXENT_METHODS}
+        for template in fig8_templates(variant):
+            heavy = heavy_hitters(relation, template, scale.num_heavy)
+            light = light_hitters(relation, template, scale.num_light)
+            null = nonexistent_values(
+                relation, template, scale.num_null, seed=41, allow_fewer=True
+            )
+            for name in MAXENT_METHODS:
+                heavy_run = run_workload(
+                    backends[name], name, heavy, relation.schema
+                )
+                errors[name].append(heavy_run.mean_error)
+                light_run = run_workload(
+                    rounded[name], name, light, relation.schema
+                )
+                null_run = run_workload(
+                    rounded[name], name, null, relation.schema
+                )
+                f_scores[name].append(
+                    f_measure(light_run.estimates, null_run.estimates)
+                )
+        rows = [
+            {
+                "method": name,
+                "heavy_error": sum(errors[name]) / len(errors[name]),
+                "f_measure": sum(f_scores[name]) / len(f_scores[name]),
+            }
+            for name in MAXENT_METHODS
+        ]
+        result.add_section(f"Flights{variant.title()}", rows)
+    return result
+
+
+if __name__ == "__main__":
+    print(run_fig8().to_text())

@@ -1,0 +1,26 @@
+"""SQL front-end: parser, AST, label resolution, and execution against
+exact / sample / summary backends."""
+
+from repro.query.ast import Condition, CountQuery
+from repro.query.backends import SummaryBackend
+from repro.query.engine import CountBackend, GroupRow, QueryResult, SQLEngine
+from repro.query.linear import (
+    LinearQuery,
+    condition_mask,
+    conjunction_from_conditions,
+)
+from repro.query.parser import parse_query
+
+__all__ = [
+    "Condition",
+    "CountBackend",
+    "CountQuery",
+    "GroupRow",
+    "LinearQuery",
+    "QueryResult",
+    "SQLEngine",
+    "SummaryBackend",
+    "condition_mask",
+    "conjunction_from_conditions",
+    "parse_query",
+]

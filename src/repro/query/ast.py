@@ -1,0 +1,127 @@
+"""Abstract syntax for the supported SQL subset.
+
+The paper's workloads (Sec 6.2) are conjunctive counting queries,
+optionally grouped:
+
+    SELECT [A1, ..., Ag,] COUNT(*) FROM R
+    [WHERE A = v AND B IN (u, w) AND C BETWEEN x AND y AND D >= z]
+    [GROUP BY A1, ..., Ag]
+    [ORDER BY cnt ASC|DESC]
+    [LIMIT k]
+
+The AST is deliberately small and backend-agnostic: the same tree is
+executed against the exact relation, a sample, or an EntropyDB summary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import QueryError
+
+#: Comparison operators accepted in WHERE conditions.
+COMPARISONS = ("=", "<", "<=", ">", ">=", "!=")
+
+
+class Condition:
+    """One WHERE condition on a single attribute."""
+
+    __slots__ = ("attribute", "op", "values")
+
+    def __init__(self, attribute: str, op: str, values: Sequence):
+        if op not in COMPARISONS + ("in", "between"):
+            raise QueryError(f"unsupported operator {op!r}")
+        if op == "between" and len(values) != 2:
+            raise QueryError("BETWEEN needs exactly two bounds")
+        if op in COMPARISONS and len(values) != 1:
+            raise QueryError(f"operator {op!r} needs exactly one literal")
+        if op == "in" and not values:
+            raise QueryError("IN needs at least one literal")
+        self.attribute = attribute
+        self.op = op
+        self.values = list(values)
+
+    def __repr__(self):
+        if self.op == "in":
+            return f"{self.attribute} IN ({', '.join(map(repr, self.values))})"
+        if self.op == "between":
+            return f"{self.attribute} BETWEEN {self.values[0]!r} AND {self.values[1]!r}"
+        return f"{self.attribute} {self.op} {self.values[0]!r}"
+
+
+#: Aggregates supported in the SELECT list.
+AGGREGATES = ("count", "sum", "avg")
+
+
+class CountQuery:
+    """A parsed aggregate query (COUNT(*), SUM(attr), or AVG(attr))."""
+
+    __slots__ = (
+        "table", "group_by", "conditions", "order", "limit",
+        "aggregate", "aggregate_attr",
+    )
+
+    def __init__(
+        self,
+        table: str,
+        group_by: Sequence[str] = (),
+        conditions: Sequence[Condition] = (),
+        order: str | None = None,
+        limit: int | None = None,
+        aggregate: str = "count",
+        aggregate_attr: str | None = None,
+    ):
+        if aggregate not in AGGREGATES:
+            raise QueryError(f"unsupported aggregate {aggregate!r}")
+        if aggregate != "count" and aggregate_attr is None:
+            raise QueryError(f"{aggregate.upper()} needs an attribute")
+        if aggregate != "count" and group_by:
+            raise QueryError(
+                "SUM/AVG with GROUP BY is not supported; group with "
+                "COUNT(*) or aggregate without grouping"
+            )
+        self.aggregate = aggregate
+        self.aggregate_attr = aggregate_attr
+        self.table = table
+        self.group_by = list(group_by)
+        self.conditions = list(conditions)
+        if order is not None and order not in ("asc", "desc"):
+            raise QueryError(f"ORDER BY direction must be ASC or DESC, got {order!r}")
+        if order is not None and not self.group_by:
+            raise QueryError("ORDER BY cnt requires a GROUP BY")
+        if limit is not None and limit < 1:
+            raise QueryError(f"LIMIT must be positive, got {limit}")
+        self.order = order
+        self.limit = limit
+        seen = set()
+        for condition in self.conditions:
+            if condition.attribute in seen:
+                raise QueryError(
+                    f"attribute {condition.attribute!r} is constrained twice; "
+                    "the engine supports one condition per attribute "
+                    "(conjunctions of per-attribute predicates, Eq. 16)"
+                )
+            seen.add(condition.attribute)
+
+    @property
+    def is_grouped(self) -> bool:
+        return bool(self.group_by)
+
+    def __repr__(self):
+        parts = ["SELECT "]
+        if self.group_by:
+            parts.append(", ".join(self.group_by) + ", ")
+        if self.aggregate == "count":
+            parts.append("COUNT(*)")
+        else:
+            parts.append(f"{self.aggregate.upper()}({self.aggregate_attr})")
+        parts.append(f" FROM {self.table}")
+        if self.conditions:
+            parts.append(" WHERE " + " AND ".join(map(repr, self.conditions)))
+        if self.group_by:
+            parts.append(" GROUP BY " + ", ".join(self.group_by))
+        if self.order:
+            parts.append(f" ORDER BY cnt {self.order.upper()}")
+        if self.limit is not None:
+            parts.append(f" LIMIT {self.limit}")
+        return "".join(parts)

@@ -1,0 +1,157 @@
+"""Query execution: one AST, many backends.
+
+A *backend* is anything that can answer conjunctive counting queries —
+the exact relation, a sampler, or an EntropyDB summary.  The engine
+resolves labels, dispatches, and post-processes GROUP BY results
+(ordering, LIMIT), so accuracy experiments run the *same* query text
+against every method.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.data.schema import Schema
+from repro.errors import QueryError
+from repro.query.ast import CountQuery
+from repro.query.linear import conjunction_from_conditions
+from repro.query.parser import parse_query
+from repro.stats.predicates import Conjunction
+
+
+@runtime_checkable
+class CountBackend(Protocol):
+    """Minimal interface the engine executes against."""
+
+    schema: Schema
+
+    def count(self, predicate: Conjunction) -> float:
+        """Estimated/exact ``COUNT(*)`` under a conjunction."""
+        ...
+
+    def group_counts(
+        self, attrs: Sequence[str], predicate: Conjunction | None
+    ) -> dict[tuple, float]:
+        """Counts per combination of group-attribute *labels*."""
+        ...
+
+
+class GroupRow:
+    """One GROUP BY output row."""
+
+    __slots__ = ("labels", "count")
+
+    def __init__(self, labels: tuple, count: float):
+        self.labels = labels
+        self.count = count
+
+    def __iter__(self):
+        yield from self.labels
+        yield self.count
+
+    def __eq__(self, other):
+        if not isinstance(other, GroupRow):
+            return NotImplemented
+        return self.labels == other.labels and self.count == other.count
+
+    def __repr__(self):
+        return f"GroupRow({self.labels!r}, {self.count:g})"
+
+
+class QueryResult:
+    """Result of one execution: a scalar or a list of group rows."""
+
+    __slots__ = ("query", "scalar", "rows")
+
+    def __init__(self, query: CountQuery, scalar: float | None, rows: list[GroupRow] | None):
+        self.query = query
+        self.scalar = scalar
+        self.rows = rows
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.scalar is not None
+
+    def __repr__(self):
+        if self.is_scalar:
+            return f"QueryResult({self.scalar:g})"
+        return f"QueryResult({len(self.rows)} rows)"
+
+
+class SQLEngine:
+    """Executes SQL text / :class:`CountQuery` trees against a backend."""
+
+    def __init__(self, backend: CountBackend, table_name: str = "R"):
+        self.backend = backend
+        self.table_name = table_name
+
+    def execute(self, query: "CountQuery | str") -> QueryResult:
+        """Parse (if needed), validate, and run a query against the backend."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if query.table.lower() != self.table_name.lower():
+            raise QueryError(
+                f"unknown table {query.table!r}; this engine serves "
+                f"{self.table_name!r}"
+            )
+        schema = self.backend.schema
+        for attr in query.group_by:
+            schema.position(attr)  # raises on unknown attributes
+        predicate = (
+            conjunction_from_conditions(schema, query.conditions)
+            if query.conditions
+            else None
+        )
+        if query.aggregate != "count":
+            return QueryResult(query, self._aggregate(query, predicate), None)
+        if not query.is_grouped:
+            conjunction = predicate or Conjunction(schema, {})
+            return QueryResult(query, float(self.backend.count(conjunction)), None)
+        group_conflicts = set(query.group_by) & {
+            condition.attribute for condition in query.conditions
+        }
+        if group_conflicts:
+            raise QueryError(
+                f"attributes {sorted(group_conflicts)} appear in both "
+                "GROUP BY and WHERE; constrain or group, not both"
+            )
+        counts = self.backend.group_counts(query.group_by, predicate)
+        rows = [GroupRow(labels, count) for labels, count in counts.items()]
+        if query.order == "desc":
+            rows.sort(key=lambda row: (-row.count, str(row.labels)))
+        elif query.order == "asc":
+            rows.sort(key=lambda row: (row.count, str(row.labels)))
+        else:
+            rows.sort(key=lambda row: str(row.labels))
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return QueryResult(query, None, rows)
+
+    def _aggregate(self, query: CountQuery, predicate) -> float:
+        """SUM/AVG dispatch: a weighted linear query plus, for AVG, the
+        matching COUNT in the denominator (ratio estimator)."""
+        from repro.query.linear import numeric_weights
+
+        schema = self.backend.schema
+        pos = schema.position(query.aggregate_attr)
+        weights = numeric_weights(schema.domain(pos))
+        sum_method = getattr(self.backend, "sum_values", None)
+        if sum_method is None:
+            raise QueryError(
+                f"backend {self.backend!r} does not support SUM/AVG"
+            )
+        total = float(sum_method(pos, weights, predicate))
+        if query.aggregate == "sum":
+            return total
+        conjunction = predicate or Conjunction(schema, {})
+        count = float(self.backend.count(conjunction))
+        if count <= 0:
+            raise QueryError("AVG undefined: no rows match the predicate")
+        return total / count
+
+    def count(self, sql: str) -> float:
+        """Shortcut: execute and unwrap a scalar count."""
+        result = self.execute(sql)
+        if not result.is_scalar:
+            raise QueryError("query is grouped; use execute()")
+        return result.scalar

@@ -1,0 +1,208 @@
+"""Recursive-descent parser for the SQL subset of :mod:`repro.query.ast`.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT select_list FROM name [where] [group] [order] [limit]
+    select_list:= (name ',')* COUNT '(' '*' ')' [AS name]
+    where      := WHERE condition (AND condition)*
+    condition  := name cmp literal
+                | name IN '(' literal (',' literal)* ')'
+                | name BETWEEN literal AND literal
+    group      := GROUP BY name (',' name)*
+    order      := ORDER BY name (ASC|DESC)?
+    limit      := LIMIT int
+    literal    := number | 'string' | "string"
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QueryError
+from repro.query.ast import COMPARISONS, Condition, CountQuery
+
+_TOKEN = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<string>'(?:[^']|'')*'|"(?:[^"]|"")*")
+      | (?P<op><=|>=|!=|<>|=|<|>)
+      | (?P<punct>[(),*])
+      | (?P<word>[A-Za-z_][A-Za-z0-9_.]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "in", "between", "group", "by",
+    "order", "limit", "count", "sum", "avg", "as", "asc", "desc",
+}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.tokens: list[tuple[str, object]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN.match(text, pos)
+            if match is None:
+                if text[pos:].strip() == ";":
+                    break
+                raise QueryError(f"cannot tokenize query at: {text[pos:pos+20]!r}")
+            pos = match.end()
+            if match.lastgroup == "number":
+                raw = match.group("number")
+                value = float(raw) if "." in raw else int(raw)
+                self.tokens.append(("literal", value))
+            elif match.lastgroup == "string":
+                raw = match.group("string")
+                quote = raw[0]
+                value = raw[1:-1].replace(quote * 2, quote)
+                self.tokens.append(("literal", value))
+            elif match.lastgroup == "op":
+                op = match.group("op")
+                self.tokens.append(("op", "!=" if op == "<>" else op))
+            elif match.lastgroup == "punct":
+                self.tokens.append(("punct", match.group("punct")))
+            else:
+                word = match.group("word")
+                lowered = word.lower()
+                if lowered in _KEYWORDS:
+                    self.tokens.append(("keyword", lowered))
+                else:
+                    self.tokens.append(("name", word))
+        self.index = 0
+
+    def peek(self):
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return ("eof", None)
+
+    def next(self):
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            want = value if value is not None else kind
+            raise QueryError(f"expected {want!r}, found {token[1]!r}")
+        return token[1]
+
+    def accept(self, kind, value=None) -> bool:
+        token = self.peek()
+        if token[0] == kind and (value is None or token[1] == value):
+            self.index += 1
+            return True
+        return False
+
+
+def parse_query(text: str) -> CountQuery:
+    """Parse one SQL counting query into a :class:`CountQuery`."""
+    tokens = _Tokens(text)
+    tokens.expect("keyword", "select")
+    group_select, aggregate, aggregate_attr = _parse_select_list(tokens)
+    tokens.expect("keyword", "from")
+    table = tokens.expect("name")
+    conditions = []
+    if tokens.accept("keyword", "where"):
+        conditions.append(_parse_condition(tokens))
+        while tokens.accept("keyword", "and"):
+            conditions.append(_parse_condition(tokens))
+    group_by: list[str] = []
+    if tokens.accept("keyword", "group"):
+        tokens.expect("keyword", "by")
+        group_by.append(tokens.expect("name"))
+        while tokens.accept("punct", ","):
+            group_by.append(tokens.expect("name"))
+    order = None
+    if tokens.accept("keyword", "order"):
+        tokens.expect("keyword", "by")
+        tokens.expect("name")  # the count alias; any name accepted
+        if tokens.accept("keyword", "desc"):
+            order = "desc"
+        elif tokens.accept("keyword", "asc"):
+            order = "asc"
+        else:
+            order = "asc"
+    limit = None
+    if tokens.accept("keyword", "limit"):
+        kind, value = tokens.next()
+        if kind != "literal" or not isinstance(value, int):
+            raise QueryError("LIMIT needs an integer")
+        limit = value
+    if tokens.peek()[0] != "eof":
+        raise QueryError(f"unexpected trailing token {tokens.peek()[1]!r}")
+    if group_select and group_by and set(group_select) != set(group_by):
+        raise QueryError(
+            "selected attributes must match the GROUP BY list; got "
+            f"{group_select} vs {group_by}"
+        )
+    if group_select and not group_by:
+        group_by = group_select
+    return CountQuery(
+        table,
+        group_by=group_by,
+        conditions=conditions,
+        order=order,
+        limit=limit,
+        aggregate=aggregate,
+        aggregate_attr=aggregate_attr,
+    )
+
+
+def _parse_select_list(tokens: _Tokens) -> tuple[list[str], str, str | None]:
+    """Group attributes plus the aggregate: COUNT(*) | SUM(a) | AVG(a)."""
+    names: list[str] = []
+    while True:
+        if tokens.accept("keyword", "count"):
+            tokens.expect("punct", "(")
+            tokens.expect("punct", "*")
+            tokens.expect("punct", ")")
+            if tokens.accept("keyword", "as"):
+                tokens.expect("name")
+            return names, "count", None
+        for aggregate in ("sum", "avg"):
+            if tokens.accept("keyword", aggregate):
+                tokens.expect("punct", "(")
+                attr = tokens.expect("name")
+                tokens.expect("punct", ")")
+                if tokens.accept("keyword", "as"):
+                    tokens.expect("name")
+                return names, aggregate, attr
+        names.append(tokens.expect("name"))
+        tokens.expect("punct", ",")
+
+
+def _parse_condition(tokens: _Tokens) -> Condition:
+    attribute = tokens.expect("name")
+    kind, value = tokens.next()
+    if kind == "op":
+        if value not in COMPARISONS:
+            raise QueryError(f"unsupported comparison {value!r}")
+        literal_kind, literal = tokens.next()
+        if literal_kind != "literal":
+            raise QueryError(f"expected a literal after {value!r}")
+        return Condition(attribute, value, [literal])
+    if kind == "keyword" and value == "in":
+        tokens.expect("punct", "(")
+        literals = []
+        while True:
+            literal_kind, literal = tokens.next()
+            if literal_kind != "literal":
+                raise QueryError("IN list entries must be literals")
+            literals.append(literal)
+            if tokens.accept("punct", ")"):
+                break
+            tokens.expect("punct", ",")
+        return Condition(attribute, "in", literals)
+    if kind == "keyword" and value == "between":
+        low_kind, low = tokens.next()
+        tokens.expect("keyword", "and")
+        high_kind, high = tokens.next()
+        if low_kind != "literal" or high_kind != "literal":
+            raise QueryError("BETWEEN bounds must be literals")
+        return Condition(attribute, "between", [low, high])
+    raise QueryError(f"expected a condition operator, found {value!r}")

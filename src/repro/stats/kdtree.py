@@ -1,0 +1,187 @@
+"""COMPOSITE statistic selection: a modified KD-tree (Sec 4.3, Fig 2a).
+
+The method partitions the 2D value grid ``D_a × D_b`` into ``Bs``
+disjoint rectangles.  Unlike a traditional KD-tree, which splits on the
+median, each split picks the position that minimizes the *sum of
+squared deviations from the per-side mean* ("lowest sum squared average
+value difference"), so the tree tracks the true cell counts as closely
+as possible.  Split dimensions alternate with depth, falling back to
+the other dimension when the preferred one has width 1.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.errors import BudgetError
+
+
+class KDRectangle:
+    """A leaf rectangle ``[a_lo, a_hi] × [b_lo, b_hi]`` (inclusive)."""
+
+    __slots__ = ("a_lo", "a_hi", "b_lo", "b_hi", "depth", "count", "sse")
+
+    def __init__(self, a_lo, a_hi, b_lo, b_hi, depth, count, sse):
+        self.a_lo = a_lo
+        self.a_hi = a_hi
+        self.b_lo = b_lo
+        self.b_hi = b_hi
+        self.depth = depth
+        self.count = count
+        self.sse = sse
+
+    @property
+    def ranges(self) -> tuple[tuple[int, int], tuple[int, int]]:
+        return (self.a_lo, self.a_hi), (self.b_lo, self.b_hi)
+
+    def num_cells(self) -> int:
+        return (self.a_hi - self.a_lo + 1) * (self.b_hi - self.b_lo + 1)
+
+    def __repr__(self):
+        return (
+            f"KDRectangle([{self.a_lo},{self.a_hi}]x[{self.b_lo},{self.b_hi}], "
+            f"count={self.count:g})"
+        )
+
+
+def region_sse(region: np.ndarray) -> float:
+    """Sum of squared deviations of cell counts from the region mean."""
+    if region.size == 0:
+        return 0.0
+    flat = region.astype(float).ravel()
+    mean = flat.mean()
+    return float(((flat - mean) ** 2).sum())
+
+
+def best_split(region: np.ndarray, axis: int) -> tuple[int, float] | None:
+    """Best split position along ``axis`` for a count matrix.
+
+    Returns ``(offset, combined_sse)`` where the left part covers
+    ``[0..offset]`` along the axis, or ``None`` when the axis has width
+    1.  The combined SSE is the sum of the two halves' SSEs — the
+    quantity the paper's modified KD-tree minimizes.
+    """
+    if axis == 1:
+        region = region.T
+    width = region.shape[0]
+    if width < 2:
+        return None
+    flat = region.astype(float)
+    # Row aggregates let us evaluate every split in O(width) after an
+    # O(cells) prefix pass.
+    row_sum = flat.sum(axis=1)
+    row_sq = (flat * flat).sum(axis=1)
+    row_cells = flat.shape[1]
+    prefix_sum = np.cumsum(row_sum)
+    prefix_sq = np.cumsum(row_sq)
+    total_sum = prefix_sum[-1]
+    total_sq = prefix_sq[-1]
+    offsets = np.arange(width - 1)
+    left_cells = (offsets + 1) * row_cells
+    right_cells = (width - offsets - 1) * row_cells
+    left_sum = prefix_sum[offsets]
+    right_sum = total_sum - left_sum
+    left_sq = prefix_sq[offsets]
+    right_sq = total_sq - left_sq
+    # SSE = Σx² − (Σx)²/cells for each side.
+    sse = (
+        left_sq
+        - left_sum * left_sum / left_cells
+        + right_sq
+        - right_sum * right_sum / right_cells
+    )
+    best = int(np.argmin(sse))
+    return best, float(sse[best])
+
+
+def composite_rectangles(
+    counts: np.ndarray, budget: int
+) -> list[KDRectangle]:
+    """Partition a 2D count grid into at most ``budget`` rectangles.
+
+    Splitting is greedy: the leaf with the largest internal SSE is
+    refined first, so the budget concentrates where the uniformity
+    assumption is most wrong.  Returns the final leaves.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 2:
+        raise BudgetError("composite selection needs a 2D count grid")
+    if budget < 1:
+        raise BudgetError(f"budget must be >= 1, got {budget}")
+
+    root = KDRectangle(
+        0,
+        counts.shape[0] - 1,
+        0,
+        counts.shape[1] - 1,
+        depth=0,
+        count=float(counts.sum()),
+        sse=region_sse(counts),
+    )
+    # Heap orders leaves by -SSE; tie-break by an insertion counter so
+    # the heap never compares KDRectangle objects.
+    counter = itertools.count()
+    heap: list[tuple[float, int, KDRectangle]] = [(-root.sse, next(counter), root)]
+    leaves: list[KDRectangle] = []
+
+    while heap and len(heap) + len(leaves) < budget:
+        neg_sse, _, leaf = heapq.heappop(heap)
+        if -neg_sse <= 0.0:
+            # Perfectly uniform region — nothing to gain by splitting.
+            leaves.append(leaf)
+            continue
+        region = counts[leaf.a_lo : leaf.a_hi + 1, leaf.b_lo : leaf.b_hi + 1]
+        children = _split_leaf(leaf, region)
+        if children is None:
+            leaves.append(leaf)
+            continue
+        for child in children:
+            heapq.heappush(heap, (-child.sse, next(counter), child))
+
+    leaves.extend(leaf for _, _, leaf in heap)
+    return leaves
+
+
+def _split_leaf(leaf: KDRectangle, region: np.ndarray):
+    """Split one leaf along its preferred (alternating) axis, falling
+    back to the other axis; ``None`` when the leaf is a single cell."""
+    preferred = leaf.depth % 2
+    for axis in (preferred, 1 - preferred):
+        result = best_split(region, axis)
+        if result is None:
+            continue
+        offset, _ = result
+        if axis == 0:
+            cut = leaf.a_lo + offset
+            bounds = [
+                (leaf.a_lo, cut, leaf.b_lo, leaf.b_hi),
+                (cut + 1, leaf.a_hi, leaf.b_lo, leaf.b_hi),
+            ]
+        else:
+            cut = leaf.b_lo + offset
+            bounds = [
+                (leaf.a_lo, leaf.a_hi, leaf.b_lo, cut),
+                (leaf.a_lo, leaf.a_hi, cut + 1, leaf.b_hi),
+            ]
+        children = []
+        for a_lo, a_hi, b_lo, b_hi in bounds:
+            sub = region[
+                a_lo - leaf.a_lo : a_hi - leaf.a_lo + 1,
+                b_lo - leaf.b_lo : b_hi - leaf.b_lo + 1,
+            ]
+            children.append(
+                KDRectangle(
+                    a_lo,
+                    a_hi,
+                    b_lo,
+                    b_hi,
+                    depth=leaf.depth + 1,
+                    count=float(sub.sum()),
+                    sse=region_sse(sub),
+                )
+            )
+        return children
+    return None

@@ -1,0 +1,51 @@
+"""Complete 1D statistics (Sec 3.1).
+
+For every attribute ``A_i`` and every value ``v`` in its active domain,
+Φ contains one point statistic ``A_i = v`` whose value is the marginal
+count.  Overcompleteness — the per-attribute statistics summing to
+``n`` — is what lets the polynomial be written as ``Σ_{j∈J_i} α_j P_j``
+(Eq. 7) and drives both the compression and the optimized query
+answering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import StatisticError
+from repro.stats.statistic import Statistic, point_statistic
+
+
+def one_dim_counts(relation: Relation) -> list[np.ndarray]:
+    """Marginal counts per attribute — the 1D statistic values."""
+    return [
+        relation.marginal(pos)
+        for pos in range(relation.schema.num_attributes)
+    ]
+
+
+def one_dim_statistics(relation: Relation) -> list[Statistic]:
+    """The complete 1D statistics as explicit :class:`Statistic`
+    objects (one per attribute value), in (attribute, value) order."""
+    statistics = []
+    for pos in range(relation.schema.num_attributes):
+        marginal = relation.marginal(pos)
+        for index, count in enumerate(marginal.tolist()):
+            statistics.append(
+                point_statistic(relation.schema, pos, index, float(count))
+            )
+    return statistics
+
+
+def check_overcomplete(schema: Schema, one_dim, total: int) -> None:
+    """Validate the overcompleteness invariant ``Σ_{j∈J_i} s_j = n``
+    for every attribute."""
+    for pos, counts in enumerate(one_dim):
+        observed = float(np.asarray(counts, dtype=float).sum())
+        if abs(observed - total) > 1e-6 * max(total, 1):
+            raise StatisticError(
+                f"attribute {schema.attribute_names[pos]!r}: 1D statistics "
+                f"sum to {observed:g}, expected {total}"
+            )

@@ -1,0 +1,19 @@
+"""Workload builders: heavy hitters, light hitters, nonexistent values."""
+
+from repro.workloads.selection_queries import (
+    PointQuery,
+    Workload,
+    heavy_hitters,
+    light_hitters,
+    nonexistent_values,
+    standard_workloads,
+)
+
+__all__ = [
+    "PointQuery",
+    "Workload",
+    "heavy_hitters",
+    "light_hitters",
+    "nonexistent_values",
+    "standard_workloads",
+]

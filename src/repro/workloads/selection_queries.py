@@ -1,0 +1,179 @@
+"""Workload builders for the accuracy experiments (Sec 6.2).
+
+The paper's query template is::
+
+    SELECT A1, ..., Am, COUNT(*) FROM R
+    WHERE A1 = 'v1' AND ... AND Am = 'vm'
+
+evaluated on three value populations over the chosen attributes:
+
+* **heavy hitters** — the combinations with the largest true counts,
+* **light hitters** — the smallest *non-zero* counts,
+* **nonexistent / null values** — combinations with true count 0.
+
+This module extracts those populations from the ground-truth data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.errors import ReproError
+from repro.stats.predicates import Conjunction, RangePredicate
+
+
+class PointQuery:
+    """One workload item: a point predicate and its true count."""
+
+    __slots__ = ("attrs", "indices", "labels", "true_count")
+
+    def __init__(self, attrs, indices, labels, true_count):
+        self.attrs = attrs
+        self.indices = indices
+        self.labels = labels
+        self.true_count = true_count
+
+    def conjunction(self, schema) -> Conjunction:
+        return Conjunction(
+            schema,
+            {
+                attr: RangePredicate.point(index)
+                for attr, index in zip(self.attrs, self.indices)
+            },
+        )
+
+    def __repr__(self):
+        pairs = ", ".join(
+            f"{attr}={label!r}" for attr, label in zip(self.attrs, self.labels)
+        )
+        return f"PointQuery({pairs}; true={self.true_count:g})"
+
+
+class Workload:
+    """A named list of point queries over fixed attributes."""
+
+    def __init__(self, kind: str, attrs: Sequence[str], queries: list[PointQuery]):
+        self.kind = kind
+        self.attrs = list(attrs)
+        self.queries = queries
+
+    def __len__(self):
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __repr__(self):
+        return f"Workload({self.kind!r}, attrs={self.attrs}, n={len(self.queries)})"
+
+
+def _sorted_groups(relation: Relation, attrs: Sequence) -> list[tuple[tuple, int]]:
+    """Existing value combinations with counts, largest first; ties are
+    broken by key so workloads are deterministic."""
+    counts = relation.group_by_counts(attrs)
+    return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+
+
+def _to_queries(relation, attrs, items) -> list[PointQuery]:
+    schema = relation.schema
+    positions = [schema.position(attr) for attr in attrs]
+    domains = [schema.domain(pos) for pos in positions]
+    queries = []
+    for indices, count in items:
+        labels = tuple(
+            domain.label_of(index) for domain, index in zip(domains, indices)
+        )
+        queries.append(PointQuery(positions, tuple(indices), labels, float(count)))
+    return queries
+
+
+def heavy_hitters(relation: Relation, attrs: Sequence, count: int) -> Workload:
+    """The ``count`` most frequent value combinations."""
+    groups = _sorted_groups(relation, attrs)
+    return Workload("heavy", attrs, _to_queries(relation, attrs, groups[:count]))
+
+
+def light_hitters(relation: Relation, attrs: Sequence, count: int) -> Workload:
+    """The ``count`` least frequent combinations with non-zero count."""
+    groups = [item for item in _sorted_groups(relation, attrs) if item[1] > 0]
+    picked = groups[-count:] if count < len(groups) else groups
+    return Workload("light", attrs, _to_queries(relation, attrs, picked))
+
+
+def nonexistent_values(
+    relation: Relation,
+    attrs: Sequence,
+    count: int,
+    seed: int = 0,
+    allow_fewer: bool = False,
+) -> Workload:
+    """``count`` random value combinations with true count 0.
+
+    Raises :class:`ReproError` when the cross product has fewer than
+    ``count`` empty cells, unless ``allow_fewer`` is set (then all
+    available empty cells are returned — dense templates like
+    (origin, dest) can have nearly full coverage).
+    """
+    schema = relation.schema
+    positions = [schema.position(attr) for attr in attrs]
+    sizes = [schema.domain(pos).size for pos in positions]
+    total_cells = int(np.prod(sizes))
+    existing = set(relation.group_by_counts(positions))
+    num_empty = total_cells - len(existing)
+    if num_empty < count:
+        if not allow_fewer:
+            raise ReproError(
+                f"only {num_empty} empty cells exist over {attrs}; cannot "
+                f"pick {count}"
+            )
+        count = num_empty
+    if count == 0:
+        return Workload("null", attrs, [])
+    rng = np.random.default_rng(seed)
+    chosen: list[tuple] = []
+    seen: set[tuple] = set()
+    # Rejection-sample when emptiness is abundant; otherwise enumerate.
+    if num_empty >= 4 * count:
+        while len(chosen) < count:
+            candidate = tuple(int(rng.integers(0, size)) for size in sizes)
+            if candidate in existing or candidate in seen:
+                continue
+            seen.add(candidate)
+            chosen.append(candidate)
+    else:
+        empties = [
+            _unflatten(flat, sizes)
+            for flat in range(total_cells)
+            if _unflatten(flat, sizes) not in existing
+        ]
+        picks = rng.choice(len(empties), size=count, replace=False)
+        chosen = [empties[pick] for pick in picks.tolist()]
+    items = [(indices, 0) for indices in chosen]
+    return Workload("null", attrs, _to_queries(relation, attrs, items))
+
+
+def _unflatten(flat: int, sizes) -> tuple:
+    out = []
+    for size in reversed(sizes):
+        out.append(flat % size)
+        flat //= size
+    return tuple(reversed(out))
+
+
+def standard_workloads(
+    relation: Relation,
+    attrs: Sequence,
+    num_heavy: int = 100,
+    num_light: int = 100,
+    num_null: int = 200,
+    seed: int = 0,
+) -> dict[str, Workload]:
+    """The paper's standard split: 100 heavy + 100 light + 200 null."""
+    return {
+        "heavy": heavy_hitters(relation, attrs, num_heavy),
+        "light": light_hitters(relation, attrs, num_light),
+        "null": nonexistent_values(relation, attrs, num_null, seed=seed),
+    }

@@ -1,0 +1,119 @@
+"""Unit tests for repro.data.binning."""
+
+import numpy as np
+import pytest
+
+from repro.data.binning import Bucket, EquiWidthBinner, TopKGroupBinner
+from repro.errors import DomainError
+
+
+class TestBucket:
+    def test_membership_half_open(self):
+        bucket = Bucket(0.0, 10.0)
+        assert 0.0 in bucket
+        assert 9.999 in bucket
+        assert 10.0 not in bucket
+
+    def test_membership_closed_right(self):
+        bucket = Bucket(0.0, 10.0, closed_right=True)
+        assert 10.0 in bucket
+
+    def test_midpoint(self):
+        assert Bucket(2.0, 4.0).midpoint == 3.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(DomainError):
+            Bucket(5.0, 5.0)
+
+    def test_equality(self):
+        assert Bucket(0, 1) == Bucket(0, 1)
+        assert Bucket(0, 1) != Bucket(0, 1, closed_right=True)
+
+
+class TestEquiWidthBinner:
+    def test_bucket_count_and_domain(self):
+        binner = EquiWidthBinner("x", 0.0, 100.0, 10)
+        assert binner.domain.size == 10
+        assert binner.domain.name == "x"
+
+    def test_bin_values_uniform_widths(self):
+        binner = EquiWidthBinner("x", 0.0, 100.0, 10)
+        values = np.array([0.0, 5.0, 10.0, 95.0, 100.0])
+        assert binner.bin_values(values).tolist() == [0, 0, 1, 9, 9]
+
+    def test_max_value_in_last_bucket(self):
+        binner = EquiWidthBinner("x", 0.0, 7.0, 3)
+        assert binner.bucket_of(7.0) == 2
+
+    def test_out_of_range_raises(self):
+        binner = EquiWidthBinner("x", 0.0, 10.0, 5)
+        with pytest.raises(DomainError, match="outside the binned range"):
+            binner.bin_values(np.array([11.0]))
+        with pytest.raises(DomainError):
+            binner.bin_values(np.array([-0.1]))
+
+    def test_round_trip_bucket_contains_value(self):
+        binner = EquiWidthBinner("x", 0.0, 13.0, 7)
+        for value in [0.0, 1.3, 6.5, 12.99, 13.0]:
+            index = binner.bucket_of(value)
+            assert value in binner.domain.label_of(index)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DomainError):
+            EquiWidthBinner("x", 0.0, 10.0, 0)
+        with pytest.raises(DomainError):
+            EquiWidthBinner("x", 10.0, 10.0, 3)
+
+    def test_empty_input(self):
+        binner = EquiWidthBinner("x", 0.0, 10.0, 5)
+        assert binner.bin_values(np.array([])).size == 0
+
+
+class TestTopKGroupBinner:
+    def _make(self):
+        groups = ["WA"] * 6 + ["CA"] * 4 + ["VT"]
+        values = (
+            ["Seattle", "Seattle", "Seattle", "Spokane", "Spokane", "Tacoma"]
+            + ["LA", "LA", "SF", "Fresno"]
+            + ["Burlington"]
+        )
+        return TopKGroupBinner("city", groups, values, k=2), groups, values
+
+    def test_top_values_kept(self):
+        binner, _, _ = self._make()
+        assert binner.bin_pair("WA", "Seattle") == ("WA", "Seattle")
+        assert binner.bin_pair("WA", "Spokane") == ("WA", "Spokane")
+
+    def test_rare_values_folded(self):
+        binner, _, _ = self._make()
+        assert binner.bin_pair("WA", "Tacoma") == ("WA", "Other")
+
+    def test_domain_size(self):
+        binner, _, _ = self._make()
+        # WA: 2 kept + Other; CA: 2 kept + Other; VT: 1 kept + Other.
+        assert binner.domain.size == 3 + 3 + 2
+
+    def test_single_value_group(self):
+        binner, _, _ = self._make()
+        assert binner.bin_pair("VT", "Burlington") == ("VT", "Burlington")
+        assert binner.bin_pair("VT", "Montpelier") == ("VT", "Other")
+
+    def test_bin_rows(self):
+        binner, groups, values = self._make()
+        indices = binner.bin_rows(groups, values)
+        assert indices.shape == (len(groups),)
+        assert indices.min() >= 0
+        assert indices.max() < binner.domain.size
+
+    def test_unknown_group_raises(self):
+        binner, _, _ = self._make()
+        with pytest.raises(DomainError, match="unknown group"):
+            binner.bin_pair("TX", "Austin")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DomainError, match="equal length"):
+            TopKGroupBinner("city", ["WA"], [])
+
+    def test_invalid_k(self):
+        with pytest.raises(DomainError):
+            TopKGroupBinner("city", ["WA"], ["Seattle"], k=0)

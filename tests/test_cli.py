@@ -1,0 +1,171 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_pairs, main
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def data_prefix(tmp_path, capsys):
+    prefix = tmp_path / "flights"
+    code = main(
+        ["generate", "flights", "--rows", "3000", "--seed", "3",
+         "--out", str(prefix)]
+    )
+    assert code == 0
+    capsys.readouterr()
+    return prefix
+
+
+@pytest.fixture
+def model_prefix(data_prefix, tmp_path, capsys):
+    prefix = tmp_path / "model"
+    code = main(
+        [
+            "build",
+            "--data", str(data_prefix),
+            "--pairs", "fl_time:distance",
+            "--budget", "20",
+            "--iterations", "5",
+            "--out", str(prefix),
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    return prefix
+
+
+class TestArgParser:
+    def test_all_experiment_names_accepted(self):
+        from repro.cli import build_arg_parser
+
+        parser = build_arg_parser()
+        for name in (
+            "fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
+            "compression", "latency", "solver", "variance", "strategy",
+        ):
+            args = parser.parse_args(["experiment", name])
+            assert args.name == name
+            assert args.scale is None
+
+    def test_scale_flag(self):
+        from repro.cli import build_arg_parser
+
+        args = build_arg_parser().parse_args(
+            ["experiment", "fig3", "--scale", "small"]
+        )
+        assert args.scale == "small"
+
+    def test_unknown_experiment_rejected(self):
+        from repro.cli import build_arg_parser
+
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["experiment", "fig9"])
+
+    def test_command_required(self):
+        from repro.cli import build_arg_parser
+
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args([])
+
+
+class TestParsePairs:
+    def test_empty(self):
+        assert _parse_pairs("") == []
+
+    def test_multiple(self):
+        assert _parse_pairs("a:b, c:d") == [("a", "b"), ("c", "d")]
+
+    def test_malformed(self):
+        with pytest.raises(ReproError, match="attrA:attrB"):
+            _parse_pairs("ab")
+
+
+class TestGenerate:
+    def test_writes_files(self, data_prefix):
+        assert data_prefix.with_suffix(".schema.json").exists()
+        assert data_prefix.with_suffix(".columns.npz").exists()
+
+    def test_round_trip(self, data_prefix):
+        from repro.data.serialize import load_relation
+
+        relation = load_relation(data_prefix)
+        assert relation.num_rows == 3000
+        assert relation.schema.sizes() == [307, 54, 54, 62, 81]
+
+    def test_particles(self, tmp_path, capsys):
+        prefix = tmp_path / "particles"
+        assert main(
+            ["generate", "particles", "--rows", "500", "--out", str(prefix)]
+        ) == 0
+        from repro.data.serialize import load_relation
+
+        relation = load_relation(prefix)
+        assert relation.num_rows == 1500  # 3 snapshots
+
+
+class TestBuildAndQuery:
+    def test_build_writes_model(self, model_prefix):
+        assert model_prefix.with_suffix(".json").exists()
+        assert model_prefix.with_suffix(".npz").exists()
+
+    def test_scalar_query(self, model_prefix, capsys):
+        code = main(
+            [
+                "query",
+                "--model", str(model_prefix),
+                "--sql", "SELECT COUNT(*) FROM R WHERE origin_state = 'CA'",
+            ]
+        )
+        assert code == 0
+        value = float(capsys.readouterr().out.strip())
+        assert value >= 0.0
+
+    def test_group_query(self, model_prefix, capsys):
+        code = main(
+            [
+                "query",
+                "--model", str(model_prefix),
+                "--sql",
+                "SELECT origin_state, COUNT(*) AS cnt FROM R "
+                "GROUP BY origin_state ORDER BY cnt DESC LIMIT 3",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        counts = [float(line.rsplit("\t", 1)[1]) for line in lines]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_rounded_query(self, model_prefix, capsys):
+        code = main(
+            [
+                "query", "--rounded",
+                "--model", str(model_prefix),
+                "--sql",
+                "SELECT COUNT(*) FROM R WHERE origin_state = 'CA' "
+                "AND dest_state = 'NY' AND fl_date = 5",
+            ]
+        )
+        assert code == 0
+        value = float(capsys.readouterr().out.strip())
+        assert value == int(value)
+
+    def test_info(self, model_prefix, capsys):
+        assert main(["info", "--model", str(model_prefix)]) == 0
+        out = capsys.readouterr().out
+        assert "statistics" in out
+        assert "polynomial" in out
+
+    def test_bad_pair_spec_reports_error(self, data_prefix, tmp_path, capsys):
+        code = main(
+            [
+                "build",
+                "--data", str(data_prefix),
+                "--pairs", "nonsense",
+                "--out", str(tmp_path / "x"),
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,108 @@
+"""Unit tests for repro.stats.correlation."""
+
+import numpy as np
+import pytest
+
+from repro.data.domain import integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.stats.correlation import (
+    chi_squared,
+    cramers_v,
+    is_nearly_uniform_pair,
+    pair_correlations,
+)
+
+
+class TestChiSquared:
+    def test_independent_table_is_zero(self):
+        # Perfectly proportional rows -> expected == observed.
+        table = np.array([[10, 20], [20, 40]])
+        assert chi_squared(table) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        table = np.array([[10, 0], [0, 10]])
+        # chi2 = n for a perfect 2x2 association.
+        assert chi_squared(table) == pytest.approx(20.0)
+
+    def test_empty_table(self):
+        assert chi_squared(np.zeros((3, 3))) == 0.0
+
+    def test_empty_rows_ignored(self):
+        table = np.array([[10, 0], [0, 10], [0, 0]])
+        assert chi_squared(table) == pytest.approx(20.0)
+
+
+class TestCramersV:
+    def test_perfect_association(self):
+        table = np.diag([50, 50, 50])
+        assert cramers_v(table, bias_corrected=False) == pytest.approx(1.0)
+
+    def test_independence_raw(self):
+        table = np.outer([30, 70], [40, 60])
+        assert cramers_v(table, bias_corrected=False) == pytest.approx(0.0)
+
+    def test_bias_correction_kills_noise(self, rng):
+        # Independent uniform draws over a wide table: raw V is inflated
+        # by chance, corrected V should be near zero.
+        rows = rng.integers(0, 50, size=2000)
+        cols = rng.integers(0, 30, size=2000)
+        table = np.zeros((50, 30))
+        np.add.at(table, (rows, cols), 1)
+        raw = cramers_v(table, bias_corrected=False)
+        corrected = cramers_v(table)
+        assert corrected < raw
+        assert corrected < 0.05
+
+    def test_range(self, rng):
+        table = rng.integers(0, 20, size=(6, 7)).astype(float)
+        value = cramers_v(table)
+        assert 0.0 <= value <= 1.0
+
+    def test_degenerate_single_row(self):
+        assert cramers_v(np.array([[5, 5, 5]])) == 0.0
+
+    def test_empty(self):
+        assert cramers_v(np.zeros((2, 2))) == 0.0
+
+
+class TestPairCorrelations:
+    def _correlated_relation(self):
+        schema = Schema(
+            [integer_domain("x", 4), integer_domain("y", 4), integer_domain("z", 4)]
+        )
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 4, 3000)
+        y = x.copy()  # y perfectly tracks x
+        z = rng.integers(0, 4, 3000)  # independent
+        return Relation(schema, [x, y, z])
+
+    def test_ranking(self):
+        relation = self._correlated_relation()
+        ranked = pair_correlations(relation)
+        assert ranked[0][0] == (0, 1)
+        assert ranked[0][1] > 0.9
+        assert all(score < 0.1 for pair, score in ranked[1:])
+
+    def test_subset_restriction(self):
+        relation = self._correlated_relation()
+        ranked = pair_correlations(relation, attrs=["x", "z"])
+        assert [pair for pair, _ in ranked] == [(0, 2)]
+
+    def test_sorted_descending(self):
+        relation = self._correlated_relation()
+        scores = [score for _, score in pair_correlations(relation)]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestUniformPair:
+    def test_uniform_detected(self, rng):
+        rows = rng.integers(0, 10, size=5000)
+        cols = rng.integers(0, 10, size=5000)
+        table = np.zeros((10, 10))
+        np.add.at(table, (rows, cols), 1)
+        assert is_nearly_uniform_pair(table)
+
+    def test_correlated_not_uniform(self):
+        table = np.diag([100] * 5).astype(float)
+        assert not is_nearly_uniform_pair(table)

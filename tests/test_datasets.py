@@ -1,0 +1,162 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.flights import (
+    NUM_DATES,
+    STATE_CODES,
+    FlightsDataset,
+    flights_restricted,
+    generate_flights,
+)
+from repro.datasets.particles import generate_particles
+from repro.errors import ReproError
+from repro.stats.correlation import cramers_v, pair_correlations
+
+
+@pytest.fixture(scope="module")
+def flights():
+    return generate_flights(num_rows=30_000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def particles():
+    return generate_particles(rows_per_snapshot=10_000, seed=11)
+
+
+class TestFlightsStructure:
+    def test_domain_sizes_match_fig3(self, flights):
+        assert flights.coarse.schema.sizes() == [307, 54, 54, 62, 81]
+        assert flights.fine.schema.sizes() == [307, 147, 147, 62, 81]
+
+    def test_row_counts(self, flights):
+        assert flights.coarse.num_rows == 30_000
+        assert flights.fine.num_rows == 30_000
+
+    def test_state_codes(self):
+        assert len(STATE_CODES) == 54
+        assert len(set(STATE_CODES)) == 54
+
+    def test_deterministic(self):
+        first = generate_flights(num_rows=1000, seed=3)
+        second = generate_flights(num_rows=1000, seed=3)
+        assert np.array_equal(
+            first.coarse.column("distance"), second.coarse.column("distance")
+        )
+
+    def test_seed_changes_data(self):
+        first = generate_flights(num_rows=1000, seed=3)
+        second = generate_flights(num_rows=1000, seed=4)
+        assert not np.array_equal(
+            first.coarse.column("origin_state"), second.coarse.column("origin_state")
+        )
+
+    def test_invalid_rows(self):
+        with pytest.raises(ReproError):
+            generate_flights(num_rows=0)
+
+    def test_no_self_loops(self, flights):
+        origin = flights.coarse.column("origin_state")
+        dest = flights.coarse.column("dest_state")
+        assert (origin != dest).all()
+
+    def test_fine_consistent_with_coarse(self, flights):
+        # The fine city labels carry their state as the group.
+        fine_domain = flights.fine.schema.domain("origin_city")
+        coarse = flights.coarse.column("origin_state")
+        fine = flights.fine.column("origin_city")
+        for row in range(0, 2000, 97):
+            state_label = STATE_CODES[coarse[row]]
+            city_label = fine_domain.label_of(int(fine[row]))
+            assert city_label[0] == state_label
+
+
+class TestFlightsCorrelations:
+    def test_pair_ranking_matches_paper(self, flights):
+        ranked = pair_correlations(flights.coarse)
+        names = flights.coarse.schema.attribute_names
+        top = {tuple(sorted((names[a], names[b]))) for (a, b), _ in ranked[:4]}
+        assert top == {
+            ("distance", "fl_time"),
+            ("distance", "origin_state"),
+            ("dest_state", "distance"),
+            ("dest_state", "origin_state"),
+        }
+
+    def test_time_distance_strongest(self, flights):
+        ranked = pair_correlations(flights.coarse)
+        names = flights.coarse.schema.attribute_names
+        (a, b), score = ranked[0]
+        assert {names[a], names[b]} == {"fl_time", "distance"}
+        assert score > 0.25
+
+    def test_date_is_uniform(self, flights):
+        relation = flights.coarse
+        for other in ("origin_state", "dest_state", "fl_time", "distance"):
+            table = relation.contingency("fl_date", other)
+            assert cramers_v(table) < 0.05
+
+    def test_route_popularity_is_skewed(self, flights):
+        counts = sorted(
+            flights.coarse.group_by_counts(
+                ["origin_state", "dest_state"]
+            ).values(),
+            reverse=True,
+        )
+        top_share = sum(counts[:50]) / sum(counts)
+        assert top_share > 0.4  # heavy hitters carry a large share
+
+    def test_empty_cells_exist(self, flights):
+        table = flights.coarse.contingency("fl_time", "distance")
+        assert (table == 0).sum() > 100
+
+
+class TestRestricted:
+    def test_projection(self, flights):
+        restricted = flights_restricted(flights)
+        assert restricted.schema.attribute_names == [
+            "fl_date", "fl_time", "distance",
+        ]
+        assert restricted.num_rows == flights.coarse.num_rows
+
+
+class TestParticles:
+    def test_domain_sizes_match_fig3(self, particles):
+        assert particles.relation.schema.sizes() == [58, 52, 21, 21, 21, 2, 3, 3]
+
+    def test_snapshot_subsets(self, particles):
+        for count in (1, 2, 3):
+            subset = particles.snapshots(count)
+            assert subset.num_rows == count * 10_000
+
+    def test_snapshot_bounds(self, particles):
+        with pytest.raises(ReproError):
+            particles.snapshots(0)
+        with pytest.raises(ReproError):
+            particles.snapshots(4)
+
+    def test_density_grp_strongly_correlated(self, particles):
+        table = particles.relation.contingency("density", "grp")
+        assert cramers_v(table) > 0.3
+
+    def test_mass_type_correlated(self, particles):
+        table = particles.relation.contingency("mass", "type")
+        assert cramers_v(table) > 0.2
+
+    def test_positions_correlated(self, particles):
+        # Clustering induces dependence between coordinates.
+        table = particles.relation.contingency("x", "y")
+        assert cramers_v(table) > 0.1
+
+    def test_grp_fraction_reasonable(self, particles):
+        marginal = particles.relation.marginal("grp")
+        fraction = marginal[1] / marginal.sum()
+        assert 0.35 < fraction < 0.75
+
+    def test_deterministic(self):
+        first = generate_particles(rows_per_snapshot=500, seed=2)
+        second = generate_particles(rows_per_snapshot=500, seed=2)
+        assert np.array_equal(
+            first.relation.column("density"), second.relation.column("density")
+        )

@@ -1,0 +1,78 @@
+"""Unit tests for repro.data.domain."""
+
+import pytest
+
+from repro.data.domain import Domain, integer_domain
+from repro.errors import DomainError
+
+
+class TestDomain:
+    def test_size_and_labels(self):
+        domain = Domain("state", ["CA", "NY", "WA"])
+        assert domain.size == 3
+        assert domain.labels == ["CA", "NY", "WA"]
+        assert len(domain) == 3
+
+    def test_index_label_round_trip(self):
+        domain = Domain("state", ["CA", "NY", "WA"])
+        for index, label in enumerate(domain.labels):
+            assert domain.index_of(label) == index
+            assert domain.label_of(index) == label
+
+    def test_contains(self):
+        domain = Domain("state", ["CA", "NY"])
+        assert "CA" in domain
+        assert "TX" not in domain
+
+    def test_unknown_label_raises(self):
+        domain = Domain("state", ["CA"])
+        with pytest.raises(DomainError, match="not in the active domain"):
+            domain.index_of("TX")
+
+    def test_out_of_range_index_raises(self):
+        domain = Domain("state", ["CA"])
+        with pytest.raises(DomainError, match="out of range"):
+            domain.label_of(5)
+        with pytest.raises(DomainError):
+            domain.label_of(-1)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(DomainError, match="at least one value"):
+            Domain("empty", [])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(DomainError, match="duplicate"):
+            Domain("state", ["CA", "CA"])
+
+    def test_indices_of_preserves_order(self):
+        domain = Domain("state", ["CA", "NY", "WA"])
+        assert domain.indices_of(["WA", "CA"]) == [2, 0]
+
+    def test_labels_returns_copy(self):
+        domain = Domain("state", ["CA", "NY"])
+        labels = domain.labels
+        labels.append("XX")
+        assert domain.size == 2
+
+    def test_equality_and_hash(self):
+        a = Domain("s", [1, 2, 3])
+        b = Domain("s", [1, 2, 3])
+        c = Domain("s", [3, 2, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_iteration_yields_labels(self):
+        domain = Domain("s", ["x", "y"])
+        assert list(domain) == ["x", "y"]
+
+
+class TestIntegerDomain:
+    def test_basic(self):
+        domain = integer_domain("d", 5)
+        assert domain.size == 5
+        assert domain.index_of(3) == 3
+
+    def test_invalid_size(self):
+        with pytest.raises(DomainError, match="positive size"):
+            integer_domain("d", 0)

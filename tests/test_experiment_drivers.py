@@ -1,0 +1,148 @@
+"""Smoke tests for every experiment driver at a micro scale.
+
+These do not assert the paper's shapes (the benchmarks do, at real
+scale); they verify that each driver runs end-to-end and produces the
+expected table structure.
+"""
+
+import pytest
+
+from repro.experiments.configs import ExperimentStore, Scale
+
+TINY = Scale(
+    name="tiny",
+    flights_rows=4000,
+    particles_rows_per_snapshot=1500,
+    budget_two_pairs=12,
+    budget_three_pairs=8,
+    fig2_budgets=(10, 20),
+    particles_pair_budget=8,
+    particles_sample_rows=300,
+    num_heavy=5,
+    num_light=5,
+    num_null=10,
+    sample_fraction=0.02,
+    solver_iterations=4,
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return ExperimentStore(TINY)
+
+
+class TestDrivers:
+    def test_fig2(self, store):
+        from repro.experiments.fig2 import run_fig2
+
+        result = run_fig2(store)
+        rows = result.rows("error by heuristic and budget")
+        assert len(rows) == 2 * 3  # budgets x heuristics
+        assert {"heavy_error", "light_error", "null_error"} <= set(rows[0])
+
+    def test_fig3(self, store):
+        from repro.experiments.fig3 import run_fig3
+
+        result = run_fig3(store)
+        assert len(result.rows("Flights")) == 6
+        assert len(result.rows("Particles")) == 9
+
+    def test_fig5(self, store):
+        from repro.experiments.fig5 import run_fig5
+
+        result = run_fig5(store)
+        heavy = result.rows("heavy hitters")
+        light = result.rows("light hitters")
+        assert len(heavy) == 3 and len(light) == 3
+        for row in heavy + light:
+            assert "Uni" in row and "Ent3&4" in row
+
+    def test_fig5_fine_variant(self, store):
+        from repro.experiments.fig5 import run_fig5
+
+        result = run_fig5(store, variant="fine")
+        assert "FlightsFine" in result.name
+
+    def test_fig6(self, store):
+        from repro.experiments.fig6 import fig6_templates, run_fig6
+
+        assert len(fig6_templates("coarse")) == 15
+        assert len(fig6_templates("fine")) == 15
+        result = run_fig6(store)
+        for section in ("FlightsCoarse", "FlightsFine"):
+            rows = result.rows(section)
+            assert len(rows) == 8
+            for row in rows:
+                assert 0.0 <= row["f_measure"] <= 1.0
+
+    def test_fig7(self, store):
+        from repro.experiments.fig7 import run_fig7
+
+        result = run_fig7(store)
+        heavy = result.rows("heavy hitters")
+        assert len(heavy) == 9  # 3 snapshots x 3 templates
+        for row in heavy:
+            assert row["EntAll_ms"] >= 0.0
+
+    def test_fig8(self, store):
+        from repro.experiments.fig8 import fig8_templates, run_fig8
+
+        assert len(fig8_templates("coarse")) == 6
+        result = run_fig8(store)
+        for section in ("FlightsCoarse", "FlightsFine"):
+            assert len(result.rows(section)) == 4
+
+    def test_compression(self, store):
+        from repro.experiments.compression import run_compression
+
+        result = run_compression(store)
+        rows = result.rows("polynomial size on restricted flights")
+        assert len(rows) == 2
+        for row in rows:
+            assert row["compressed_terms"] < row["uncompressed_monomials"]
+
+    def test_latency(self, store):
+        from repro.experiments.latency import run_latency
+
+        result = run_latency(store)
+        rows = result.rows("per-query latency")
+        assert rows
+        for row in rows:
+            assert row["mean_ms"] <= row["max_ms"]
+
+    def test_solver_trace(self, store):
+        from repro.experiments.solver_trace import run_solver_trace
+
+        result = run_solver_trace(store)
+        cost = result.rows("per-configuration cost")
+        assert {row["method"] for row in cost} == {
+            "No2D", "Ent1&2", "Ent3&4", "Ent1&2&3",
+        }
+        trace = result.rows("error trace")
+        assert all(row["iteration"] >= 1 for row in trace)
+
+    def test_variance(self, store):
+        from repro.experiments.variance import run_variance
+
+        result = run_variance(store)
+        rows = result.rows("95% interval coverage")
+        assert len(rows) == 6  # 3 templates x heavy/light
+        for row in rows:
+            assert 0.0 <= row["coverage"] <= 1.0
+            assert row["mean_ci_width"] >= 0.0
+
+    def test_strategy_ablation(self, store):
+        from repro.experiments.strategy_ablation import run_strategy_ablation
+
+        result = run_strategy_ablation(store)
+        pairs = {row["strategy"] for row in result.rows("chosen pairs")}
+        assert pairs == {"correlation", "cover"}
+        aggregate = result.rows("accuracy over six 2-attribute templates")
+        assert len(aggregate) == 2
+        assert len(result.rows("per-template heavy-hitter error")) == 12
+
+    def test_markdown_rendering(self, store):
+        from repro.experiments.fig3 import run_fig3
+
+        text = run_fig3(store).to_markdown()
+        assert "| attribute |" in text

@@ -1,0 +1,138 @@
+"""Tests for experiment configuration and the build cache."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.configs import (
+    COARSE_PAIRS,
+    FINE_PAIRS,
+    MAXENT_METHODS,
+    PAPER,
+    SMALL,
+    ExperimentStore,
+    active_scale,
+    method_pair_budget,
+    summary_pairs,
+)
+
+
+class TestScales:
+    def test_paper_matches_fig4_budgets(self):
+        # B = 3000: 1500 over 2 pairs, 1000 over 3 pairs.
+        assert PAPER.budget_two_pairs == 750
+        assert PAPER.budget_three_pairs == 333
+        assert PAPER.fig2_budgets == (500, 1000, 2000)
+        assert PAPER.sample_fraction == 0.01
+        assert PAPER.solver_iterations == 30
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert active_scale() == SMALL
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert active_scale() == PAPER
+        monkeypatch.delenv("REPRO_SCALE")
+        assert active_scale() == PAPER
+
+    def test_unknown_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ReproError, match="unknown REPRO_SCALE"):
+            active_scale()
+
+    def test_describe(self):
+        assert "paper" in PAPER.describe()
+
+
+class TestFig4Configuration:
+    def test_pair_tables(self):
+        assert COARSE_PAIRS[3] == ("fl_time", "distance")
+        assert FINE_PAIRS[4] == ("origin_city", "dest_city")
+        assert set(MAXENT_METHODS) == {"No2D", "Ent1&2", "Ent3&4", "Ent1&2&3"}
+
+    def test_summary_pairs(self):
+        assert summary_pairs("Ent1&2", "coarse") == [
+            ("origin_state", "distance"),
+            ("dest_state", "distance"),
+        ]
+        assert summary_pairs("No2D", "fine") == []
+        assert summary_pairs("Ent1&2&3", "fine") == [
+            ("origin_city", "distance"),
+            ("dest_city", "distance"),
+            ("fl_time", "distance"),
+        ]
+
+    def test_method_pair_budget(self):
+        assert method_pair_budget("No2D", PAPER) == 0
+        assert method_pair_budget("Ent1&2", PAPER) == 750
+        assert method_pair_budget("Ent1&2&3", PAPER) == 333
+
+
+class _TinyScale:
+    pass
+
+
+class TestStore:
+    @pytest.fixture
+    def store(self):
+        from repro.experiments.configs import Scale
+
+        tiny = Scale(
+            name="tiny",
+            flights_rows=2000,
+            particles_rows_per_snapshot=1000,
+            budget_two_pairs=10,
+            budget_three_pairs=6,
+            fig2_budgets=(8,),
+            particles_pair_budget=6,
+            particles_sample_rows=200,
+            num_heavy=5,
+            num_light=5,
+            num_null=10,
+            sample_fraction=0.05,
+            solver_iterations=5,
+        )
+        return ExperimentStore(tiny)
+
+    def test_dataset_caching(self, store):
+        assert store.flights() is store.flights()
+        assert store.particles() is store.particles()
+
+    def test_flights_variants(self, store):
+        assert store.flights_relation("coarse").schema.domain("origin_state")
+        assert store.flights_relation("fine").schema.domain("origin_city")
+        with pytest.raises(ReproError):
+            store.flights_relation("medium")
+
+    def test_summary_caching(self, store):
+        first = store.flights_summary("No2D", "coarse")
+        second = store.flights_summary("No2D", "coarse")
+        assert first is second
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        from repro.experiments.configs import Scale
+
+        tiny = Scale(
+            name="tiny",
+            flights_rows=2000,
+            particles_rows_per_snapshot=1000,
+            budget_two_pairs=10,
+            budget_three_pairs=6,
+            fig2_budgets=(8,),
+            particles_pair_budget=6,
+            particles_sample_rows=200,
+            num_heavy=5,
+            num_light=5,
+            num_null=10,
+            sample_fraction=0.05,
+            solver_iterations=5,
+        )
+        first_store = ExperimentStore(tiny, cache_dir=tmp_path)
+        built = first_store.flights_summary("No2D", "coarse")
+        second_store = ExperimentStore(tiny, cache_dir=tmp_path)
+        loaded = second_store.flights_summary("No2D", "coarse")
+        assert loaded.total == built.total
+        assert (tmp_path / "tiny-flights-coarse-No2D.json").exists()
+
+    def test_sample_caching(self, store):
+        assert store.flights_uniform("coarse") is store.flights_uniform("coarse")
+        strat = store.flights_stratified(3, "coarse")
+        assert strat.name == "Strat3"

@@ -1,0 +1,82 @@
+"""Unit tests for repro.data.frequency."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.data.frequency import (
+    all_tuples,
+    frequency_vector,
+    relation_from_frequency,
+    tuple_index,
+    unflatten_index,
+)
+from repro.data.domain import integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import SchemaError
+
+from conftest import relations
+
+
+@pytest.fixture
+def schema():
+    return Schema([integer_domain("a", 2), integer_domain("b", 3)])
+
+
+class TestTupleIndexing:
+    def test_row_major_order(self, schema):
+        assert tuple_index(schema, (0, 0)) == 0
+        assert tuple_index(schema, (0, 2)) == 2
+        assert tuple_index(schema, (1, 0)) == 3
+        assert tuple_index(schema, (1, 2)) == 5
+
+    def test_round_trip(self, schema):
+        for flat in range(schema.num_possible_tuples()):
+            assert tuple_index(schema, unflatten_index(schema, flat)) == flat
+
+    def test_out_of_range(self, schema):
+        with pytest.raises(SchemaError):
+            tuple_index(schema, (0, 3))
+        with pytest.raises(SchemaError):
+            tuple_index(schema, (0,))
+
+    def test_all_tuples_enumeration(self, schema):
+        tuples = list(all_tuples(schema))
+        assert len(tuples) == 6
+        assert tuples[0] == (0, 0)
+        assert tuples[-1] == (1, 2)
+        # row-major: matches tuple_index
+        for flat, indices in enumerate(tuples):
+            assert tuple_index(schema, indices) == flat
+
+
+class TestFrequencyVector:
+    def test_counts(self, schema):
+        relation = Relation.from_rows(schema, [(0, 0), (0, 0), (1, 2)])
+        freq = frequency_vector(relation)
+        assert freq.tolist() == [2, 0, 0, 0, 0, 1]
+
+    def test_l1_norm_is_cardinality(self, schema):
+        relation = Relation.from_rows(schema, [(0, 1), (1, 1), (1, 1)])
+        assert frequency_vector(relation).sum() == relation.num_rows
+
+    @given(relations(max_rows=80))
+    def test_round_trip_through_relation(self, relation):
+        freq = frequency_vector(relation)
+        rebuilt = relation_from_frequency(relation.schema, freq)
+        assert np.array_equal(frequency_vector(rebuilt), freq)
+        assert rebuilt.num_rows == relation.num_rows
+
+    def test_relation_from_negative_frequency_rejected(self, schema):
+        with pytest.raises(SchemaError, match="non-negative"):
+            relation_from_frequency(schema, np.array([1, -1, 0, 0, 0, 0]))
+
+    def test_relation_from_wrong_length_rejected(self, schema):
+        with pytest.raises(SchemaError, match="length"):
+            relation_from_frequency(schema, np.array([1, 0]))
+
+    def test_refuses_huge_schema(self):
+        big = Schema([integer_domain(f"x{i}", 300) for i in range(4)])
+        with pytest.raises(SchemaError, match="refusing"):
+            list(all_tuples(big))

@@ -1,0 +1,137 @@
+"""Tests for the evaluation harness and reporting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactBackend
+from repro.data.domain import integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.evaluation.harness import (
+    error_difference_table,
+    f_measure_over,
+    predicate_for_labels,
+    run_methods,
+    run_workload,
+)
+from repro.evaluation.reporting import (
+    ExperimentResult,
+    ascii_table,
+    markdown_table,
+)
+from repro.workloads.selection_queries import (
+    heavy_hitters,
+    light_hitters,
+    nonexistent_values,
+)
+
+
+@pytest.fixture
+def relation():
+    schema = Schema([integer_domain("a", 5), integer_domain("b", 5)])
+    rng = np.random.default_rng(21)
+    cells = [(0, 0)] * 60 + [(1, 1)] * 30 + [(2, 2)] * 8 + [(3, 3)] * 2
+    rng.shuffle(cells)
+    return Relation.from_rows(schema, cells)
+
+
+class _HalfBackend:
+    """Backend answering exactly half the truth — known error 1/3."""
+
+    def __init__(self, relation):
+        self.exact = ExactBackend(relation)
+        self.schema = relation.schema
+
+    def count(self, predicate):
+        return self.exact.count(predicate) / 2.0
+
+
+class TestRunWorkload:
+    def test_exact_backend_zero_error(self, relation):
+        workload = heavy_hitters(relation, ["a", "b"], 3)
+        run = run_workload(ExactBackend(relation), "exact", workload, relation.schema)
+        assert run.mean_error == 0.0
+        assert len(run.estimates) == 3
+
+    def test_half_backend_known_error(self, relation):
+        workload = heavy_hitters(relation, ["a", "b"], 3)
+        run = run_workload(_HalfBackend(relation), "half", workload, relation.schema)
+        # |t - t/2| / (t + t/2) = 1/3 for every query.
+        assert run.mean_error == pytest.approx(1.0 / 3.0)
+
+    def test_latency_recorded(self, relation):
+        workload = heavy_hitters(relation, ["a", "b"], 2)
+        run = run_workload(ExactBackend(relation), "exact", workload, relation.schema)
+        assert run.seconds >= 0.0
+        assert run.mean_latency >= 0.0
+
+
+class TestRunMethods:
+    def test_multiple_methods(self, relation):
+        workload = heavy_hitters(relation, ["a", "b"], 2)
+        runs = run_methods(
+            {"exact": ExactBackend(relation), "half": _HalfBackend(relation)},
+            workload,
+            relation.schema,
+        )
+        assert set(runs) == {"exact", "half"}
+        assert runs["exact"].mean_error < runs["half"].mean_error
+
+    def test_error_difference_table(self, relation):
+        workload = heavy_hitters(relation, ["a", "b"], 2)
+        runs = run_methods(
+            {"exact": ExactBackend(relation), "half": _HalfBackend(relation)},
+            workload,
+            relation.schema,
+        )
+        diff = error_difference_table(runs, "exact")
+        assert set(diff) == {"half"}
+        assert diff["half"] == pytest.approx(1.0 / 3.0)
+
+
+class TestFMeasureOver:
+    def test_exact_backend_perfect(self, relation):
+        light = light_hitters(relation, ["a", "b"], 2)
+        null = nonexistent_values(relation, ["a", "b"], 5, seed=1)
+        score = f_measure_over(ExactBackend(relation), light, null, relation.schema)
+        assert score == 1.0
+
+
+class TestPredicateForLabels:
+    def test_builds_point_conjunction(self, relation):
+        predicate = predicate_for_labels(relation.schema, [("a", 2), ("b", 2)])
+        assert relation.count_where(predicate.attribute_masks()) == 8
+
+
+class TestReporting:
+    def test_ascii_table_alignment(self):
+        rows = [{"x": 1, "y": 0.12345}, {"x": 22, "y": 3.0}]
+        text = ascii_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("x")
+        assert "0.1235" in text
+        assert len(lines) == 4
+
+    def test_ascii_table_empty(self):
+        assert ascii_table([]) == "(no rows)"
+
+    def test_markdown_table(self):
+        rows = [{"a": "m", "b": 2}]
+        text = markdown_table(rows)
+        assert text.splitlines()[0] == "| a | b |"
+        assert "| m | 2 |" in text
+
+    def test_experiment_result_sections(self):
+        result = ExperimentResult("test", "description")
+        result.add_section("one", [{"k": 1}])
+        assert result.rows("one") == [{"k": 1}]
+        with pytest.raises(KeyError):
+            result.rows("missing")
+        assert "== test ==" in result.to_text()
+        assert "### test" in result.to_markdown()
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = ascii_table(rows, columns=["c", "a"])
+        assert text.splitlines()[0].startswith("c")
+        assert "b" not in text.splitlines()[0]

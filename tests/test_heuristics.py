@@ -1,0 +1,106 @@
+"""Unit tests for the LARGE / ZERO / COMPOSITE selection heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.data.domain import integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import BudgetError
+from repro.stats.heuristics import (
+    composite,
+    large_single_cell,
+    select_pair_statistics,
+    zero_single_cell,
+)
+
+
+@pytest.fixture
+def relation():
+    schema = Schema([integer_domain("a", 4), integer_domain("b", 4)])
+    rng = np.random.default_rng(2)
+    # Heavy diagonal plus noise; several empty cells.
+    rows = []
+    for value in range(4):
+        rows.extend([(value, value)] * (20 * (value + 1)))
+    rows.extend([(0, 1)] * 3 + [(1, 2)] * 2)
+    rng.shuffle(rows)
+    return Relation.from_rows(schema, rows)
+
+
+class TestLarge:
+    def test_picks_most_popular(self, relation):
+        stats = large_single_cell(relation, "a", "b", 2)
+        values = sorted(stat.value for stat in stats)
+        counts = relation.contingency("a", "b")
+        top2 = sorted(np.sort(counts, axis=None)[-2:].tolist())
+        assert values == [float(v) for v in top2]
+
+    def test_point_statistics(self, relation):
+        stats = large_single_cell(relation, "a", "b", 3)
+        for stat in stats:
+            assert stat.range_at(0).is_point
+            assert stat.range_at(1).is_point
+
+    def test_values_match_data(self, relation):
+        for stat in large_single_cell(relation, "a", "b", 5):
+            assert stat.measure(relation) == stat.value
+
+    def test_budget_capped_at_cells(self, relation):
+        stats = large_single_cell(relation, "a", "b", 1000)
+        assert len(stats) == 16
+
+
+class TestZero:
+    def test_selects_empty_cells_first(self, relation):
+        counts = relation.contingency("a", "b")
+        num_zero = int((counts == 0).sum())
+        stats = zero_single_cell(relation, "a", "b", num_zero)
+        assert all(stat.value == 0.0 for stat in stats)
+
+    def test_fills_remainder_with_popular(self, relation):
+        counts = relation.contingency("a", "b")
+        num_zero = int((counts == 0).sum())
+        stats = zero_single_cell(relation, "a", "b", num_zero + 2)
+        zero_stats = [stat for stat in stats if stat.value == 0.0]
+        nonzero_stats = [stat for stat in stats if stat.value > 0.0]
+        assert len(zero_stats) == num_zero
+        assert len(nonzero_stats) == 2
+        assert max(stat.value for stat in nonzero_stats) == counts.max()
+
+    def test_deterministic_with_seed(self, relation):
+        first = zero_single_cell(relation, "a", "b", 3, seed=9)
+        second = zero_single_cell(relation, "a", "b", 3, seed=9)
+        assert [s.predicate for s in first] == [s.predicate for s in second]
+
+
+class TestComposite:
+    def test_disjoint_rectangles_cover_grid(self, relation):
+        stats = composite(relation, "a", "b", 6)
+        covered = np.zeros((4, 4), dtype=int)
+        for stat in stats:
+            a = stat.range_at(0)
+            b = stat.range_at(1)
+            covered[a.low : a.high + 1, b.low : b.high + 1] += 1
+        assert (covered == 1).all()
+
+    def test_counts_consistent(self, relation):
+        stats = composite(relation, "a", "b", 6)
+        assert sum(stat.value for stat in stats) == relation.num_rows
+        for stat in stats:
+            assert stat.measure(relation) == stat.value
+
+
+class TestDispatch:
+    def test_by_name(self, relation):
+        for name in ("large", "zero", "composite"):
+            stats = select_pair_statistics(relation, "a", "b", 4, name)
+            assert stats
+
+    def test_unknown_heuristic(self, relation):
+        with pytest.raises(BudgetError, match="unknown heuristic"):
+            select_pair_statistics(relation, "a", "b", 4, "magic")
+
+    def test_invalid_budget(self, relation):
+        with pytest.raises(BudgetError):
+            large_single_cell(relation, "a", "b", 0)

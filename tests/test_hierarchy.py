@@ -1,0 +1,138 @@
+"""Tests for hierarchical summaries (Sec 7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import HierarchicalSummary
+from repro.data.domain import Domain, integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import QueryError, SchemaError
+from repro.stats.predicates import Conjunction, RangePredicate, SetPredicate
+
+
+CITIES = [
+    ("WA", "Seattle"), ("WA", "Spokane"), ("WA", "Tacoma"),
+    ("CA", "LA"), ("CA", "SF"), ("CA", "Fresno"), ("CA", "Oakland"),
+    ("NY", "NYC"), ("NY", "Buffalo"),
+]
+
+
+@pytest.fixture(scope="module")
+def relation():
+    schema = Schema(
+        [Domain("city", CITIES), integer_domain("hour", 5)]
+    )
+    rng = np.random.default_rng(31)
+    weights = np.array([30, 6, 4, 40, 18, 3, 2, 25, 5], dtype=float)
+    weights /= weights.sum()
+    city = rng.choice(len(CITIES), size=4000, p=weights)
+    hour = (city + rng.integers(0, 3, 4000)) % 5
+    return Relation(schema, [city, hour])
+
+
+@pytest.fixture(scope="module")
+def hierarchy(relation):
+    return HierarchicalSummary(
+        relation,
+        "city",
+        coarsen=lambda label: label[0],  # city -> state
+        coarse_kwargs={"max_iterations": 40, "pairs": [("city", "hour")],
+                       "per_pair_budget": 6},
+        leaf_kwargs={"max_iterations": 40},
+    )
+
+
+class TestConstruction:
+    def test_groups(self, hierarchy):
+        assert hierarchy.num_groups == 3
+        assert hierarchy.leaf_builds == 0  # lazy
+
+    def test_coarse_summary_built(self, hierarchy, relation):
+        assert hierarchy.coarse.total == relation.num_rows
+
+    def test_single_group_rejected(self, relation):
+        with pytest.raises(SchemaError, match="two groups"):
+            HierarchicalSummary(relation, "city", coarsen=lambda label: "all")
+
+
+class TestCoarseRouting:
+    def test_unconstrained_drill_uses_coarse(self, hierarchy, relation):
+        predicate = Conjunction(relation.schema, {"hour": RangePredicate(0, 1)})
+        estimate = hierarchy.count(predicate)
+        truth = relation.count_where(predicate.attribute_masks())
+        assert estimate.expectation == pytest.approx(truth, rel=0.15, abs=15)
+        assert hierarchy.leaf_builds == 0
+
+    def test_whole_group_selection_uses_coarse(self, hierarchy, relation):
+        # All three WA cities = the whole WA group: no leaf needed.
+        wa = [index for index, label in enumerate(CITIES) if label[0] == "WA"]
+        predicate = Conjunction(
+            relation.schema, {"city": SetPredicate(wa)}
+        )
+        before = hierarchy.leaf_builds
+        estimate = hierarchy.count(predicate)
+        truth = relation.count_where(predicate.attribute_masks())
+        assert estimate.expectation == pytest.approx(truth, rel=0.1, abs=10)
+        assert hierarchy.leaf_builds == before
+
+
+class TestDrillDown:
+    def test_single_city_builds_one_leaf(self, hierarchy, relation):
+        predicate = Conjunction(
+            relation.schema, {"city": RangePredicate.point(0)}  # Seattle
+        )
+        before = hierarchy.leaf_builds
+        estimate = hierarchy.count(predicate)
+        truth = relation.count_where(predicate.attribute_masks())
+        assert estimate.expectation == pytest.approx(truth, rel=0.1, abs=10)
+        assert hierarchy.leaf_builds == before + 1
+
+    def test_leaf_cached(self, hierarchy, relation):
+        predicate = Conjunction(
+            relation.schema, {"city": RangePredicate.point(1)}  # Spokane (WA)
+        )
+        hierarchy.count(predicate)
+        builds = hierarchy.leaf_builds
+        hierarchy.count(predicate)
+        assert hierarchy.leaf_builds == builds
+
+    def test_cross_group_partial_selection(self, hierarchy, relation):
+        # Seattle + LA: partial selections in two groups.
+        predicate = Conjunction(
+            relation.schema, {"city": SetPredicate([0, 3])}
+        )
+        estimate = hierarchy.count(predicate)
+        truth = relation.count_where(predicate.attribute_masks())
+        assert estimate.expectation == pytest.approx(truth, rel=0.1, abs=15)
+
+    def test_drill_with_other_attribute(self, hierarchy, relation):
+        predicate = Conjunction(
+            relation.schema,
+            {"city": RangePredicate.point(3), "hour": RangePredicate(3, 4)},
+        )
+        estimate = hierarchy.count(predicate)
+        truth = relation.count_where(predicate.attribute_masks())
+        # Leaf models capture within-group structure approximately.
+        assert estimate.expectation == pytest.approx(truth, rel=0.5, abs=25)
+
+    def test_partition_consistency(self, hierarchy, relation):
+        # Drilled per-city estimates must sum approximately to n.
+        total = sum(
+            hierarchy.count(
+                Conjunction(relation.schema, {"city": RangePredicate.point(i)})
+            ).expectation
+            for i in range(len(CITIES))
+        )
+        assert total == pytest.approx(relation.num_rows, rel=0.02)
+
+
+class TestErrors:
+    def test_wrong_schema(self, hierarchy):
+        other = Schema([integer_domain("x", 3)])
+        with pytest.raises(QueryError, match="fine schema"):
+            hierarchy.count(Conjunction(other, {}))
+
+    def test_unknown_group(self, hierarchy):
+        with pytest.raises(QueryError, match="unknown group"):
+            hierarchy.leaf("TX")

@@ -1,0 +1,206 @@
+"""Tests for query answering over fitted models (Sec 3.2 / 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import InferenceEngine, QueryEstimate, round_half_up
+from repro.core.naive import NaivePolynomial
+from repro.core.polynomial import CompressedPolynomial
+from repro.core.solver import solve_statistics
+from repro.errors import QueryError
+from repro.stats.predicates import Conjunction, RangePredicate
+
+
+@pytest.fixture
+def fitted(small_statistics):
+    poly = CompressedPolynomial(small_statistics)
+    params, _ = solve_statistics(poly, max_iterations=200)
+    engine = InferenceEngine(poly, params, small_statistics.total)
+    return poly, params, engine, small_statistics
+
+
+class TestRounding:
+    def test_round_half_up(self):
+        assert round_half_up(0.5) == 1
+        assert round_half_up(0.49) == 0
+        assert round_half_up(1.5) == 2
+        assert round_half_up(2.4) == 2
+
+
+class TestQueryEstimate:
+    def test_variance_is_binomial(self):
+        estimate = QueryEstimate(50.0, 0.5, 100)
+        assert estimate.variance == pytest.approx(25.0)
+        assert estimate.std == pytest.approx(5.0)
+
+    def test_ci_clipped(self):
+        estimate = QueryEstimate(1.0, 0.01, 100)
+        low, high = estimate.ci95
+        assert low >= 0.0
+        assert high <= 100.0
+
+    def test_rounded(self):
+        assert QueryEstimate(0.51, 0.001, 100).rounded == 1
+        assert QueryEstimate(0.49, 0.001, 100).rounded == 0
+
+
+class TestOptimizedQueryAnswering:
+    """Sec 4.2: masking equals the extended-polynomial route, here
+    checked against the naive polynomial's direct expectation."""
+
+    def test_matches_naive_expectation(self, fitted, rng):
+        poly, params, engine, statistic_set = fitted
+        naive = NaivePolynomial(statistic_set)
+        for _ in range(20):
+            masks = {
+                pos: rng.random(size) > 0.4
+                for pos, size in enumerate(poly.sizes)
+                if rng.random() > 0.3
+            }
+            masks = {
+                pos: mask if mask.any() else np.ones_like(mask)
+                for pos, mask in masks.items()
+            }
+            expected = naive.expected_count(params, statistic_set.total, masks)
+            actual = engine.estimate_masks(masks).expectation
+            assert actual == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    def test_trivial_query_returns_n(self, fitted):
+        poly, params, engine, statistic_set = fitted
+        predicate = Conjunction(poly.schema, {})
+        assert engine.estimate(predicate).expectation == pytest.approx(
+            statistic_set.total
+        )
+
+    def test_one_dim_statistics_reproduced(self, fitted):
+        poly, params, engine, statistic_set = fitted
+        for pos in range(poly.schema.num_attributes):
+            for index, target in enumerate(statistic_set.one_dim[pos]):
+                predicate = Conjunction(
+                    poly.schema, {pos: RangePredicate.point(index)}
+                )
+                estimate = engine.estimate(predicate).expectation
+                assert estimate == pytest.approx(target, abs=0.01)
+
+    def test_two_dim_statistics_reproduced(self, fitted):
+        poly, params, engine, statistic_set = fitted
+        for statistic in statistic_set.multi_dim:
+            masks = statistic.predicate.attribute_masks()
+            estimate = engine.estimate_masks(masks).expectation
+            assert estimate == pytest.approx(statistic.value, abs=0.05)
+
+    def test_estimates_additive_over_partitions(self, fitted):
+        poly, params, engine, _ = fitted
+        size = poly.sizes[0]
+        total = 0.0
+        for index in range(size):
+            predicate = Conjunction(poly.schema, {0: RangePredicate.point(index)})
+            total += engine.estimate(predicate).expectation
+        trivial = engine.estimate(Conjunction(poly.schema, {})).expectation
+        assert total == pytest.approx(trivial, rel=1e-9)
+
+    def test_probability_bounds(self, fitted, rng):
+        poly, params, engine, _ = fitted
+        masks = {0: np.array([True, False, False, False])}
+        estimate = engine.estimate_masks(masks)
+        assert 0.0 <= estimate.probability <= 1.0
+
+
+class TestGroupBy:
+    def test_group_by_matches_point_queries(self, fitted):
+        poly, params, engine, _ = fitted
+        grouped = engine.group_by([1])
+        for value, estimate in grouped.items():
+            predicate = Conjunction(
+                poly.schema, {1: RangePredicate.point(value[0])}
+            )
+            assert estimate.expectation == pytest.approx(
+                engine.estimate(predicate).expectation, rel=1e-9
+            )
+
+    def test_group_by_two_attributes(self, fitted):
+        poly, params, engine, statistic_set = fitted
+        grouped = engine.group_by([0, 2])
+        assert len(grouped) == poly.sizes[0] * poly.sizes[2]
+        total = sum(e.expectation for e in grouped.values())
+        assert total == pytest.approx(statistic_set.total, rel=1e-9)
+
+    def test_group_by_with_predicate(self, fitted):
+        poly, params, engine, _ = fitted
+        predicate = Conjunction(poly.schema, {0: RangePredicate(0, 1)})
+        grouped = engine.group_by([1], predicate)
+        direct = {}
+        for value in range(poly.sizes[1]):
+            conj = Conjunction(
+                poly.schema,
+                {0: RangePredicate(0, 1), 1: RangePredicate.point(value)},
+            )
+            direct[(value,)] = engine.estimate(conj).expectation
+        for key, estimate in grouped.items():
+            assert estimate.expectation == pytest.approx(direct[key], rel=1e-9)
+
+    def test_group_by_rejects_constrained_attr(self, fitted):
+        poly, params, engine, _ = fitted
+        predicate = Conjunction(poly.schema, {0: RangePredicate(0, 1)})
+        with pytest.raises(QueryError):
+            engine.group_by([0], predicate)
+
+    def test_group_by_rejects_duplicates(self, fitted):
+        _, _, engine, _ = fitted
+        with pytest.raises(QueryError):
+            engine.group_by([1, 1])
+
+    def test_group_by_needs_attribute(self, fitted):
+        _, _, engine, _ = fitted
+        with pytest.raises(QueryError):
+            engine.group_by([])
+
+
+class TestQueryCache:
+    def test_repeat_query_hits_cache(self, fitted):
+        _, _, engine, _ = fitted
+        masks = {0: np.array([True, False, True, False])}
+        first = engine.estimate_masks(masks).expectation
+        misses = engine.cache_misses
+        second = engine.estimate_masks(masks).expectation
+        assert second == first
+        assert engine.cache_misses == misses
+        assert engine.cache_hits >= 1
+
+    def test_different_masks_are_distinct_entries(self, fitted):
+        _, _, engine, _ = fitted
+        a = engine.estimate_masks({0: np.array([True, False, False, False])})
+        b = engine.estimate_masks({0: np.array([False, True, False, False])})
+        assert a.expectation != b.expectation
+
+    def test_cache_disabled(self, small_statistics):
+        from repro.core.polynomial import CompressedPolynomial
+        from repro.core.solver import solve_statistics
+
+        poly = CompressedPolynomial(small_statistics)
+        params, _ = solve_statistics(poly, max_iterations=30)
+        engine = InferenceEngine(
+            poly, params, small_statistics.total, cache_size=0
+        )
+        masks = {0: np.array([True, False, True, False])}
+        engine.estimate_masks(masks)
+        engine.estimate_masks(masks)
+        assert engine.cache_hits == 0
+        assert engine.cache_misses == 2
+
+
+class TestPointEstimate:
+    def test_by_indices(self, fitted):
+        poly, params, engine, _ = fitted
+        estimate = engine.point_estimate({"A": 0, "C": 1})
+        predicate = Conjunction(
+            poly.schema, {0: RangePredicate.point(0), 2: RangePredicate.point(1)}
+        )
+        assert estimate.expectation == pytest.approx(
+            engine.estimate(predicate).expectation
+        )
+
+    def test_out_of_range_index(self, fitted):
+        _, _, engine, _ = fitted
+        with pytest.raises(QueryError):
+            engine.point_estimate({"A": 99})

@@ -1,0 +1,133 @@
+"""Unit tests for the modified KD-tree (COMPOSITE heuristic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import BudgetError
+from repro.stats.kdtree import best_split, composite_rectangles, region_sse
+
+
+class TestRegionSSE:
+    def test_uniform_region_zero(self):
+        assert region_sse(np.full((4, 5), 7.0)) == 0.0
+
+    def test_known_value(self):
+        region = np.array([[0.0, 2.0]])  # mean 1, deviations 1 each
+        assert region_sse(region) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert region_sse(np.empty((0, 3))) == 0.0
+
+
+class TestBestSplit:
+    def test_width_one_returns_none(self):
+        assert best_split(np.array([[1.0, 2.0]]), axis=0) is None
+
+    def test_paper_example_split(self):
+        # Fig 2(a): counts where the first column differs from the rest;
+        # the modified KD-tree splits after column 0 (min SSE), not at
+        # the median.
+        grid = np.array(
+            [
+                [2, 10, 10, 10],
+                [1, 10, 10, 10],
+                [1, 12, 10, 10],
+            ],
+            dtype=float,
+        )
+        offset, _ = best_split(grid, axis=1)
+        assert offset == 0
+
+    def test_split_minimizes_sse(self):
+        rng = np.random.default_rng(3)
+        grid = rng.random((6, 8)) * 10
+        offset, combined = best_split(grid, axis=0)
+        # brute-force check
+        best = min(
+            region_sse(grid[: cut + 1]) + region_sse(grid[cut + 1 :])
+            for cut in range(5)
+        )
+        assert combined == pytest.approx(best)
+        assert (
+            region_sse(grid[: offset + 1]) + region_sse(grid[offset + 1 :])
+            == pytest.approx(best)
+        )
+
+    def test_axis_one_equivalent_to_transpose(self):
+        rng = np.random.default_rng(4)
+        grid = rng.random((5, 7))
+        assert best_split(grid, axis=1) == best_split(grid.T, axis=0)
+
+
+class TestCompositeRectangles:
+    def test_budget_one_returns_root(self):
+        grid = np.arange(12, dtype=float).reshape(3, 4)
+        leaves = composite_rectangles(grid, 1)
+        assert len(leaves) == 1
+        assert leaves[0].ranges == ((0, 2), (0, 3))
+
+    def test_respects_budget(self):
+        rng = np.random.default_rng(5)
+        grid = rng.random((10, 12)) * 100
+        for budget in (2, 5, 17, 50):
+            leaves = composite_rectangles(grid, budget)
+            assert len(leaves) <= budget
+
+    def test_partition_covers_grid_exactly(self):
+        rng = np.random.default_rng(6)
+        grid = rng.integers(0, 50, size=(9, 11)).astype(float)
+        leaves = composite_rectangles(grid, 20)
+        cover = np.zeros_like(grid, dtype=int)
+        for leaf in leaves:
+            cover[leaf.a_lo : leaf.a_hi + 1, leaf.b_lo : leaf.b_hi + 1] += 1
+        assert (cover == 1).all()
+
+    def test_counts_match_data(self):
+        rng = np.random.default_rng(7)
+        grid = rng.integers(0, 50, size=(8, 8)).astype(float)
+        leaves = composite_rectangles(grid, 12)
+        for leaf in leaves:
+            region = grid[leaf.a_lo : leaf.a_hi + 1, leaf.b_lo : leaf.b_hi + 1]
+            assert leaf.count == pytest.approx(region.sum())
+        assert sum(leaf.count for leaf in leaves) == pytest.approx(grid.sum())
+
+    def test_uniform_grid_not_oversplit(self):
+        grid = np.full((6, 6), 3.0)
+        leaves = composite_rectangles(grid, 10)
+        # Perfectly uniform regions gain nothing from splitting.
+        assert len(leaves) == 1
+
+    def test_full_budget_isolates_every_cell(self):
+        rng = np.random.default_rng(8)
+        grid = rng.random((4, 4)) * 10
+        leaves = composite_rectangles(grid, 16)
+        assert len(leaves) == 16
+        assert all(leaf.num_cells() == 1 for leaf in leaves)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(BudgetError):
+            composite_rectangles(np.zeros((3, 3)), 0)
+        with pytest.raises(BudgetError):
+            composite_rectangles(np.zeros(5), 3)
+
+    @given(
+        st.integers(2, 8),
+        st.integers(2, 8),
+        st.integers(1, 30),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_partition_property(self, height, width, budget, seed):
+        grid = np.random.default_rng(seed).integers(
+            0, 20, size=(height, width)
+        ).astype(float)
+        leaves = composite_rectangles(grid, budget)
+        assert 1 <= len(leaves) <= budget
+        cover = np.zeros_like(grid, dtype=int)
+        total = 0.0
+        for leaf in leaves:
+            cover[leaf.a_lo : leaf.a_hi + 1, leaf.b_lo : leaf.b_hi + 1] += 1
+            total += leaf.count
+        assert (cover == 1).all()
+        assert total == pytest.approx(grid.sum())

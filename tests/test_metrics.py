@@ -1,0 +1,96 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.evaluation.metrics import (
+    f_measure,
+    mean_relative_error,
+    precision_recall,
+    relative_error,
+)
+
+
+class TestRelativeError:
+    def test_exact_estimate(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_both_zero(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_truth_positive_estimate(self):
+        assert relative_error(0.0, 5.0) == 1.0
+
+    def test_positive_truth_zero_estimate(self):
+        assert relative_error(7.0, 0.0) == 1.0
+
+    def test_known_value(self):
+        # |10-30|/(10+30) = 0.5
+        assert relative_error(10.0, 30.0) == pytest.approx(0.5)
+
+    def test_negative_estimates_clamped(self):
+        assert relative_error(5.0, -2.0) == 1.0
+
+    def test_negative_truth_rejected(self):
+        with pytest.raises(ReproError):
+            relative_error(-1.0, 2.0)
+
+    @given(
+        st.floats(0, 1e6, allow_nan=False),
+        st.floats(0, 1e6, allow_nan=False),
+    )
+    def test_bounded_and_symmetric(self, true, est):
+        error = relative_error(true, est)
+        assert 0.0 <= error <= 1.0
+        assert error == pytest.approx(relative_error(est, true))
+
+
+class TestMeanRelativeError:
+    def test_average(self):
+        assert mean_relative_error([10, 0], [10, 5]) == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            mean_relative_error([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ReproError):
+            mean_relative_error([], [])
+
+
+class TestFMeasure:
+    def test_perfect_discrimination(self):
+        # All light hitters estimated positive, all nulls zero.
+        assert f_measure([1.0, 2.0, 3.0], [0.0, 0.0]) == 1.0
+
+    def test_rounding_threshold(self):
+        # 0.4 rounds to 0 -> missed light hitter.
+        light = [0.4, 2.0]
+        precision, recall = precision_recall(light, [0.0])
+        assert recall == 0.5
+        assert precision == 1.0
+
+    def test_false_positives_hurt_precision(self):
+        light = [1.0, 1.0]
+        null = [1.0, 1.0]  # both nulls estimated positive
+        precision, recall = precision_recall(light, null)
+        assert precision == 0.5
+        assert recall == 1.0
+        assert f_measure(light, null) == pytest.approx(2 * 0.5 / 1.5)
+
+    def test_all_zero_estimates(self):
+        assert f_measure([0.0, 0.0], [0.0]) == 0.0
+
+    def test_requires_light_hitters(self):
+        with pytest.raises(ReproError):
+            f_measure([], [1.0])
+
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=20),
+        st.lists(st.floats(0, 100, allow_nan=False), max_size=20),
+    )
+    def test_bounds(self, light, null):
+        value = f_measure(light, null)
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,95 @@
+"""Unit tests for the naive (uncompressed) polynomial oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.naive import NaivePolynomial
+from repro.core.variables import ModelParameters
+
+
+class TestNaivePolynomial:
+    def test_monomial_count(self, small_statistics):
+        naive = NaivePolynomial(small_statistics)
+        assert naive.num_monomials == 60
+
+    def test_uniform_evaluation(self, small_statistics):
+        naive = NaivePolynomial(small_statistics)
+        params = ModelParameters(
+            [np.ones(size) for size in naive.sizes],
+            np.ones(naive.num_deltas),
+        )
+        assert naive.evaluate(params) == pytest.approx(60.0)
+
+    def test_membership_matches_predicates(self, small_statistics):
+        naive = NaivePolynomial(small_statistics)
+        for stat_id, statistic in enumerate(small_statistics.multi_dim):
+            for row in range(naive.num_monomials):
+                indices = tuple(naive.tuple_indices[row])
+                expected = statistic.predicate.matches_tuple(indices)
+                assert naive.membership[row, stat_id] == expected
+
+    def test_tuple_probabilities_sum_to_one(self, small_statistics, rng):
+        naive = NaivePolynomial(small_statistics)
+        params = ModelParameters(
+            [rng.random(size) + 0.1 for size in naive.sizes],
+            rng.random(naive.num_deltas) + 0.1,
+        )
+        probabilities = naive.tuple_probabilities(params)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert (probabilities >= 0).all()
+
+    def test_expected_count_unmasked_is_n(self, small_statistics, rng):
+        naive = NaivePolynomial(small_statistics)
+        params = ModelParameters(
+            [rng.random(size) + 0.1 for size in naive.sizes],
+            rng.random(naive.num_deltas) + 0.1,
+        )
+        assert naive.expected_count(params, 400) == pytest.approx(400.0)
+
+    def test_expected_count_monotone_in_mask(self, small_statistics, rng):
+        naive = NaivePolynomial(small_statistics)
+        params = ModelParameters(
+            [rng.random(size) + 0.1 for size in naive.sizes],
+            rng.random(naive.num_deltas) + 0.1,
+        )
+        narrow = {0: np.array([True, False, False, False])}
+        wide = {0: np.array([True, True, True, False])}
+        assert naive.expected_count(params, 100, narrow) <= naive.expected_count(
+            params, 100, wide
+        )
+
+    def test_gradient_finite_difference(self, small_statistics, rng):
+        naive = NaivePolynomial(small_statistics)
+        params = ModelParameters(
+            [rng.random(size) + 0.5 for size in naive.sizes],
+            rng.random(naive.num_deltas) + 0.5,
+        )
+        epsilon = 1e-6
+        gradient = naive.attribute_gradient(params, 1)
+        for index in range(naive.sizes[1]):
+            saved = params.alphas[1][index]
+            params.alphas[1][index] = saved + epsilon
+            up = naive.evaluate(params)
+            params.alphas[1][index] = saved - epsilon
+            down = naive.evaluate(params)
+            params.alphas[1][index] = saved
+            assert gradient[index] == pytest.approx(
+                (up - down) / (2 * epsilon), rel=1e-4
+            )
+
+    def test_delta_gradient_finite_difference(self, small_statistics, rng):
+        naive = NaivePolynomial(small_statistics)
+        params = ModelParameters(
+            [rng.random(size) + 0.5 for size in naive.sizes],
+            rng.random(naive.num_deltas) + 0.5,
+        )
+        epsilon = 1e-6
+        for stat_id in range(naive.num_deltas):
+            gradient = naive.delta_gradient(params, stat_id)
+            saved = params.deltas[stat_id]
+            params.deltas[stat_id] = saved + epsilon
+            up = naive.evaluate(params)
+            params.deltas[stat_id] = saved - epsilon
+            down = naive.evaluate(params)
+            params.deltas[stat_id] = saved
+            assert gradient == pytest.approx((up - down) / (2 * epsilon), rel=1e-4)

@@ -1,0 +1,177 @@
+"""Tests for the SQL subset parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.ast import Condition, CountQuery
+from repro.query.parser import parse_query
+
+
+class TestBasicParsing:
+    def test_plain_count(self):
+        query = parse_query("SELECT COUNT(*) FROM R")
+        assert query.table == "R"
+        assert not query.conditions
+        assert not query.is_grouped
+
+    def test_count_with_alias(self):
+        query = parse_query("SELECT COUNT(*) AS cnt FROM flights")
+        assert query.table == "flights"
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select count(*) from R where a = 1")
+        assert len(query.conditions) == 1
+
+    def test_trailing_semicolon(self):
+        query = parse_query("SELECT COUNT(*) FROM R;")
+        assert query.table == "R"
+
+
+class TestConditions:
+    def test_equality_string(self):
+        query = parse_query("SELECT COUNT(*) FROM R WHERE state = 'CA'")
+        condition = query.conditions[0]
+        assert condition.attribute == "state"
+        assert condition.op == "="
+        assert condition.values == ["CA"]
+
+    def test_equality_number(self):
+        query = parse_query("SELECT COUNT(*) FROM R WHERE hour = 7")
+        assert query.conditions[0].values == [7]
+
+    def test_float_literal(self):
+        query = parse_query("SELECT COUNT(*) FROM R WHERE x = 2.5")
+        assert query.conditions[0].values == [2.5]
+
+    def test_negative_number(self):
+        query = parse_query("SELECT COUNT(*) FROM R WHERE x = -3")
+        assert query.conditions[0].values == [-3]
+
+    def test_in_list(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM R WHERE state IN ('CA', 'NY', 'WA')"
+        )
+        assert query.conditions[0].op == "in"
+        assert query.conditions[0].values == ["CA", "NY", "WA"]
+
+    def test_between(self):
+        query = parse_query("SELECT COUNT(*) FROM R WHERE dist BETWEEN 100 AND 300")
+        condition = query.conditions[0]
+        assert condition.op == "between"
+        assert condition.values == [100, 300]
+
+    def test_comparisons(self):
+        for op in ("<", "<=", ">", ">=", "!="):
+            query = parse_query(f"SELECT COUNT(*) FROM R WHERE x {op} 5")
+            assert query.conditions[0].op == op
+
+    def test_not_equal_alt_spelling(self):
+        query = parse_query("SELECT COUNT(*) FROM R WHERE x <> 5")
+        assert query.conditions[0].op == "!="
+
+    def test_multiple_conditions(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM R WHERE a = 1 AND b = 'x' AND c BETWEEN 0 AND 9"
+        )
+        assert [condition.attribute for condition in query.conditions] == [
+            "a", "b", "c",
+        ]
+
+    def test_quoted_string_with_escaped_quote(self):
+        query = parse_query("SELECT COUNT(*) FROM R WHERE a = 'O''Hare'")
+        assert query.conditions[0].values == ["O'Hare"]
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(QueryError, match="twice"):
+            parse_query("SELECT COUNT(*) FROM R WHERE a = 1 AND a = 2")
+
+
+class TestGroupOrderLimit:
+    def test_group_by(self):
+        query = parse_query(
+            "SELECT state, COUNT(*) FROM R GROUP BY state"
+        )
+        assert query.group_by == ["state"]
+
+    def test_group_by_multiple(self):
+        query = parse_query(
+            "SELECT a, b, COUNT(*) FROM R GROUP BY a, b"
+        )
+        assert query.group_by == ["a", "b"]
+
+    def test_paper_query_template(self):
+        query = parse_query(
+            "SELECT A, COUNT(*) AS cnt FROM R GROUP BY A ORDER BY cnt DESC LIMIT 10"
+        )
+        assert query.group_by == ["A"]
+        assert query.order == "desc"
+        assert query.limit == 10
+
+    def test_order_default_asc(self):
+        query = parse_query(
+            "SELECT a, COUNT(*) AS cnt FROM R GROUP BY a ORDER BY cnt"
+        )
+        assert query.order == "asc"
+
+    def test_select_list_must_match_group_by(self):
+        with pytest.raises(QueryError, match="match"):
+            parse_query("SELECT a, COUNT(*) FROM R GROUP BY b")
+
+    def test_select_list_implies_group_by(self):
+        query = parse_query("SELECT a, b, COUNT(*) FROM R")
+        assert query.group_by == ["a", "b"]
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(QueryError, match="integer"):
+            parse_query("SELECT a, COUNT(*) FROM R GROUP BY a LIMIT 2.5")
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT COUNT(*) R")
+
+    def test_garbage(self):
+        with pytest.raises(QueryError):
+            parse_query("DELETE FROM R")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(QueryError, match="trailing"):
+            parse_query("SELECT COUNT(*) FROM R extra")
+
+    def test_unterminated_condition(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT COUNT(*) FROM R WHERE a =")
+
+    def test_empty_in_list(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT COUNT(*) FROM R WHERE a IN ()")
+
+    def test_untokenizable(self):
+        with pytest.raises(QueryError, match="tokenize"):
+            parse_query("SELECT COUNT(*) FROM R WHERE a = #")
+
+
+class TestAstValidation:
+    def test_condition_validation(self):
+        with pytest.raises(QueryError):
+            Condition("a", "between", [1])
+        with pytest.raises(QueryError):
+            Condition("a", "=", [1, 2])
+        with pytest.raises(QueryError):
+            Condition("a", "in", [])
+        with pytest.raises(QueryError):
+            Condition("a", "like", ["x"])
+
+    def test_order_requires_group(self):
+        with pytest.raises(QueryError):
+            CountQuery("R", order="desc")
+
+    def test_repr_round_trip(self):
+        text = (
+            "SELECT a, COUNT(*) FROM R WHERE b = 'x' AND c BETWEEN 1 AND 5 "
+            "GROUP BY a ORDER BY cnt DESC LIMIT 3"
+        )
+        query = parse_query(text)
+        reparsed = parse_query(repr(query))
+        assert repr(reparsed) == repr(query)

@@ -1,0 +1,240 @@
+"""Unit + property tests for the compressed polynomial.
+
+The central correctness claim: the compressed polynomial is *identical*
+to the naive one-monomial-per-tuple polynomial of Eq. (5) — values,
+masked values, and all first derivatives — on any statistic set
+satisfying the structural assumptions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.naive import NaivePolynomial
+from repro.core.polynomial import (
+    CompressedPolynomial,
+    check_parameter_shapes,
+    initial_parameters,
+    product_excluding,
+)
+from repro.core.variables import ModelParameters
+from repro.errors import SolverError
+
+from conftest import parameters_for, relations_with_stats
+
+
+class TestProductExcluding:
+    def test_simple(self):
+        values = np.array([2.0, 3.0, 4.0])
+        assert product_excluding(values).tolist() == [12.0, 8.0, 6.0]
+
+    def test_single_zero(self):
+        values = np.array([2.0, 0.0, 4.0])
+        assert product_excluding(values).tolist() == [0.0, 8.0, 0.0]
+
+    def test_two_zeros(self):
+        values = np.array([0.0, 3.0, 0.0])
+        assert product_excluding(values).tolist() == [0.0, 0.0, 0.0]
+
+    def test_single_element(self):
+        assert product_excluding(np.array([5.0])).tolist() == [1.0]
+
+    def test_axis(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = product_excluding(values, axis=0)
+        assert out.tolist() == [[3.0, 4.0], [1.0, 2.0]]
+
+
+class TestAgainstNaive:
+    def test_uniform_parameters_count_tuples(self, small_statistics):
+        poly = CompressedPolynomial(small_statistics)
+        params = initial_parameters(poly)
+        params.deltas[:] = 1.0
+        assert poly.evaluate(params) == pytest.approx(
+            small_statistics.schema.num_possible_tuples()
+        )
+
+    def test_evaluation_matches(self, small_statistics, rng):
+        poly = CompressedPolynomial(small_statistics)
+        naive = NaivePolynomial(small_statistics)
+        params = initial_parameters(poly)
+        for alpha in params.alphas:
+            alpha[:] = rng.random(alpha.size) * 3
+        params.deltas[:] = rng.random(params.deltas.size) * 3
+        assert poly.evaluate(params) == pytest.approx(naive.evaluate(params))
+
+    def test_masked_evaluation_matches(self, small_statistics, rng):
+        poly = CompressedPolynomial(small_statistics)
+        naive = NaivePolynomial(small_statistics)
+        params = initial_parameters(poly)
+        for alpha in params.alphas:
+            alpha[:] = rng.random(alpha.size) + 0.2
+        masks = {0: np.array([True, False, True, False]), 2: np.array([False, True, True])}
+        assert poly.evaluate(params, masks) == pytest.approx(
+            naive.evaluate(params, masks)
+        )
+
+    def test_attribute_gradients_match(self, small_statistics, rng):
+        poly = CompressedPolynomial(small_statistics)
+        naive = NaivePolynomial(small_statistics)
+        params = initial_parameters(poly)
+        for alpha in params.alphas:
+            alpha[:] = rng.random(alpha.size) + 0.1
+        params.deltas[:] = rng.random(params.deltas.size) + 0.1
+        parts = poly.evaluation_parts(params)
+        for pos in range(3):
+            expected = naive.attribute_gradient(params, pos)
+            actual = poly.attribute_gradient(parts, pos)
+            np.testing.assert_allclose(actual, expected, rtol=1e-10)
+
+    def test_delta_gradients_match(self, small_statistics, rng):
+        poly = CompressedPolynomial(small_statistics)
+        naive = NaivePolynomial(small_statistics)
+        params = initial_parameters(poly)
+        for alpha in params.alphas:
+            alpha[:] = rng.random(alpha.size) + 0.1
+        params.deltas[:] = rng.random(params.deltas.size) + 0.1
+        parts = poly.evaluation_parts(params)
+        for stat_id in range(small_statistics.num_multi_dim):
+            expected = naive.delta_gradient(params, stat_id)
+            actual = poly.delta_gradient(parts, params, stat_id)
+            assert actual == pytest.approx(expected, rel=1e-10)
+
+    def test_gradient_with_zero_alphas(self, small_statistics):
+        poly = CompressedPolynomial(small_statistics)
+        naive = NaivePolynomial(small_statistics)
+        params = initial_parameters(poly)
+        params.alphas[0][0] = 0.0
+        params.alphas[1][2] = 0.0
+        params.deltas[0] = 0.0
+        parts = poly.evaluation_parts(params)
+        for pos in range(3):
+            np.testing.assert_allclose(
+                poly.attribute_gradient(parts, pos),
+                naive.attribute_gradient(params, pos),
+                rtol=1e-10,
+            )
+
+    @given(relations_with_stats())
+    def test_property_evaluation_equals_naive(self, data):
+        relation, statistic_set = data
+        poly = CompressedPolynomial(statistic_set)
+        naive = NaivePolynomial(statistic_set)
+        generator = np.random.default_rng(relation.num_rows)
+        params = ModelParameters(
+            [generator.random(size) + 0.05 for size in poly.sizes],
+            generator.random(poly.num_deltas) + 0.05,
+        )
+        assert poly.evaluate(params) == pytest.approx(
+            naive.evaluate(params), rel=1e-9
+        )
+
+    @given(relations_with_stats())
+    def test_property_masked_and_gradients_equal_naive(self, data):
+        relation, statistic_set = data
+        poly = CompressedPolynomial(statistic_set)
+        naive = NaivePolynomial(statistic_set)
+        generator = np.random.default_rng(relation.num_rows + 1)
+        params = ModelParameters(
+            [generator.random(size) + 0.05 for size in poly.sizes],
+            generator.random(poly.num_deltas) + 0.05,
+        )
+        masks = {
+            0: generator.random(poly.sizes[0]) > 0.4,
+        }
+        if not masks[0].any():
+            masks[0][0] = True
+        assert poly.evaluate(params, masks) == pytest.approx(
+            naive.evaluate(params, masks), rel=1e-9, abs=1e-9
+        )
+        parts = poly.evaluation_parts(params)
+        for pos in range(statistic_set.schema.num_attributes):
+            np.testing.assert_allclose(
+                poly.attribute_gradient(parts, pos),
+                naive.attribute_gradient(params, pos),
+                rtol=1e-8,
+            )
+        for stat_id in range(statistic_set.num_multi_dim):
+            assert poly.delta_gradient(parts, params, stat_id) == pytest.approx(
+                naive.delta_gradient(params, stat_id), rel=1e-8, abs=1e-9
+            )
+
+
+class TestLinearity:
+    """P is multi-linear: degree 1 in every variable (Sec 3.1)."""
+
+    def test_linear_in_each_alpha(self, small_statistics, rng):
+        poly = CompressedPolynomial(small_statistics)
+        params = initial_parameters(poly)
+        for alpha in params.alphas:
+            alpha[:] = rng.random(alpha.size) + 0.1
+        for pos in range(3):
+            for index in range(poly.sizes[pos]):
+                values = []
+                for setting in (0.0, 1.0, 2.0):
+                    params.alphas[pos][index] = setting
+                    values.append(poly.evaluate(params))
+                # f(2) - f(1) == f(1) - f(0) for linear functions.
+                assert values[2] - values[1] == pytest.approx(
+                    values[1] - values[0], rel=1e-9
+                )
+
+    def test_linear_in_each_delta(self, small_statistics, rng):
+        poly = CompressedPolynomial(small_statistics)
+        params = initial_parameters(poly)
+        for stat_id in range(poly.num_deltas):
+            values = []
+            for setting in (0.0, 1.0, 2.0):
+                params.deltas[stat_id] = setting
+                values.append(poly.evaluate(params))
+            assert values[2] - values[1] == pytest.approx(
+                values[1] - values[0], rel=1e-9
+            )
+            params.deltas[stat_id] = 1.0
+
+
+class TestOvercompleteness:
+    """Eq. (7): P = Σ_{j∈J_i} α_j P_j — Euler's identity for functions
+    linear and homogeneous in one attribute's variables."""
+
+    def test_euler_identity(self, small_statistics, rng):
+        poly = CompressedPolynomial(small_statistics)
+        params = initial_parameters(poly)
+        for alpha in params.alphas:
+            alpha[:] = rng.random(alpha.size) + 0.1
+        parts = poly.evaluation_parts(params)
+        for pos in range(3):
+            gradient = poly.attribute_gradient(parts, pos)
+            total = float(np.dot(params.alphas[pos], gradient))
+            assert total == pytest.approx(parts.value, rel=1e-9)
+
+
+class TestShapesAndSizes:
+    def test_size_report(self, small_statistics):
+        poly = CompressedPolynomial(small_statistics)
+        report = poly.size_report()
+        assert report["num_uncompressed_monomials"] == 60
+        assert report["num_terms"] < 60
+        assert report["num_variables"] == 12 + 3
+
+    def test_check_parameter_shapes(self, small_statistics):
+        poly = CompressedPolynomial(small_statistics)
+        good = initial_parameters(poly)
+        check_parameter_shapes(poly, good)
+        bad = ModelParameters([np.ones(2)] * 3, np.ones(3))
+        with pytest.raises(SolverError):
+            check_parameter_shapes(poly, bad)
+
+    def test_component_of_stat(self, small_statistics):
+        poly = CompressedPolynomial(small_statistics)
+        for stat_id in range(poly.num_deltas):
+            index = poly.component_of_stat(stat_id)
+            assert stat_id in poly.components[index].stat_terms
+        with pytest.raises(SolverError):
+            poly.component_of_stat(99)
+
+    def test_masked_alphas_shape_mismatch(self, small_statistics):
+        poly = CompressedPolynomial(small_statistics)
+        params = initial_parameters(poly)
+        with pytest.raises(SolverError, match="mask"):
+            poly.evaluate(params, {0: np.array([True, False])})

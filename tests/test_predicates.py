@@ -1,0 +1,166 @@
+"""Unit tests for repro.stats.predicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.domain import integer_domain
+from repro.data.schema import Schema
+from repro.errors import StatisticError
+from repro.stats.predicates import (
+    TRUE,
+    Conjunction,
+    RangePredicate,
+    SetPredicate,
+    TruePredicate,
+    conjunction_from_masks,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema([integer_domain("a", 5), integer_domain("b", 4)])
+
+
+class TestTruePredicate:
+    def test_mask_all_ones(self):
+        assert TRUE.mask(4).all()
+
+    def test_matches_everything(self):
+        assert TRUE.matches(0) and TRUE.matches(100)
+
+    def test_is_true_flag(self):
+        assert TRUE.is_true
+        assert not RangePredicate(0, 1).is_true
+
+
+class TestRangePredicate:
+    def test_mask(self):
+        assert RangePredicate(1, 3).mask(5).tolist() == [
+            False, True, True, True, False,
+        ]
+
+    def test_point(self):
+        predicate = RangePredicate.point(2)
+        assert predicate.is_point
+        assert predicate.mask(4).tolist() == [False, False, True, False]
+
+    def test_matches(self):
+        predicate = RangePredicate(1, 3)
+        assert predicate.matches(1) and predicate.matches(3)
+        assert not predicate.matches(0) and not predicate.matches(4)
+
+    def test_intersect(self):
+        assert RangePredicate(0, 3).intersect(RangePredicate(2, 5)) == (
+            RangePredicate(2, 3)
+        )
+        assert RangePredicate(0, 1).intersect(RangePredicate(3, 4)) is None
+
+    def test_contains_range(self):
+        assert RangePredicate(0, 5).contains_range(RangePredicate(2, 3))
+        assert not RangePredicate(2, 3).contains_range(RangePredicate(0, 5))
+
+    def test_width(self):
+        assert RangePredicate(2, 2).width() == 1
+        assert RangePredicate(0, 4).width() == 5
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(StatisticError):
+            RangePredicate(3, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(StatisticError):
+            RangePredicate(-1, 2)
+
+    @given(st.integers(0, 9), st.integers(0, 9), st.integers(0, 9), st.integers(0, 9))
+    def test_intersect_agrees_with_masks(self, a, b, c, d):
+        low1, high1 = min(a, b), max(a, b)
+        low2, high2 = min(c, d), max(c, d)
+        first = RangePredicate(low1, high1)
+        second = RangePredicate(low2, high2)
+        expected = first.mask(10) & second.mask(10)
+        result = first.intersect(second)
+        if result is None:
+            assert not expected.any()
+        else:
+            assert np.array_equal(result.mask(10), expected)
+
+
+class TestSetPredicate:
+    def test_mask(self):
+        assert SetPredicate([0, 2]).mask(4).tolist() == [True, False, True, False]
+
+    def test_matches(self):
+        predicate = SetPredicate([1, 3])
+        assert predicate.matches(3)
+        assert not predicate.matches(2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(StatisticError):
+            SetPredicate([])
+
+
+class TestConjunction:
+    def test_constrained_positions(self, schema):
+        conjunction = Conjunction(schema, {"b": RangePredicate(0, 1)})
+        assert conjunction.constrained_positions == [1]
+        assert conjunction.predicate_at(0).is_true
+
+    def test_true_predicates_dropped(self, schema):
+        conjunction = Conjunction(schema, {"a": TruePredicate()})
+        assert conjunction.is_trivial()
+
+    def test_matches_tuple(self, schema):
+        conjunction = Conjunction(
+            schema,
+            {"a": RangePredicate(1, 2), "b": SetPredicate([0, 3])},
+        )
+        assert conjunction.matches_tuple((1, 0))
+        assert conjunction.matches_tuple((2, 3))
+        assert not conjunction.matches_tuple((0, 0))
+        assert not conjunction.matches_tuple((1, 1))
+
+    def test_attribute_masks(self, schema):
+        conjunction = Conjunction(schema, {"a": RangePredicate(0, 0)})
+        masks = conjunction.attribute_masks()
+        assert list(masks) == [0]
+        assert masks[0].tolist() == [True, False, False, False, False]
+
+    def test_non_predicate_rejected(self, schema):
+        with pytest.raises(StatisticError, match="must be a Predicate"):
+            Conjunction(schema, {"a": 5})
+
+    def test_equality(self, schema):
+        first = Conjunction(schema, {"a": RangePredicate(1, 2)})
+        second = Conjunction(schema, {0: RangePredicate(1, 2)})
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestConjunctionFromMasks:
+    def test_full_mask_dropped(self, schema):
+        conjunction = conjunction_from_masks(schema, {"a": np.ones(5, dtype=bool)})
+        assert conjunction.is_trivial()
+
+    def test_contiguous_mask_becomes_range(self, schema):
+        mask = np.array([False, True, True, False, False])
+        conjunction = conjunction_from_masks(schema, {"a": mask})
+        assert conjunction.predicate_at(0) == RangePredicate(1, 2)
+
+    def test_scattered_mask_becomes_set(self, schema):
+        mask = np.array([True, False, True, False, False])
+        conjunction = conjunction_from_masks(schema, {"a": mask})
+        assert conjunction.predicate_at(0) == SetPredicate([0, 2])
+
+    def test_empty_mask_rejected(self, schema):
+        with pytest.raises(StatisticError, match="selects nothing"):
+            conjunction_from_masks(schema, {"a": np.zeros(5, dtype=bool)})
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=8).filter(any))
+    def test_mask_round_trip(self, bits):
+        schema = Schema([integer_domain("x", len(bits))])
+        mask = np.array(bits)
+        conjunction = conjunction_from_masks(schema, {"x": mask})
+        rebuilt = conjunction.predicate_at(0).mask(len(bits))
+        assert np.array_equal(rebuilt, mask)

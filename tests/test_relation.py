@@ -1,0 +1,127 @@
+"""Unit tests for repro.data.relation."""
+
+import numpy as np
+import pytest
+
+from repro.data.domain import Domain, integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema([Domain("a", ["x", "y"]), integer_domain("b", 3)])
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation.from_rows(
+        schema,
+        [("x", 0), ("x", 1), ("y", 2), ("x", 0), ("y", 1)],
+    )
+
+
+class TestConstruction:
+    def test_from_rows(self, relation):
+        assert relation.num_rows == 5
+        assert relation.row_labels(2) == ("y", 2)
+
+    def test_from_index_rows(self, schema):
+        rows = np.array([[0, 0], [1, 2]])
+        relation = Relation.from_index_rows(schema, rows)
+        assert relation.num_rows == 2
+        assert relation.row_labels(1) == ("y", 2)
+
+    def test_empty_relation(self, schema):
+        relation = Relation.from_rows(schema, [])
+        assert relation.num_rows == 0
+        assert len(relation) == 0
+
+    def test_wrong_column_count(self, schema):
+        with pytest.raises(SchemaError, match="expected 2 columns"):
+            Relation(schema, [np.zeros(3, dtype=np.int64)])
+
+    def test_mismatched_lengths(self, schema):
+        with pytest.raises(SchemaError, match="same length"):
+            Relation(
+                schema,
+                [np.zeros(3, dtype=np.int64), np.zeros(4, dtype=np.int64)],
+            )
+
+    def test_out_of_domain_indices(self, schema):
+        with pytest.raises(SchemaError, match="outside"):
+            Relation(
+                schema,
+                [np.array([0, 5]), np.array([0, 0])],
+            )
+
+    def test_bad_index_matrix_shape(self, schema):
+        with pytest.raises(SchemaError, match="index matrix"):
+            Relation.from_index_rows(schema, np.zeros((2, 3), dtype=np.int64))
+
+
+class TestSelection:
+    def test_count_where(self, relation):
+        mask_a = np.array([True, False])  # a = 'x'
+        assert relation.count_where({"a": mask_a}) == 3
+
+    def test_count_where_conjunction(self, relation):
+        masks = {"a": np.array([True, False]), "b": np.array([True, False, False])}
+        assert relation.count_where(masks) == 2
+
+    def test_filter(self, relation):
+        filtered = relation.filter({"a": np.array([False, True])})
+        assert filtered.num_rows == 2
+        assert set(filtered.column("b").tolist()) == {1, 2}
+
+    def test_bad_mask_size(self, relation):
+        with pytest.raises(SchemaError, match="wrong size"):
+            relation.count_where({"a": np.array([True])})
+
+    def test_sample_rows(self, relation):
+        sampled = relation.sample_rows(np.array([0, 4]))
+        assert sampled.num_rows == 2
+        assert sampled.row_labels(1) == ("y", 1)
+
+
+class TestAggregation:
+    def test_marginal(self, relation):
+        assert relation.marginal("a").tolist() == [3, 2]
+        assert relation.marginal("b").tolist() == [2, 2, 1]
+
+    def test_marginal_sums_to_cardinality(self, relation):
+        for attr in ("a", "b"):
+            assert relation.marginal(attr).sum() == relation.num_rows
+
+    def test_contingency(self, relation):
+        table = relation.contingency("a", "b")
+        assert table.shape == (2, 3)
+        assert table.sum() == relation.num_rows
+        assert table[0, 0] == 2  # ('x', 0) twice
+        assert table[1, 2] == 1  # ('y', 2) once
+
+    def test_contingency_matches_marginals(self, relation):
+        table = relation.contingency("a", "b")
+        assert table.sum(axis=1).tolist() == relation.marginal("a").tolist()
+        assert table.sum(axis=0).tolist() == relation.marginal("b").tolist()
+
+    def test_group_by_counts(self, relation):
+        counts = relation.group_by_counts(["a", "b"])
+        assert counts[(0, 0)] == 2
+        assert counts[(1, 1)] == 1
+        assert sum(counts.values()) == relation.num_rows
+
+    def test_group_by_counts_single_attr(self, relation):
+        counts = relation.group_by_counts(["b"])
+        assert counts == {(0,): 2, (1,): 2, (2,): 1}
+
+    def test_group_by_requires_attrs(self, relation):
+        with pytest.raises(SchemaError):
+            relation.group_by_counts([])
+
+    def test_project(self, relation):
+        projected = relation.project(["b"])
+        assert projected.schema.attribute_names == ["b"]
+        assert projected.num_rows == relation.num_rows
+        assert projected.marginal("b").tolist() == relation.marginal("b").tolist()

@@ -1,0 +1,61 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.domain import integer_domain
+from repro.data.schema import Schema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [integer_domain("a", 3), integer_domain("b", 4), integer_domain("c", 5)]
+    )
+
+
+class TestSchema:
+    def test_counts(self, schema):
+        assert schema.num_attributes == 3
+        assert schema.sizes() == [3, 4, 5]
+        assert schema.num_possible_tuples() == 60
+
+    def test_position_by_name_and_index(self, schema):
+        assert schema.position("b") == 1
+        assert schema.position(1) == 1
+
+    def test_domain_lookup(self, schema):
+        assert schema.domain("c").size == 5
+        assert schema.domain(0).name == "a"
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema.position("zzz")
+
+    def test_position_out_of_range(self, schema):
+        with pytest.raises(SchemaError, match="out of range"):
+            schema.position(7)
+
+    def test_contains(self, schema):
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_project_preserves_order_given(self, schema):
+        projected = schema.project(["c", "a"])
+        assert projected.attribute_names == ["c", "a"]
+        assert projected.sizes() == [5, 3]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([integer_domain("a", 2), integer_domain("a", 3)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError, match="at least one"):
+            Schema([])
+
+    def test_equality(self, schema):
+        other = Schema(
+            [integer_domain("a", 3), integer_domain("b", 4), integer_domain("c", 5)]
+        )
+        assert schema == other
+        assert hash(schema) == hash(other)

@@ -1,0 +1,144 @@
+"""Unit tests for attribute-pair selection strategies (Sec 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.data.domain import integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import BudgetError
+from repro.stats.selection import (
+    build_statistic_set,
+    choose_pairs_by_correlation,
+    choose_pairs_by_cover,
+    select_statistics,
+)
+
+# The paper's example: pairs ranked BC > AB > CD > AD; with Ba = 2,
+# correlation picks {BC, AB}, cover picks {BC, AD} or {AB, CD}-style
+# complements (the first pair is the top-ranked, the second must add
+# two new attributes).
+RANKED = [
+    ((1, 2), 0.9),  # BC
+    ((0, 1), 0.8),  # AB
+    ((2, 3), 0.7),  # CD
+    ((0, 3), 0.6),  # AD
+]
+
+
+class TestChoosePairs:
+    def test_correlation_strategy_matches_paper_example(self):
+        assert choose_pairs_by_correlation(RANKED, 2) == [(1, 2), (0, 1)]
+
+    def test_cover_strategy_matches_paper_example(self):
+        # BC first (2 new attrs), then AD (the only pair adding 2 more).
+        assert choose_pairs_by_cover(RANKED, 2) == [(1, 2), (0, 3)]
+
+    def test_correlation_skips_fully_covered_pairs(self):
+        ranked = [((0, 1), 0.9), ((0, 1), 0.8)]
+        # Second pair covers no new attribute -> skipped.
+        assert choose_pairs_by_correlation(ranked, 2) == [(0, 1)]
+
+    def test_cover_falls_back_to_correlation_ties(self):
+        ranked = [((0, 1), 0.9), ((2, 3), 0.5), ((1, 2), 0.8)]
+        chosen = choose_pairs_by_cover(ranked, 3)
+        assert chosen[0] == (0, 1)
+        assert chosen[1] == (2, 3)  # adds 2 attrs, beats (1,2) adding 1
+        assert chosen[2] == (1, 2)
+
+    def test_invalid_num_pairs(self):
+        with pytest.raises(BudgetError):
+            choose_pairs_by_cover(RANKED, 0)
+        with pytest.raises(BudgetError):
+            choose_pairs_by_correlation(RANKED, 0)
+
+
+@pytest.fixture
+def correlated_relation():
+    schema = Schema(
+        [
+            integer_domain("w", 4),
+            integer_domain("x", 4),
+            integer_domain("y", 4),
+            integer_domain("z", 4),
+        ]
+    )
+    rng = np.random.default_rng(12)
+    w = rng.integers(0, 4, 2000)
+    x = (w + rng.integers(0, 2, 2000)) % 4  # strongly tied to w
+    y = rng.integers(0, 4, 2000)
+    z = (y + rng.integers(0, 2, 2000)) % 4  # strongly tied to y
+    return Relation(schema, [w, x, y, z])
+
+
+class TestSelectStatistics:
+    def test_end_to_end_selection(self, correlated_relation):
+        stats = select_statistics(
+            correlated_relation, budget=8, num_pairs=2, strategy="cover"
+        )
+        assert stats
+        pairs = {stat.positions for stat in stats}
+        assert pairs == {(0, 1), (2, 3)}
+        # Budget split evenly: 4 rectangles per pair at most.
+        assert len(stats) <= 8
+
+    def test_exclude_attrs(self, correlated_relation):
+        stats = select_statistics(
+            correlated_relation,
+            budget=8,
+            num_pairs=2,
+            exclude_attrs=["w"],
+        )
+        assert all(0 not in stat.positions for stat in stats)
+
+    def test_unknown_strategy(self, correlated_relation):
+        with pytest.raises(BudgetError, match="unknown strategy"):
+            select_statistics(
+                correlated_relation, budget=8, num_pairs=2, strategy="best"
+            )
+
+    def test_budget_must_fund_pairs(self, correlated_relation):
+        with pytest.raises(BudgetError):
+            select_statistics(correlated_relation, budget=1, num_pairs=2)
+
+    def test_all_uniform_returns_empty(self):
+        schema = Schema([integer_domain("p", 3), integer_domain("q", 3)])
+        rng = np.random.default_rng(5)
+        relation = Relation(
+            schema,
+            [rng.integers(0, 3, 5000), rng.integers(0, 3, 5000)],
+        )
+        stats = select_statistics(relation, budget=4, num_pairs=1)
+        assert stats == []
+
+
+class TestBuildStatisticSet:
+    def test_explicit_pairs(self, correlated_relation):
+        statistic_set = build_statistic_set(
+            correlated_relation,
+            pairs=[("w", "x")],
+            per_pair_budget=4,
+        )
+        assert statistic_set.num_multi_dim <= 4
+        assert statistic_set.attribute_pairs() == {(0, 1)}
+
+    def test_no_pairs_gives_one_dim_only(self, correlated_relation):
+        statistic_set = build_statistic_set(correlated_relation)
+        assert statistic_set.num_multi_dim == 0
+        assert statistic_set.num_one_dim == 16
+
+    def test_explicit_pairs_need_budget(self, correlated_relation):
+        with pytest.raises(BudgetError, match="per_pair_budget"):
+            build_statistic_set(correlated_relation, pairs=[("w", "x")])
+
+    def test_budget_divided_across_pairs(self, correlated_relation):
+        statistic_set = build_statistic_set(
+            correlated_relation,
+            pairs=[("w", "x"), ("y", "z")],
+            budget=8,
+        )
+        per_pair = {}
+        for stat in statistic_set.multi_dim:
+            per_pair.setdefault(stat.positions, 0)
+            per_pair[stat.positions] += 1
+        assert all(count <= 4 for count in per_pair.values())

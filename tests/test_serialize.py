@@ -1,0 +1,81 @@
+"""Tests for domain/schema/relation serialization."""
+
+import numpy as np
+import pytest
+
+from repro.data.binning import Bucket
+from repro.data.domain import Domain, integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.data.serialize import (
+    decode_label,
+    decode_schema,
+    encode_label,
+    encode_schema,
+    load_relation,
+    save_relation,
+)
+from repro.errors import ReproError
+
+
+class TestLabels:
+    @pytest.mark.parametrize(
+        "label",
+        [
+            5,
+            -3,
+            2.75,
+            "CA",
+            True,
+            Bucket(0.0, 10.0),
+            Bucket(5.0, 7.5, closed_right=True),
+            ("WA", "Seattle"),
+            ("WA", ("nested", 3)),
+        ],
+    )
+    def test_round_trip(self, label):
+        assert decode_label(encode_label(label)) == label
+
+    def test_numpy_scalars(self):
+        assert decode_label(encode_label(np.int64(7))) == 7
+        assert decode_label(encode_label(np.float64(1.5))) == 1.5
+
+    def test_unserializable(self):
+        with pytest.raises(ReproError):
+            encode_label(object())
+
+    def test_unknown_tag(self):
+        with pytest.raises(ReproError):
+            decode_label({"t": "widget", "v": 1})
+
+
+class TestSchema:
+    def test_round_trip(self):
+        schema = Schema(
+            [
+                Domain("state", ["CA", "NY"]),
+                Domain("bucketed", [Bucket(0, 1), Bucket(1, 2, True)]),
+                integer_domain("day", 3),
+            ]
+        )
+        assert decode_schema(encode_schema(schema)) == schema
+
+
+class TestRelation:
+    def test_round_trip(self, tmp_path):
+        schema = Schema([Domain("s", ["x", "y"]), integer_domain("v", 4)])
+        rng = np.random.default_rng(0)
+        relation = Relation(
+            schema, [rng.integers(0, 2, 50), rng.integers(0, 4, 50)]
+        )
+        save_relation(relation, tmp_path / "rel")
+        loaded = load_relation(tmp_path / "rel")
+        assert loaded.schema == relation.schema
+        for pos in range(2):
+            assert np.array_equal(loaded.column(pos), relation.column(pos))
+
+    def test_empty_relation(self, tmp_path):
+        schema = Schema([integer_domain("v", 4)])
+        relation = Relation.from_rows(schema, [])
+        save_relation(relation, tmp_path / "empty")
+        assert load_relation(tmp_path / "empty").num_rows == 0

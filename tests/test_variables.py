@@ -1,0 +1,50 @@
+"""Tests for ModelParameters."""
+
+import numpy as np
+import pytest
+
+from repro.core.variables import ModelParameters
+from repro.errors import SolverError
+
+
+class TestModelParameters:
+    def test_initial_is_all_ones(self):
+        params = ModelParameters.initial([3, 4], 2)
+        assert all((alpha == 1.0).all() for alpha in params.alphas)
+        assert (params.deltas == 1.0).all()
+        assert params.num_variables == 9
+
+    def test_copy_is_independent(self):
+        params = ModelParameters.initial([3], 1)
+        clone = params.copy()
+        clone.alphas[0][0] = 5.0
+        clone.deltas[0] = 5.0
+        assert params.alphas[0][0] == 1.0
+        assert params.deltas[0] == 1.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(SolverError):
+            ModelParameters([np.array([-1.0])], np.array([]))
+        with pytest.raises(SolverError):
+            ModelParameters([np.array([1.0])], np.array([-0.5]))
+
+    def test_shape_validation(self):
+        with pytest.raises(SolverError):
+            ModelParameters([np.ones((2, 2))], np.ones(1))
+        with pytest.raises(SolverError):
+            ModelParameters([np.ones(2)], np.ones((1, 1)))
+
+    def test_array_round_trip(self):
+        params = ModelParameters(
+            [np.array([1.0, 2.0]), np.array([3.0])], np.array([4.0, 5.0])
+        )
+        rebuilt = ModelParameters.from_arrays(params.to_arrays())
+        assert len(rebuilt.alphas) == 2
+        assert rebuilt.alphas[0].tolist() == [1.0, 2.0]
+        assert rebuilt.deltas.tolist() == [4.0, 5.0]
+
+    def test_from_arrays_missing_alpha(self):
+        with pytest.raises(SolverError):
+            ModelParameters.from_arrays(
+                {"alpha_0": np.ones(2), "alpha_2": np.ones(2), "deltas": np.ones(1)}
+            )

@@ -1,0 +1,102 @@
+"""Tests for workload builders (heavy / light / nonexistent)."""
+
+import numpy as np
+import pytest
+
+from repro.data.domain import integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import ReproError
+from repro.workloads.selection_queries import (
+    heavy_hitters,
+    light_hitters,
+    nonexistent_values,
+    standard_workloads,
+)
+
+
+@pytest.fixture
+def relation():
+    schema = Schema([integer_domain("a", 6), integer_domain("b", 6)])
+    rng = np.random.default_rng(9)
+    # Zipf-ish skew over a few cells; most of the 36 cells stay empty.
+    cells = [(0, 0)] * 100 + [(1, 1)] * 50 + [(2, 2)] * 20 + [(3, 3)] * 5 + [(4, 4)] * 2 + [(5, 5)] * 1
+    rng.shuffle(cells)
+    return Relation.from_rows(schema, cells)
+
+
+class TestHeavyHitters:
+    def test_picks_largest(self, relation):
+        workload = heavy_hitters(relation, ["a", "b"], 2)
+        counts = [query.true_count for query in workload]
+        assert counts == [100.0, 50.0]
+
+    def test_true_counts_correct(self, relation):
+        for query in heavy_hitters(relation, ["a", "b"], 4):
+            masks = query.conjunction(relation.schema).attribute_masks()
+            assert relation.count_where(masks) == query.true_count
+
+    def test_single_attribute(self, relation):
+        workload = heavy_hitters(relation, ["a"], 3)
+        assert workload.queries[0].true_count == 100.0
+
+
+class TestLightHitters:
+    def test_picks_smallest_nonzero(self, relation):
+        workload = light_hitters(relation, ["a", "b"], 2)
+        counts = sorted(query.true_count for query in workload)
+        assert counts == [1.0, 2.0]
+
+    def test_all_nonzero(self, relation):
+        for query in light_hitters(relation, ["a", "b"], 6):
+            assert query.true_count > 0
+
+    def test_count_larger_than_population(self, relation):
+        workload = light_hitters(relation, ["a", "b"], 100)
+        assert len(workload) == 6  # only 6 existing cells
+
+
+class TestNonexistent:
+    def test_all_zero(self, relation):
+        workload = nonexistent_values(relation, ["a", "b"], 10, seed=1)
+        assert all(query.true_count == 0 for query in workload)
+        for query in workload:
+            masks = query.conjunction(relation.schema).attribute_masks()
+            assert relation.count_where(masks) == 0
+
+    def test_distinct(self, relation):
+        workload = nonexistent_values(relation, ["a", "b"], 20, seed=2)
+        indices = [query.indices for query in workload]
+        assert len(set(indices)) == len(indices)
+
+    def test_deterministic(self, relation):
+        first = nonexistent_values(relation, ["a", "b"], 10, seed=3)
+        second = nonexistent_values(relation, ["a", "b"], 10, seed=3)
+        assert [q.indices for q in first] == [q.indices for q in second]
+
+    def test_enumeration_path_when_scarce(self, relation):
+        # 30 zero cells exist; asking for 29 forces enumeration.
+        workload = nonexistent_values(relation, ["a", "b"], 29, seed=4)
+        assert len(workload) == 29
+        assert all(query.true_count == 0 for query in workload)
+
+    def test_too_many_requested(self, relation):
+        with pytest.raises(ReproError, match="empty cells"):
+            nonexistent_values(relation, ["a", "b"], 31, seed=5)
+
+
+class TestStandardWorkloads:
+    def test_shapes(self, relation):
+        workloads = standard_workloads(
+            relation, ["a", "b"], num_heavy=3, num_light=3, num_null=6
+        )
+        assert set(workloads) == {"heavy", "light", "null"}
+        assert len(workloads["heavy"]) == 3
+        assert len(workloads["null"]) == 6
+
+    def test_labels_resolved(self, relation):
+        workloads = standard_workloads(
+            relation, ["a", "b"], num_heavy=1, num_light=1, num_null=1
+        )
+        query = workloads["heavy"].queries[0]
+        assert query.labels == (0, 0)
