@@ -1,0 +1,25 @@
+# Development entry points.  The tier-1 verify command is `make test`.
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench-smoke lint install
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Quick benchmark pass at the small scale: the interactive-latency
+# suite, including the run_many()-vs-sequential acceptance check.
+bench-smoke:
+	REPRO_SCALE=small $(PYTHON) -m pytest -q benchmarks/bench_query_latency.py
+
+# No third-party linter is baked into this image; compileall catches
+# syntax errors and the -W error import smoke catches warnings-on-import.
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -W error::SyntaxWarning -c "import repro, repro.api, repro.cli, repro.experiments"
+
+# Editable install.  This offline image lacks `wheel`, so PEP 660
+# editable builds fail; setup.py develop reads the same pyproject
+# metadata (see setup.py).  Use `pip install -e .` where wheel exists.
+install:
+	$(PYTHON) setup.py -q develop

@@ -1,0 +1,2 @@
+"""Benchmark suite package (keeps ``benchmarks.conftest`` imports
+unambiguous next to ``tests.conftest``)."""

@@ -6,7 +6,7 @@ Paper claims encoded below: the compression is orders of magnitude
 and the summary's parameters are far smaller than the samples.
 """
 
-from conftest import publish
+from benchmarks.conftest import publish
 from repro.experiments.compression import run_compression
 
 

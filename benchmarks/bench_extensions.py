@@ -5,7 +5,7 @@ variance formula's calibration, and Sec 6.4's "cover beats
 correlation for the same budget" conclusion.
 """
 
-from conftest import publish
+from benchmarks.conftest import publish
 from repro.experiments.strategy_ablation import run_strategy_ablation
 from repro.experiments.variance import run_variance
 

@@ -5,7 +5,7 @@ restricted flights relation.  The benchmark time is the full
 experiment (summary builds are cached after the first run).
 """
 
-from conftest import publish
+from benchmarks.conftest import publish
 from repro.experiments.fig2 import run_fig2
 
 

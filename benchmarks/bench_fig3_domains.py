@@ -4,7 +4,7 @@ Checks our generated datasets reproduce the paper's binned domain
 sizes exactly; the benchmark measures dataset generation time.
 """
 
-from conftest import publish
+from benchmarks.conftest import publish
 from repro.datasets import generate_flights
 from repro.experiments.fig3 import run_fig3
 

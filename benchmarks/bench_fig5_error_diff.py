@@ -8,7 +8,7 @@ Shape assertions encode the paper's Sec 6.2 observations:
 * light hitters: Ent1&2&3 beats uniform sampling on every template.
 """
 
-from conftest import publish
+from benchmarks.conftest import publish
 from repro.experiments.fig5 import run_fig5
 
 

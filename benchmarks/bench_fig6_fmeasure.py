@@ -5,7 +5,7 @@ Ent3&4) post the best F measures, beating the uniform sample; the
 EntropyDB family beats uniform sampling across the board.
 """
 
-from conftest import publish
+from benchmarks.conftest import publish
 from repro.experiments.fig6 import run_fig6
 
 

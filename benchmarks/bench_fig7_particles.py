@@ -9,7 +9,7 @@ Shape assertions from Sec 6.3:
   bound) at every data size.
 """
 
-from conftest import publish
+from benchmarks.conftest import publish
 from repro.experiments.fig7 import run_fig7
 
 

@@ -8,7 +8,7 @@ Shape assertions from Sec 6.4:
 * No2D is the weakest on heavy hitters (no correlation correction).
 """
 
-from conftest import publish
+from benchmarks.conftest import publish
 from repro.experiments.fig8 import run_fig8
 
 

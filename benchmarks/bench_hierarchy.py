@@ -11,7 +11,7 @@ import time
 
 import numpy as np
 
-from conftest import publish
+from benchmarks.conftest import publish
 from repro.core.hierarchy import HierarchicalSummary
 from repro.evaluation.metrics import relative_error
 from repro.evaluation.reporting import ExperimentResult

@@ -1,17 +1,21 @@
 """Sec 5 latency claims: interactive query answering.
 
-Micro-benchmarks over the largest flights summary (Ent1&2&3): point
-queries, range queries, and a full GROUP BY, plus the experiment-level
-latency table comparing with the 1% sample.  The paper's bound —
-average < 500 ms, max < 1 s on a domain of ~1e10 tuples — should hold
-with two orders of magnitude to spare on our substrate.
+Micro-benchmarks over the largest flights summary (Ent1&2&3) through
+the session API: point queries, range queries, a full GROUP BY, and the
+batched ``run_many()`` path vs sequential ``run()``, plus the
+experiment-level latency table comparing with the 1% sample.  The
+paper's bound — average < 500 ms, max < 1 s on a domain of ~1e10
+tuples — should hold with two orders of magnitude to spare on our
+substrate.
 """
+
+import time
 
 import numpy as np
 
-from conftest import publish
+from benchmarks.conftest import publish
+from repro.api import Explorer
 from repro.experiments.latency import run_latency
-from repro.query.backends import SummaryBackend
 from repro.stats.predicates import Conjunction, RangePredicate
 
 
@@ -27,13 +31,13 @@ def test_latency_table(benchmark, store, results_dir):
             assert row["max_ms"] < 1000.0, row
 
 
-def _summary_backend(store):
-    return SummaryBackend(store.flights_summary("Ent1&2&3", "coarse"))
+def _session(store) -> Explorer:
+    return Explorer.attach(store.flights_summary("Ent1&2&3", "coarse"))
 
 
 def test_point_query_latency(benchmark, store):
-    backend = _summary_backend(store)
-    schema = backend.schema
+    explorer = _session(store)
+    schema = explorer.schema
     predicate = Conjunction(
         schema,
         {
@@ -41,13 +45,13 @@ def test_point_query_latency(benchmark, store):
             "dest_state": RangePredicate.point(31),
         },
     )
-    count = benchmark(backend.count, predicate)
+    count = benchmark(explorer.count, predicate)
     assert count >= 0.0
 
 
 def test_range_query_latency(benchmark, store):
-    backend = _summary_backend(store)
-    schema = backend.schema
+    explorer = _session(store)
+    schema = explorer.schema
     predicate = Conjunction(
         schema,
         {
@@ -55,16 +59,67 @@ def test_range_query_latency(benchmark, store):
             "distance": RangePredicate(20, 60),
         },
     )
-    count = benchmark(backend.count, predicate)
+    count = benchmark(explorer.count, predicate)
     assert count >= 0.0
 
 
 def test_group_by_latency(benchmark, store):
-    backend = _summary_backend(store)
-    grouped = benchmark(backend.group_counts, ["dest_state"], None)
+    explorer = _session(store)
+    grouped = benchmark(explorer.group_counts, ["dest_state"], None)
     assert len(grouped) == 54
     assert np.isclose(
-        sum(grouped.values()), backend.summary.total, rtol=1e-6
+        sum(grouped.values()), explorer.summary.total, rtol=1e-6
+    )
+
+
+def test_run_many_beats_sequential(store):
+    """Acceptance check: ``run_many()`` on a batch of counting queries
+    is measurably faster than the same queries via sequential
+    ``run()`` — the batch funnels through one vectorized inference
+    pass instead of one polynomial evaluation per query."""
+    explorer = _session(store)
+    schema = explorer.schema
+    origin = schema.domain("origin_state")
+    time_size = schema.domain("fl_time").size
+    rng = np.random.default_rng(13)
+    queries = []
+    for _ in range(24):
+        state = origin.label_of(int(rng.integers(0, origin.size)))
+        low = int(rng.integers(0, time_size - 10))
+        high = low + int(rng.integers(3, 9))
+        queries.append(
+            explorer.query()
+            .where(origin_state=state)
+            .where(fl_time__between=(low, high))
+            .to_ast()
+        )
+
+    def sequential() -> tuple[float, list[float]]:
+        explorer.clear_cache()
+        start = time.perf_counter()
+        results = [explorer.execute(query) for query in queries]
+        return time.perf_counter() - start, [r.scalar for r in results]
+
+    def batched() -> tuple[float, list[float]]:
+        explorer.clear_cache()
+        start = time.perf_counter()
+        results = explorer.run_many(queries)
+        return time.perf_counter() - start, [r.scalar for r in results]
+
+    rounds = [(sequential(), batched()) for _ in range(5)]
+    reference = rounds[0][0][1]
+    for (_, seq_values), (_, bat_values) in rounds:
+        assert np.allclose(seq_values, reference)
+        assert np.allclose(bat_values, reference)
+    seq_time = min(seq for (seq, _), _ in rounds)
+    bat_time = min(bat for _, (bat, _) in rounds)
+    print(
+        f"\nrun_many: {len(queries)} queries, sequential {seq_time*1e3:.2f} ms"
+        f" vs batched {bat_time*1e3:.2f} ms ({seq_time/bat_time:.2f}x)"
+    )
+    assert bat_time < seq_time, (
+        f"batched {bat_time*1e3:.2f} ms not faster than sequential "
+        f"{seq_time*1e3:.2f} ms"
     )
 
 

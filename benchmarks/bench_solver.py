@@ -6,7 +6,7 @@ time one full sweep and a complete solve on the mid-size
 configuration, and publish the per-configuration convergence table.
 """
 
-from conftest import publish
+from benchmarks.conftest import publish
 from repro.core.polynomial import CompressedPolynomial
 from repro.core.solver import MirrorDescentSolver
 from repro.experiments.solver_trace import run_solver_trace

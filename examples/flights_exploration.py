@@ -12,10 +12,9 @@ Run:  python examples/flights_exploration.py            (small data)
 import os
 import time
 
-from repro import EntropySummary
-from repro.baselines import ExactBackend, uniform_sample
+from repro.api import Explorer, SummaryBuilder
+from repro.baselines import uniform_sample
 from repro.datasets import generate_flights
-from repro.query import SQLEngine, SummaryBackend
 
 
 def main() -> None:
@@ -26,22 +25,23 @@ def main() -> None:
 
     print("building the Ent1&2&3 summary (pairs 1-3 of the paper) ...")
     start = time.perf_counter()
-    summary = EntropySummary.build(
-        relation,
-        pairs=[
+    summary = (
+        SummaryBuilder(relation)
+        .pairs(
             ("origin_state", "distance"),
             ("dest_state", "distance"),
             ("fl_time", "distance"),
-        ],
-        per_pair_budget=150,
-        max_iterations=20,
-        name="Ent1&2&3",
+        )
+        .per_pair_budget(150)
+        .iterations(20)
+        .name("Ent1&2&3")
+        .fit()
     )
     print(f"  built in {time.perf_counter() - start:.1f}s — {summary!r}\n")
 
-    approx = SQLEngine(SummaryBackend(summary), table_name="Flights")
-    exact = SQLEngine(ExactBackend(relation), table_name="Flights")
-    sample = SQLEngine(
+    approx = Explorer.attach(summary, table_name="Flights")
+    exact = Explorer.attach(relation, table_name="Flights")
+    sample = Explorer.attach(
         uniform_sample(relation, fraction=0.01, seed=3), table_name="Flights"
     )
 
@@ -76,6 +76,20 @@ def main() -> None:
             f"  approx {approx_row.labels[0]:3s} {approx_row.count:9.0f}   "
             f"exact {exact_row.labels[0]:3s} {exact_row.count:7.0f}"
         )
+
+    # -- batched drill-down: one inference pass for many queries --------
+    print("\nQ3b: CA departures by distance band (fluent run_many batch)")
+    bands = [(0, 499), (500, 999), (1000, 1999), (2000, 5000)]
+    batch = approx.run_many(
+        [
+            approx.query().where(
+                origin_state="CA", distance__between=band
+            )
+            for band in bands
+        ]
+    )
+    for band, result in zip(bands, batch):
+        print(f"  {band[0]:4d}-{band[1]:4d} mi: {result.scalar:9.1f}")
 
     # -- rare vs nonexistent --------------------------------------------
     print("\nQ4: rare vs nonexistent routes (the sampling failure mode)")

@@ -11,10 +11,9 @@ Run:  python examples/particles_exploration.py
 import os
 import time
 
-from repro import EntropySummary
-from repro.baselines import ExactBackend, stratified_sample
+from repro.api import Explorer, SummaryBuilder
+from repro.baselines import stratified_sample
 from repro.datasets import generate_particles
-from repro.query import SQLEngine, SummaryBackend
 from repro.stats import pair_correlations
 
 
@@ -31,18 +30,19 @@ def main() -> None:
 
     print("\nbuilding the EntAll summary (top pairs, 60 buckets each) ...")
     start = time.perf_counter()
-    summary = EntropySummary.build(
-        relation,
-        pairs=[("density", "grp"), ("mass", "type"), ("x", "y")],
-        per_pair_budget=60,
-        max_iterations=20,
-        name="EntAll",
+    summary = (
+        SummaryBuilder(relation)
+        .pairs(("density", "grp"), ("mass", "type"), ("x", "y"))
+        .per_pair_budget(60)
+        .iterations(20)
+        .name("EntAll")
+        .fit()
     )
     print(f"  built in {time.perf_counter() - start:.1f}s — {summary!r}")
 
-    approx = SQLEngine(SummaryBackend(summary), table_name="Particles")
-    exact = SQLEngine(ExactBackend(relation), table_name="Particles")
-    strat = SQLEngine(
+    approx = Explorer.attach(summary, table_name="Particles")
+    exact = Explorer.attach(relation, table_name="Particles")
+    strat = Explorer.attach(
         stratified_sample(relation, ("density", "grp"), fraction=0.01, seed=5),
         table_name="Particles",
     )

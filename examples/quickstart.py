@@ -1,20 +1,24 @@
-"""Quickstart: summarize a relation and ask it questions.
+"""Quickstart: summarize a relation and explore it through a session.
 
-Walks the full EntropyDB pipeline on a small synthetic sales table:
+Walks the full EntropyDB pipeline on a small synthetic sales table
+using the session-oriented API:
 
 1. build a discrete relation,
-2. fit a MaxEnt summary with 2D statistics on the correlated pair,
-3. answer SQL counting queries and compare with the exact answers,
-4. inspect variance / confidence intervals and the summary's size.
+2. fit a MaxEnt summary with :class:`repro.api.SummaryBuilder`,
+3. open an :class:`repro.api.Explorer` session and ask questions —
+   fluent queries, SQL, and batched ``run_many()``,
+4. inspect error bounds and the summary's size,
+5. persist the model into a versioned :class:`repro.api.SummaryStore`.
 
 Run:  python examples/quickstart.py
 """
 
+import tempfile
+
 import numpy as np
 
-from repro import Domain, EntropySummary, Relation, Schema, integer_domain
-from repro.baselines import ExactBackend
-from repro.query import SQLEngine, SummaryBackend
+from repro import Domain, Relation, Schema, integer_domain
+from repro.api import Explorer, SummaryBuilder, SummaryStore
 
 
 def build_sales_relation(num_rows: int = 5000, seed: int = 42) -> Relation:
@@ -41,13 +45,14 @@ def main() -> None:
     relation = build_sales_relation()
     print(f"data: {relation!r}\n")
 
-    # -- 1. build the summary -----------------------------------------
-    summary = EntropySummary.build(
-        relation,
-        pairs=[("region", "product")],  # the correlated pair
-        per_pair_budget=8,              # 8 KD-tree rectangles
-        max_iterations=50,
-        name="sales",
+    # -- 1. fit the summary with the builder ---------------------------
+    summary = (
+        SummaryBuilder(relation)
+        .pairs(("region", "product"))   # the correlated pair
+        .per_pair_budget(8)             # 8 KD-tree rectangles
+        .iterations(50)
+        .name("sales")
+        .fit()
     )
     print(f"summary: {summary!r}")
     print(f"solver:  {summary.report!r}")
@@ -57,44 +62,57 @@ def main() -> None:
         f"{size['num_uncompressed_monomials']} monomials uncompressed\n"
     )
 
-    # -- 2. answer SQL against both the summary and the exact data ----
-    approx = SQLEngine(SummaryBackend(summary), table_name="sales")
-    exact = SQLEngine(ExactBackend(relation), table_name="sales")
+    # -- 2. open sessions on the summary and the exact data ------------
+    approx = Explorer.attach(summary, table_name="sales")
+    exact = Explorer.attach(relation, table_name="sales")
+
+    # Fluent queries — no SQL strings needed.
     queries = [
-        "SELECT COUNT(*) FROM sales WHERE region = 'north'",
-        "SELECT COUNT(*) FROM sales WHERE region = 'north' AND product = 'widget'",
-        "SELECT COUNT(*) FROM sales WHERE product = 'gizmo' AND month BETWEEN 0 AND 5",
-        "SELECT COUNT(*) FROM sales WHERE region IN ('east', 'west') AND month = 3",
+        approx.query().where(region="north"),
+        approx.query().where(region="north", product="widget"),
+        approx.query().where(product="gizmo", month__between=(0, 5)),
+        approx.query().where(region__in=("east", "west"), month=3),
     ]
-    print(f"{'query':70s}  {'approx':>9s}  {'exact':>7s}")
-    for sql in queries:
-        print(f"{sql:70s}  {approx.count(sql):9.1f}  {exact.count(sql):7.0f}")
+    # run_many() answers every counting query of the batch through one
+    # vectorized inference pass.
+    batch = approx.run_many(queries)
+    print(f"{'query':58s}  {'approx':>9s}  {'exact':>7s}")
+    for query, result in zip(queries, batch):
+        sql = repr(query.to_ast())
+        true = exact.sql(sql).scalar
+        print(f"{sql[:58]:58s}  {result.scalar:9.1f}  {true:7.0f}")
+
+    # Plain SQL still works against any session.
+    sql = "SELECT COUNT(*) FROM sales WHERE region = 'north'"
+    assert abs(approx.sql(sql).scalar - batch[0].scalar) < 1e-9
 
     # -- 3. GROUP BY with ORDER/LIMIT ----------------------------------
     print("\ntop regions (approximate):")
-    result = approx.execute(
-        "SELECT region, COUNT(*) AS cnt FROM sales GROUP BY region "
-        "ORDER BY cnt DESC LIMIT 3"
+    top = (
+        approx.query().group_by("region").order("desc").limit(3).run()
     )
-    for row in result.rows:
-        print(f"  {row.labels[0]:8s} {row.count:9.1f}")
+    for labels_and_count in top.to_rows():
+        region, count = labels_and_count
+        print(f"  {region:8s} {count:9.1f}")
 
     # -- 4. uncertainty -------------------------------------------------
-    from repro.stats.predicates import Conjunction, RangePredicate
-
-    predicate = Conjunction(
-        relation.schema,
-        {"region": RangePredicate.point(3), "product": RangePredicate.point(0)},
-    )
-    estimate = summary.count(predicate)
-    low, high = estimate.ci95
-    true = exact.count(
-        "SELECT COUNT(*) FROM sales WHERE region = 'west' AND product = 'widget'"
-    )
+    result = approx.query().where(region="west", product="widget").run()
+    low, high = result.ci95
+    true = exact.query().where(region="west", product="widget").value()
     print(
-        f"\nwest/widget: {estimate.expectation:.1f} "
-        f"(std {estimate.std:.1f}, 95% CI [{low:.1f}, {high:.1f}]), true {true:.0f}"
+        f"\nwest/widget: {result.scalar:.1f} "
+        f"(std {result.std:.1f}, 95% CI [{low:.1f}, {high:.1f}]), true {true:.0f}"
     )
+
+    # -- 5. persist into a versioned store ------------------------------
+    with tempfile.TemporaryDirectory() as root:
+        store = SummaryStore(root)
+        record = store.save(summary, tag="quickstart")
+        print(f"\nstored:  {record.describe()}")
+        reopened = Explorer.open(store, "sales", table_name="sales")
+        reloaded_count = reopened.query().where(region="north").value()
+        assert abs(reloaded_count - batch[0].scalar) < 1e-6 * batch[0].scalar
+        print("reloaded from store; answers identical.")
     print("done.")
 
 

@@ -1,6 +1,6 @@
 """A tour of 2D-statistic selection (Sec 4.3).
 
-Shows the machinery behind ``EntropySummary.build``:
+Shows the machinery behind ``repro.api.SummaryBuilder(...).fit()``:
 
 * ranking attribute pairs by (bias-corrected) Cramér's V,
 * the *correlation* vs *attribute cover* pair-choice strategies,
@@ -24,7 +24,7 @@ from repro.stats import (
 from repro.stats.statistic import StatisticSet
 from repro.workloads import standard_workloads
 from repro.evaluation.harness import run_workload
-from repro.query import SummaryBackend
+from repro.api import Explorer
 
 
 def main() -> None:
@@ -73,7 +73,7 @@ def main() -> None:
             max_iterations=15,
             name=heuristic,
         )
-        backend = SummaryBackend(summary, rounded=True)
+        backend = Explorer.attach(summary, rounded=True)
         row = []
         for kind in ("heavy", "light", "null"):
             run = run_workload(

@@ -1,5 +1,14 @@
-"""Setup shim so editable installs work without the `wheel` package
-(this environment is offline; PEP 517 builds need bdist_wheel)."""
+"""Setup shim for legacy (non-PEP-517) installs.
+
+All metadata lives in ``pyproject.toml`` ([project] / [tool.setuptools]);
+setuptools >= 61 reads it from there even on this legacy path, so the
+installed distribution is ``entropydb-repro``, not UNKNOWN.  The shim
+exists because this environment is offline and lacks the ``wheel``
+package, so ``pip install -e .`` (PEP 660) cannot build an editable
+wheel — use ``python setup.py develop`` here instead.  In environments
+with ``wheel`` available, plain ``pip install -e .`` works and installs
+the same distribution.
+"""
 
 from setuptools import setup
 

@@ -1,17 +1,51 @@
 """EntropyDB reproduction: probabilistic database summarization for
 interactive data exploration (Orr, Balazinska, Suciu — VLDB 2017).
 
-The public API centers on three steps:
+The canonical public API lives in :mod:`repro.api` and is
+session-oriented:
 
 1. load or generate a discrete :class:`~repro.data.relation.Relation`,
-2. build an :class:`~repro.core.summary.EntropySummary` (choose 2D
-   statistics, compress the polynomial, fit with Mirror Descent),
-3. ask counting/group-by queries — via predicates or the SQL front-end
-   in :mod:`repro.query`.
+2. fit a summary with the fluent :class:`~repro.api.SummaryBuilder`
+   (choose 2D statistics, compress the polynomial, fit with Mirror
+   Descent)::
+
+       summary = (
+           SummaryBuilder(relation)
+           .pairs(("origin_state", "distance"))
+           .per_pair_budget(150)
+           .fit()
+       )
+
+3. open an :class:`~repro.api.Explorer` session and ask questions —
+   chainable queries, plain SQL, or batched ``run_many()`` (one
+   vectorized inference pass per batch)::
+
+       ex = Explorer.attach(summary)
+       ex.query().where(distance__ge=1000).group_by("origin_state") \\
+         .order("desc").limit(10).run()
+
+4. persist fitted models as named, versioned artifacts in a
+   :class:`~repro.api.SummaryStore` and reopen them with
+   ``Explorer.open(store, name)``.
+
+Every estimation method — the exact relation, uniform/stratified
+samples, MaxEnt summaries — implements the :class:`~repro.api.Backend`
+ABC, so the same query text runs against any of them.  The lower-level
+layers (``repro.core``, ``repro.query``, ``repro.stats``) remain
+importable for tests and experiments; ``EntropySummary.build`` is
+deprecated in favor of the builder.
 
 See ``examples/quickstart.py`` for a complete tour.
 """
 
+from repro.api import (
+    Backend,
+    Explorer,
+    Query,
+    SummaryBuilder,
+    SummaryRecord,
+    SummaryStore,
+)
 from repro.core import (
     CompressedPolynomial,
     EntropySummary,
@@ -49,9 +83,10 @@ from repro.stats import (
     build_statistic_set,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Backend",
     "BudgetError",
     "Bucket",
     "CompressedPolynomial",
@@ -60,10 +95,12 @@ __all__ = [
     "DomainError",
     "EntropySummary",
     "EquiWidthBinner",
+    "Explorer",
     "InferenceEngine",
     "MirrorDescentSolver",
     "ModelParameters",
     "NaivePolynomial",
+    "Query",
     "QueryError",
     "QueryEstimate",
     "RangePredicate",
@@ -77,6 +114,9 @@ __all__ = [
     "Statistic",
     "StatisticError",
     "StatisticSet",
+    "SummaryBuilder",
+    "SummaryRecord",
+    "SummaryStore",
     "TopKGroupBinner",
     "build_statistic_set",
     "integer_domain",

@@ -1,0 +1,203 @@
+"""Keyword-free summary construction: the :class:`SummaryBuilder`.
+
+Replaces the kwargs-soup ``EntropySummary.build(relation, pairs=...,
+per_pair_budget=..., budget=..., num_pairs=..., strategy=...,
+heuristic=..., exclude_attrs=..., max_iterations=..., threshold=...,
+name=..., seed=...)`` with a chainable builder::
+
+    summary = (
+        SummaryBuilder(relation)
+        .pairs(("origin_state", "distance"), ("dest_state", "distance"))
+        .per_pair_budget(150)
+        .iterations(20)
+        .name("Ent1&2")
+        .fit()
+    )
+
+Automatic pair selection (Sec 4.3) uses ``budget``/``num_pairs``
+instead of explicit ``pairs``; leaving both unset fits a 1D-only
+summary (the paper's *No2D*).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.summary import EntropySummary
+from repro.errors import BudgetError, ReproError
+from repro.stats.selection import build_statistic_set
+
+_STRATEGIES = ("cover", "correlation")
+_HEURISTICS = ("composite", "large", "zero")
+
+
+class SummaryBuilder:
+    """Fluent, validated configuration for fitting one summary."""
+
+    def __init__(self, relation):
+        self._relation = relation
+        self._pairs: list[tuple] | None = None
+        self._per_pair_budget: int | None = None
+        self._budget: int = 0
+        self._num_pairs: int = 0
+        self._strategy: str = "cover"
+        self._heuristic: str = "composite"
+        self._exclude: tuple = ()
+        self._iterations: int = 30
+        self._threshold: float = 1e-6
+        self._name: str = "summary"
+        self._seed: int = 0
+
+    # -- statistic selection --------------------------------------------
+    def pairs(self, *pairs) -> "SummaryBuilder":
+        """Explicit 2D attribute pairs, each a ``(attrA, attrB)`` tuple.
+
+        A single iterable of pairs is also accepted:
+        ``.pairs([("a", "b"), ("c", "d")])``.
+        """
+        if (
+            len(pairs) == 1
+            and isinstance(pairs[0], (list, tuple))
+            and pairs[0]
+            and isinstance(pairs[0][0], (list, tuple))
+        ):
+            pairs = tuple(pairs[0])
+        resolved = []
+        for pair in pairs:
+            pair = tuple(pair)
+            if len(pair) != 2:
+                raise ReproError(
+                    f"each pair must name exactly two attributes, got {pair!r}"
+                )
+            resolved.append(pair)
+        self._pairs = resolved or None
+        return self
+
+    def per_pair_budget(self, buckets: int) -> "SummaryBuilder":
+        """Bucket budget per explicit pair (paper Fig. 4 style)."""
+        if buckets < 1:
+            raise BudgetError(f"per-pair budget must be >= 1, got {buckets}")
+        self._per_pair_budget = int(buckets)
+        return self
+
+    def budget(self, total: int) -> "SummaryBuilder":
+        """Total 2D bucket budget ``B`` for automatic pair selection."""
+        if total < 0:
+            raise BudgetError(f"budget must be >= 0, got {total}")
+        self._budget = int(total)
+        return self
+
+    def num_pairs(self, count: int) -> "SummaryBuilder":
+        """Number of pairs ``Ba`` the automatic selection may pick."""
+        if count < 0:
+            raise BudgetError(f"num_pairs must be >= 0, got {count}")
+        self._num_pairs = int(count)
+        return self
+
+    def strategy(self, strategy: str) -> "SummaryBuilder":
+        """Automatic pair-choice rule: ``cover`` or ``correlation``."""
+        if strategy not in _STRATEGIES:
+            raise ReproError(
+                f"unknown strategy {strategy!r}; choose from {_STRATEGIES}"
+            )
+        self._strategy = strategy
+        return self
+
+    def heuristic(self, heuristic: str) -> "SummaryBuilder":
+        """Per-pair bucketization heuristic (Sec 4.3)."""
+        if heuristic not in _HEURISTICS:
+            raise ReproError(
+                f"unknown heuristic {heuristic!r}; choose from {_HEURISTICS}"
+            )
+        self._heuristic = heuristic
+        return self
+
+    def exclude(self, *attrs) -> "SummaryBuilder":
+        """Attributes never used in 2D statistics (e.g. ``fl_date``)."""
+        if len(attrs) == 1 and not isinstance(attrs[0], (str, int)):
+            attrs = tuple(attrs[0])
+        self._exclude = attrs
+        return self
+
+    # -- solver ----------------------------------------------------------
+    def iterations(self, count: int) -> "SummaryBuilder":
+        """Mirror Descent iteration cap."""
+        if count < 1:
+            raise ReproError(f"iterations must be >= 1, got {count}")
+        self._iterations = int(count)
+        return self
+
+    def threshold(self, value: float) -> "SummaryBuilder":
+        """Solver convergence threshold."""
+        if value <= 0:
+            raise ReproError(f"threshold must be > 0, got {value}")
+        self._threshold = float(value)
+        return self
+
+    def seed(self, seed: int) -> "SummaryBuilder":
+        """Seed for the randomized parts of statistic selection."""
+        self._seed = int(seed)
+        return self
+
+    def name(self, name: str) -> "SummaryBuilder":
+        """Display/storage name of the fitted summary."""
+        self._name = str(name)
+        return self
+
+    # -- interop ---------------------------------------------------------
+    def with_options(self, **options) -> "SummaryBuilder":
+        """Apply options given as ``EntropySummary.build`` keyword names.
+
+        Bridges callers that carry configuration around as dicts (the
+        hierarchical summary, the deprecated ``build`` shim).
+        """
+        setters = {
+            "pairs": lambda v: self.pairs(*(v or ())),
+            "per_pair_budget": lambda v: v is None or self.per_pair_budget(v),
+            "budget": self.budget,
+            "num_pairs": self.num_pairs,
+            "strategy": self.strategy,
+            "heuristic": self.heuristic,
+            "exclude_attrs": lambda v: self.exclude(*v),
+            "max_iterations": self.iterations,
+            "threshold": self.threshold,
+            "name": self.name,
+            "seed": self.seed,
+        }
+        for key, value in options.items():
+            if key not in setters:
+                raise ReproError(
+                    f"unknown summary option {key!r}; expected one of "
+                    f"{sorted(setters)}"
+                )
+            setters[key](value)
+        return self
+
+    # -- terminal --------------------------------------------------------
+    def fit(self) -> EntropySummary:
+        """Select statistics, compress the polynomial, and solve."""
+        statistic_set = build_statistic_set(
+            self._relation,
+            budget=self._budget,
+            num_pairs=self._num_pairs,
+            pairs=self._pairs,
+            per_pair_budget=self._per_pair_budget,
+            strategy=self._strategy,
+            heuristic=self._heuristic,
+            exclude_attrs=self._exclude,
+            seed=self._seed,
+        )
+        return EntropySummary.from_statistics(
+            statistic_set,
+            max_iterations=self._iterations,
+            threshold=self._threshold,
+            name=self._name,
+        )
+
+    def __repr__(self):
+        parts = [f"name={self._name!r}"]
+        if self._pairs:
+            parts.append(f"pairs={self._pairs!r}")
+        if self._budget:
+            parts.append(f"budget={self._budget}")
+        return f"SummaryBuilder({', '.join(parts)})"

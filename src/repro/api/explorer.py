@@ -1,0 +1,360 @@
+"""The :class:`Explorer` — one interactive exploration session.
+
+The paper pitches probabilistic summaries as the engine behind
+"human-speed" data exploration (Sec 1): an analyst attaches to a
+dataset once, then fires many small counting queries.  The Explorer is
+that session object.  It owns
+
+* a :class:`~repro.api.backend.Backend` (exact relation, sample, or
+  MaxEnt summary — anything goes),
+* a SQL engine for text queries and a fluent builder for programmatic
+  ones,
+* per-session LRU caches of *compiled predicates* and *query results*
+  (group-bys included), so repeated interactive queries skip label
+  resolution and re-inference entirely,
+* ``run_many()`` — batched execution that funnels all scalar counting
+  queries of a batch through a single vectorized
+  :class:`~repro.core.inference.InferenceEngine` pass.
+
+Construction::
+
+    ex = Explorer.attach(relation)                  # exact backend
+    ex = Explorer.attach(summary, rounded=True)     # summary backend
+    ex = Explorer.open(store, "flights", tag="v2")  # from a SummaryStore
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.api.query import Query
+from repro.errors import QueryError, ReproError
+from repro.query.ast import CountQuery
+from repro.query.engine import QueryResult, SQLEngine
+from repro.stats.predicates import Conjunction
+
+
+class _LRUCache:
+    """Tiny LRU map; ``maxsize=0`` disables caching entirely."""
+
+    __slots__ = ("maxsize", "data", "hits", "misses")
+
+    def __init__(self, maxsize: int):
+        self.maxsize = max(int(maxsize), 0)
+        self.data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        try:
+            value = self.data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self.data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if not self.maxsize:
+            return
+        self.data[key] = value
+        self.data.move_to_end(key)
+        while len(self.data) > self.maxsize:
+            self.data.popitem(last=False)
+
+    def clear(self) -> None:
+        self.data.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class Explorer:
+    """Session facade over one backend: fluent queries, SQL, batching."""
+
+    def __init__(self, backend, *, table_name: str = "R", cache_size: int = 256):
+        if not hasattr(backend, "count"):
+            raise ReproError(
+                f"{type(backend).__name__} is not a query backend "
+                "(no count method); use Explorer.attach() for relations "
+                "and summaries"
+            )
+        self.backend = backend
+        self.table_name = table_name
+        self.engine = SQLEngine(backend, table_name=table_name)
+        self._predicates = _LRUCache(cache_size)
+        self._results = _LRUCache(cache_size)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(
+        cls,
+        source,
+        *,
+        rounded: bool = False,
+        table_name: str = "R",
+        cache_size: int = 256,
+    ) -> "Explorer":
+        """Open a session on a relation, summary, backend, or Explorer.
+
+        * ``Relation`` → exact full-scan backend,
+        * ``EntropySummary`` → model backend (``rounded=True`` applies
+          the paper's rounding of estimates below 0.5),
+        * any :class:`~repro.api.backend.Backend` (or duck-typed object
+          with ``count``) → used as is,
+        * an ``Explorer`` → returned unchanged.
+        """
+        if isinstance(source, Explorer):
+            return source
+        # Imported lazily: these modules subclass Backend from this
+        # package, so top-level imports would be circular.
+        from repro.core.summary import EntropySummary
+        from repro.data.relation import Relation
+
+        if isinstance(source, EntropySummary):
+            from repro.query.backends import SummaryBackend
+
+            backend = SummaryBackend(source, rounded=rounded)
+        elif isinstance(source, Relation):
+            from repro.baselines.exact import ExactBackend
+
+            backend = ExactBackend(source)
+        else:
+            backend = source
+        return cls(backend, table_name=table_name, cache_size=cache_size)
+
+    @classmethod
+    def open(
+        cls,
+        store,
+        name: str,
+        *,
+        version: int | None = None,
+        tag: str | None = None,
+        rounded: bool = False,
+        table_name: str = "R",
+        cache_size: int = 256,
+    ) -> "Explorer":
+        """Open a session on a summary stored in a :class:`SummaryStore`
+        (or a filesystem path to one)."""
+        from repro.api.store import SummaryStore
+
+        if not isinstance(store, SummaryStore):
+            store = SummaryStore(store)
+        summary = store.load(name, version=version, tag=tag)
+        return cls.attach(
+            summary, rounded=rounded, table_name=table_name, cache_size=cache_size
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        return self.backend.schema
+
+    @property
+    def summary(self):
+        """The underlying ``EntropySummary`` (None for non-model backends)."""
+        return getattr(self.backend, "summary", None)
+
+    def rounded(self, flag: bool = True) -> "Explorer":
+        """A sibling session over the same summary with paper-style
+        rounding toggled (summaries only)."""
+        if self.summary is None:
+            raise ReproError("rounded() requires a summary backend")
+        return Explorer.attach(
+            self.summary,
+            rounded=flag,
+            table_name=self.table_name,
+            cache_size=self._results.maxsize,
+        )
+
+    def describe(self) -> dict:
+        """Backend capability card plus session cache statistics."""
+        describe = getattr(self.backend, "describe", None)
+        card = describe() if describe is not None else {
+            "name": getattr(self.backend, "name", type(self.backend).__name__),
+            "type": type(self.backend).__name__,
+        }
+        card["table"] = self.table_name
+        card["cache"] = self.cache_info()
+        return card
+
+    def cache_info(self) -> dict:
+        return {
+            "predicates": {
+                "size": len(self._predicates.data),
+                "hits": self._predicates.hits,
+                "misses": self._predicates.misses,
+            },
+            "results": {
+                "size": len(self._results.data),
+                "hits": self._results.hits,
+                "misses": self._results.misses,
+            },
+        }
+
+    def clear_cache(self) -> None:
+        """Drop both session caches (and the model cache, if any)."""
+        self._predicates.clear()
+        self._results.clear()
+        summary = self.summary
+        if summary is not None:
+            summary.engine.clear_cache()
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(self) -> Query:
+        """Start a fluent query against this session."""
+        return Query(self)
+
+    def sql(self, text: str) -> QueryResult:
+        """Execute SQL text (cached)."""
+        return self.execute(text)
+
+    @staticmethod
+    def _predicate_key(query: CountQuery):
+        return tuple(
+            sorted(
+                (condition.attribute, condition.op, repr(condition.values))
+                for condition in query.conditions
+            )
+        )
+
+    def _compile(self, query: CountQuery) -> Conjunction | None:
+        if not query.conditions:
+            return None
+        key = self._predicate_key(query)
+        predicate = self._predicates.get(key)
+        if predicate is None:
+            predicate = self.engine.compile(query)
+            self._predicates.put(key, predicate)
+        return predicate
+
+    def _normalize(self, query) -> CountQuery:
+        if isinstance(query, Query):
+            query = query.to_ast()
+        return self.engine.parse(query)
+
+    def execute(self, query: "CountQuery | Query | str") -> QueryResult:
+        """Execute one query with predicate + result caching."""
+        query = self._normalize(query)
+        key = repr(query)
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        result = self.engine.execute_compiled(query, self._compile(query))
+        self._results.put(key, result)
+        return result
+
+    def run_many(
+        self, queries: Sequence["CountQuery | Query | str"]
+    ) -> list[QueryResult]:
+        """Execute a batch of queries, vectorizing where possible.
+
+        All scalar ``COUNT(*)`` queries in the batch run through one
+        :meth:`InferenceEngine.estimate_masks_batch` pass on model
+        backends (one polynomial evaluation for the whole batch instead
+        of one per query); grouped and SUM/AVG queries fall back to
+        per-query execution.  Results come back in input order and
+        populate the session cache like sequential ``run()`` calls.
+        """
+        parsed = [self._normalize(query) for query in queries]
+        keys = [repr(query) for query in parsed]
+        results: list[QueryResult | None] = [self._results.get(key) for key in keys]
+
+        batchable: list[int] = []
+        for index, (query, result) in enumerate(zip(parsed, results)):
+            if result is not None:
+                continue
+            if query.aggregate == "count" and not query.is_grouped:
+                batchable.append(index)
+            else:
+                result = self.engine.execute_compiled(query, self._compile(query))
+                self._results.put(keys[index], result)
+                results[index] = result
+
+        if batchable:
+            conjunctions = [
+                self._compile(parsed[index]) or Conjunction(self.schema, {})
+                for index in batchable
+            ]
+            estimator = getattr(self.backend, "estimate_many", None)
+            value_of = getattr(self.backend, "value_of", None)
+            if estimator is not None and value_of is not None:
+                # One vectorized inference pass yields both the scalar
+                # counts and the error bounds.
+                estimates = estimator(conjunctions)
+                counts = [value_of(estimate) for estimate in estimates]
+            else:
+                estimates = None
+                counter = getattr(self.backend, "count_many", None)
+                if counter is not None:
+                    counts = counter(conjunctions)
+                else:
+                    counts = [self.backend.count(c) for c in conjunctions]
+            for offset, index in enumerate(batchable):
+                result = QueryResult(
+                    parsed[index],
+                    float(counts[offset]),
+                    None,
+                    estimates[offset] if estimates is not None else None,
+                )
+                self._results.put(keys[index], result)
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    # -- predicate-level entry points (harness, experiments) ------------
+    def count(self, query) -> float:
+        """Scalar count of a SQL string, fluent query, or conjunction."""
+        if isinstance(query, Conjunction):
+            return float(self.backend.count(query))
+        result = self.execute(query)
+        if not result.is_scalar:
+            raise QueryError("query is grouped; use execute()")
+        return result.scalar
+
+    def count_many(self, predicates: Sequence) -> list[float]:
+        """Batched scalar counts.
+
+        Accepts a list of :class:`Conjunction` (the harness's native
+        currency) or of SQL/fluent queries; conjunctions go straight to
+        the backend's vectorized path.
+        """
+        predicates = list(predicates)
+        if all(isinstance(item, Conjunction) for item in predicates):
+            counter = getattr(self.backend, "count_many", None)
+            if counter is not None:
+                return [float(value) for value in counter(predicates)]
+            return [float(self.backend.count(item)) for item in predicates]
+        values = []
+        for result in self.run_many(predicates):
+            if not result.is_scalar:
+                raise QueryError("query is grouped; use run_many()")
+            values.append(result.scalar)
+        return values
+
+    def estimate(self, predicate: Conjunction):
+        """Full :class:`QueryEstimate` with error bounds (summaries only)."""
+        estimator = getattr(self.backend, "estimate", None)
+        if estimator is None:
+            raise QueryError(
+                f"backend {self.backend!r} does not expose model estimates"
+            )
+        return estimator(predicate)
+
+    def group_counts(
+        self, attrs: Sequence[str], predicate: Conjunction | None = None
+    ) -> dict[tuple, float]:
+        """Raw grouped counts by label combination (predicate-level)."""
+        return self.backend.group_counts(attrs, predicate)
+
+    def __repr__(self):
+        return (
+            f"Explorer({self.backend!r}, table={self.table_name!r})"
+        )

@@ -5,16 +5,21 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.backend import Backend
 from repro.data.relation import Relation
 from repro.stats.predicates import Conjunction
 
 
-class ExactBackend:
+class ExactBackend(Backend):
     """Answers counting queries by scanning the full relation."""
+
+    supports_sum = True
+    is_exact = True
 
     def __init__(self, relation: Relation):
         self.relation = relation
         self.schema = relation.schema
+        self.name = "exact"
 
     def count(self, predicate: Conjunction) -> float:
         return float(self.relation.count_where(predicate.attribute_masks()))

@@ -12,13 +12,17 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.backend import Backend
 from repro.data.relation import Relation
 from repro.errors import ReproError
 from repro.stats.predicates import Conjunction
 
 
-class WeightedSampleBackend:
+class WeightedSampleBackend(Backend):
     """A materialized sample with per-row weights."""
+
+    supports_sum = True
+    is_exact = False
 
     def __init__(self, sample: Relation, weights: np.ndarray, name: str = "sample"):
         weights = np.asarray(weights, dtype=float)

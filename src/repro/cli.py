@@ -1,16 +1,19 @@
 """Command-line interface.
 
 EntropyDB as a tool: generate datasets, fit summaries, query them, and
-re-run the paper's experiments, all from the shell.
+re-run the paper's experiments, all from the shell.  Models are
+addressed either by bare file prefix (``--model``) or by name inside a
+versioned summary store (``--store`` + ``--name``).
 
 ::
 
     python -m repro generate flights --rows 50000 --out data/flights
     python -m repro build --data data/flights --pairs fl_time:distance \\
-        --budget 300 --out models/flights
-    python -m repro query --model models/flights \\
+        --budget 300 --store models --name flights --tag first
+    python -m repro query --store models --name flights \\
         --sql "SELECT COUNT(*) FROM R WHERE distance >= 1000"
-    python -m repro info --model models/flights
+    python -m repro info --store models --name flights
+    python -m repro store list --dir models
     python -m repro experiment fig5 --scale small
 """
 
@@ -20,6 +23,9 @@ import argparse
 import os
 import sys
 
+from repro.api.builder import SummaryBuilder
+from repro.api.explorer import Explorer
+from repro.api.store import SummaryStore
 from repro.core.summary import EntropySummary
 from repro.data.serialize import load_relation, save_relation
 from repro.errors import ReproError
@@ -42,6 +48,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=7)
     generate.add_argument("--out", required=True, help="output path prefix")
 
+    def add_model_source(command, required_model_help):
+        """``--model`` prefix or ``--store``/``--name`` addressing."""
+        command.add_argument("--model", help=required_model_help)
+        command.add_argument("--store", help="summary store directory")
+        command.add_argument("--name", help="summary name inside the store")
+        command.add_argument(
+            "--version", type=int, help="store version (default: latest)"
+        )
+        command.add_argument("--tag", help="store tag (default: latest)")
+
     build = commands.add_parser("build", help="fit a summary from saved data")
     build.add_argument("--data", required=True, help="relation path prefix")
     build.add_argument(
@@ -54,17 +70,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--heuristic", choices=["composite", "large", "zero"], default="composite"
     )
     build.add_argument("--iterations", type=int, default=30)
-    build.add_argument("--out", required=True, help="model path prefix")
+    build.add_argument("--out", help="model path prefix")
+    build.add_argument("--store", help="save into this summary store instead")
+    build.add_argument("--name", help="summary name inside the store")
+    build.add_argument("--tag", help="store tag for the saved version")
 
     query = commands.add_parser("query", help="run SQL against a saved model")
-    query.add_argument("--model", required=True, help="model path prefix")
+    add_model_source(query, "model path prefix")
     query.add_argument("--sql", required=True)
     query.add_argument(
         "--rounded", action="store_true", help="round estimates the paper's way"
     )
 
     info = commands.add_parser("info", help="describe a saved model")
-    info.add_argument("--model", required=True)
+    add_model_source(info, "model path prefix")
+
+    store = commands.add_parser(
+        "store", help="inspect a versioned summary store"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_list = store_commands.add_parser(
+        "list", help="list every stored summary version"
+    )
+    store_list.add_argument("--dir", required=True, help="store directory")
 
     experiment = commands.add_parser(
         "experiment", help="run one of the paper's experiments"
@@ -111,36 +139,54 @@ def _parse_pairs(spec: str) -> list[tuple[str, str]]:
 
 
 def _cmd_build(args) -> int:
+    if not args.out and not args.store:
+        raise ReproError("give --out PREFIX and/or --store DIR")
     relation = load_relation(args.data)
     pairs = _parse_pairs(args.pairs)
-    summary = EntropySummary.build(
-        relation,
-        pairs=pairs or None,
-        per_pair_budget=args.budget if pairs else None,
-        heuristic=args.heuristic,
-        max_iterations=args.iterations,
-        name=os.path.basename(args.out),
+    name = args.name or (
+        os.path.basename(args.out) if args.out else "summary"
     )
-    summary.save(args.out)
+    builder = (
+        SummaryBuilder(relation)
+        .heuristic(args.heuristic)
+        .iterations(args.iterations)
+        .name(name)
+    )
+    if pairs:
+        builder.pairs(*pairs).per_pair_budget(args.budget)
+    summary = builder.fit()
     report = summary.size_report()
     print(
         f"built {summary!r}\n"
         f"  solver: {summary.report!r}\n"
         f"  terms: {report['num_terms']} "
-        f"(uncompressed {report['num_uncompressed_monomials']})\n"
-        f"  saved to {args.out}.(json|npz)"
+        f"(uncompressed {report['num_uncompressed_monomials']})"
     )
+    if args.out:
+        summary.save(args.out)
+        print(f"  saved to {args.out}.(json|npz)")
+    if args.store:
+        record = SummaryStore(args.store).save(summary, name, tag=args.tag)
+        print(f"  stored as {record.describe()} in {args.store}")
     return 0
 
 
-def _cmd_query(args) -> int:
-    from repro.query import SQLEngine, SummaryBackend
-
-    summary = EntropySummary.load(args.model)
-    engine = SQLEngine(
-        SummaryBackend(summary, rounded=args.rounded), table_name="R"
+def _load_summary(args) -> EntropySummary:
+    """Resolve --model / --store addressing shared by query and info."""
+    if bool(args.model) == bool(args.store):
+        raise ReproError("give exactly one of --model PREFIX or --store DIR")
+    if args.model:
+        return EntropySummary.load(args.model)
+    if not args.name:
+        raise ReproError("--store needs --name")
+    return SummaryStore(args.store).load(
+        args.name, version=args.version, tag=args.tag
     )
-    result = engine.execute(args.sql)
+
+
+def _cmd_query(args) -> int:
+    explorer = Explorer.attach(_load_summary(args), rounded=args.rounded)
+    result = explorer.sql(args.sql)
     if result.is_scalar:
         print(f"{result.scalar:.3f}")
     else:
@@ -150,8 +196,19 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    store = SummaryStore(args.dir)
+    records = store.list()
+    if not records:
+        print(f"store {args.dir} is empty")
+        return 0
+    for record in records:
+        print(record.describe())
+    return 0
+
+
 def _cmd_info(args) -> int:
-    summary = EntropySummary.load(args.model)
+    summary = _load_summary(args)
     report = summary.size_report()
     print(f"model:      {summary.name}")
     print(f"cardinality {summary.total}")
@@ -197,6 +254,7 @@ _COMMANDS = {
     "build": _cmd_build,
     "query": _cmd_query,
     "info": _cmd_info,
+    "store": _cmd_store,
     "experiment": _cmd_experiment,
 }
 

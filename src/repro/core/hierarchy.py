@@ -50,8 +50,9 @@ class HierarchicalSummary:
         Maps each fine label of the drill attribute to its coarse group
         label (e.g. city → state).
     coarse_kwargs / leaf_kwargs:
-        Keyword arguments forwarded to :meth:`EntropySummary.build` for
-        the level-0 and level-1 models (budgets, iterations, ...).
+        Options forwarded to :class:`~repro.api.builder.SummaryBuilder`
+        (as ``EntropySummary.build``-style keyword names) for the
+        level-0 and level-1 models (budgets, iterations, ...).
     """
 
     def __init__(
@@ -110,11 +111,18 @@ class HierarchicalSummary:
                 for pos in range(coarse_schema.num_attributes)
             ],
         )
-        self.coarse = EntropySummary.build(
-            coarse_relation, name="coarse", **coarse_kwargs
-        )
+        self.coarse = self._fit(coarse_relation, "coarse", coarse_kwargs)
         self._leaves: dict[object, EntropySummary | None] = {}
         self.leaf_builds = 0
+
+    @staticmethod
+    def _fit(relation: Relation, name: str, options: Mapping) -> EntropySummary:
+        # Imported here: the api package sits above core in the layering.
+        from repro.api.builder import SummaryBuilder
+
+        return (
+            SummaryBuilder(relation).name(name).with_options(**options).fit()
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -164,8 +172,8 @@ class HierarchicalSummary:
                         for pos in range(leaf_schema.num_attributes)
                     ],
                 )
-                self._leaves[group] = EntropySummary.build(
-                    leaf_relation, name=f"leaf-{group}", **self.leaf_kwargs
+                self._leaves[group] = self._fit(
+                    leaf_relation, f"leaf-{group}", self.leaf_kwargs
                 )
                 self.leaf_builds += 1
         return self._leaves[group]

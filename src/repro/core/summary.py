@@ -23,7 +23,6 @@ from repro.data.relation import Relation
 from repro.data.schema import Schema
 from repro.data.serialize import decode_schema, encode_schema
 from repro.stats.predicates import Conjunction, RangePredicate
-from repro.stats.selection import build_statistic_set
 from repro.stats.statistic import Statistic, StatisticSet
 
 
@@ -65,29 +64,39 @@ class EntropySummary:
         name: str = "summary",
         seed: int = 0,
     ) -> "EntropySummary":
-        """Build and fit a summary straight from data.
+        """Deprecated shim — use :class:`repro.api.SummaryBuilder`.
 
-        ``pairs``/``per_pair_budget`` select explicit 2D statistics
-        (paper Fig. 4 style); ``budget``/``num_pairs`` trigger automatic
-        pair selection (Sec 4.3).  Leave both empty for a 1D-only
-        summary (the paper's *No2D*).
+        Kept for backward compatibility with pre-1.1 call sites; the
+        builder validates each option as it is set and reads fluently::
+
+            SummaryBuilder(relation).pairs(("a", "b")).per_pair_budget(8).fit()
         """
-        statistic_set = build_statistic_set(
-            relation,
-            budget=budget,
-            num_pairs=num_pairs,
-            pairs=pairs,
-            per_pair_budget=per_pair_budget,
-            strategy=strategy,
-            heuristic=heuristic,
-            exclude_attrs=exclude_attrs,
-            seed=seed,
+        import warnings
+
+        warnings.warn(
+            "EntropySummary.build() is deprecated; use "
+            "repro.api.SummaryBuilder(relation)....fit() instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return cls.from_statistics(
-            statistic_set,
-            max_iterations=max_iterations,
-            threshold=threshold,
-            name=name,
+        from repro.api.builder import SummaryBuilder
+
+        return (
+            SummaryBuilder(relation)
+            .with_options(
+                pairs=pairs,
+                per_pair_budget=per_pair_budget,
+                budget=budget,
+                num_pairs=num_pairs,
+                strategy=strategy,
+                heuristic=heuristic,
+                exclude_attrs=exclude_attrs,
+                max_iterations=max_iterations,
+                threshold=threshold,
+                name=name,
+                seed=seed,
+            )
+            .fit()
         )
 
     @classmethod

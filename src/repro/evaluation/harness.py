@@ -1,9 +1,12 @@
 """Shared experiment harness: run workloads against methods, time them,
 and aggregate metrics.
 
-A *method* is any :class:`~repro.query.engine.CountBackend` with a
-name; the harness runs every workload query through it, records the
-per-query estimate and latency, and computes the Sec 6.2 metrics.
+A *method* is anything :meth:`Explorer.attach` accepts — an
+:class:`~repro.api.Explorer` session, a :class:`~repro.api.Backend`, a
+relation, or a summary.  The harness opens a session per run, pushes
+the whole workload through the batched ``count_many`` path (one
+vectorized inference pass on model backends), and computes the Sec 6.2
+metrics.
 """
 
 from __future__ import annotations
@@ -11,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+from repro.api.explorer import Explorer
 from repro.evaluation.metrics import f_measure, mean_relative_error
 from repro.stats.predicates import Conjunction
 from repro.workloads.selection_queries import Workload
@@ -43,15 +47,17 @@ class MethodRun:
         )
 
 
-def run_workload(backend, name: str, workload: Workload, schema) -> MethodRun:
-    """Execute every point query of a workload against a backend."""
-    estimates = []
-    true_counts = []
+def run_workload(method, name: str, workload: Workload, schema) -> MethodRun:
+    """Execute every point query of a workload against a method.
+
+    The queries run through :meth:`Explorer.count_many`, so model
+    backends answer the whole workload in one vectorized pass.
+    """
+    explorer = Explorer.attach(method)
+    predicates = [query.conjunction(schema) for query in workload]
+    true_counts = [query.true_count for query in workload]
     start = time.perf_counter()
-    for query in workload:
-        conjunction = query.conjunction(schema)
-        estimates.append(float(backend.count(conjunction)))
-        true_counts.append(query.true_count)
+    estimates = explorer.count_many(predicates)
     seconds = time.perf_counter() - start
     return MethodRun(name, workload.kind, estimates, true_counts, seconds)
 
@@ -61,26 +67,27 @@ def run_methods(
     workload: Workload,
     schema,
 ) -> dict[str, MethodRun]:
-    """Run one workload against every named backend."""
+    """Run one workload against every named method."""
     return {
-        name: run_workload(backend, name, workload, schema)
-        for name, backend in methods.items()
+        name: run_workload(method, name, workload, schema)
+        for name, method in methods.items()
     }
 
 
 def f_measure_over(
-    backend,
+    method,
     light: Workload,
     null: Workload,
     schema,
 ) -> float:
-    """F measure of one backend over a light + null workload pair."""
-    light_estimates = [
-        float(backend.count(query.conjunction(schema))) for query in light
-    ]
-    null_estimates = [
-        float(backend.count(query.conjunction(schema))) for query in null
-    ]
+    """F measure of one method over a light + null workload pair."""
+    explorer = Explorer.attach(method)
+    light_estimates = explorer.count_many(
+        [query.conjunction(schema) for query in light]
+    )
+    null_estimates = explorer.count_many(
+        [query.conjunction(schema) for query in null]
+    )
     return f_measure(light_estimates, null_estimates)
 
 

@@ -22,6 +22,8 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.api.builder import SummaryBuilder
+from repro.api.store import SummaryStore
 from repro.baselines import stratified_sample, uniform_sample
 from repro.core.summary import EntropySummary
 from repro.data.relation import Relation
@@ -158,13 +160,14 @@ def method_pair_budget(method: str, scale: Scale) -> int:
 class ExperimentStore:
     """Caches datasets, summaries, and samples for one scale.
 
-    Summaries additionally persist to ``cache_dir`` so separate bench
-    processes do not refit the same models.
+    Summaries additionally persist to a versioned
+    :class:`~repro.api.store.SummaryStore` under ``cache_dir`` so
+    separate bench processes do not refit the same models.
     """
 
     def __init__(self, scale: Scale | None = None, cache_dir=None):
         self.scale = scale or active_scale()
-        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.summary_store = SummaryStore(cache_dir) if cache_dir else None
         self._datasets: dict[str, object] = {}
         self._summaries: dict[str, EntropySummary] = {}
         self._samples: dict[str, object] = {}
@@ -197,16 +200,15 @@ class ExperimentStore:
         """Fetch a summary by cache key, building (or loading) on miss."""
         if key in self._summaries:
             return self._summaries[key]
-        if self.cache_dir is not None:
-            prefix = self.cache_dir / f"{self.scale.name}-{key}"
-            if prefix.with_suffix(".json").exists():
-                summary = EntropySummary.load(prefix)
-                self._summaries[key] = summary
-                return summary
+        store_name = f"{self.scale.name}-{key}"
+        if self.summary_store is not None and self.summary_store.has(store_name):
+            summary = self.summary_store.load(store_name)
+            self._summaries[key] = summary
+            return summary
         summary = builder()
         self._summaries[key] = summary
-        if self.cache_dir is not None:
-            summary.save(self.cache_dir / f"{self.scale.name}-{key}")
+        if self.summary_store is not None:
+            self.summary_store.save(summary, store_name, tag=self.scale.name)
         return summary
 
     def flights_summary(self, method: str, variant: str) -> EntropySummary:
@@ -216,13 +218,16 @@ class ExperimentStore:
         pairs = summary_pairs(method, variant)
 
         def build():
-            return EntropySummary.build(
-                relation,
-                pairs=pairs or None,
-                per_pair_budget=method_pair_budget(method, self.scale) or None,
-                max_iterations=self.scale.solver_iterations,
-                name=f"{method}-{variant}",
+            builder = (
+                SummaryBuilder(relation)
+                .iterations(self.scale.solver_iterations)
+                .name(f"{method}-{variant}")
             )
+            if pairs:
+                builder.pairs(*pairs).per_pair_budget(
+                    method_pair_budget(method, self.scale)
+                )
+            return builder.fit()
 
         return self.summary(key, build)
 

@@ -14,12 +14,12 @@ on heavy hitters, nonexistent values, and light hitters.
 
 from __future__ import annotations
 
+from repro.api.explorer import Explorer
 from repro.core.summary import EntropySummary
 from repro.evaluation.harness import run_workload
 from repro.evaluation.reporting import ExperimentResult
 from repro.experiments.configs import ExperimentStore, default_store
 from repro.datasets.flights import flights_restricted
-from repro.query.backends import SummaryBackend
 from repro.stats.heuristics import select_pair_statistics
 from repro.stats.statistic import StatisticSet
 from repro.workloads.selection_queries import standard_workloads
@@ -74,7 +74,7 @@ def run_fig2(store: ExperimentStore | None = None) -> ExperimentResult:
                     relation, h, b, scale.solver_iterations
                 ),
             )
-            backend = SummaryBackend(summary, rounded=True)
+            backend = Explorer.attach(summary, rounded=True)
             row = {"budget": budget, "heuristic": heuristic}
             for kind, workload in workloads.items():
                 run = run_workload(backend, heuristic, workload, relation.schema)

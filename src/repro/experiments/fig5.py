@@ -8,10 +8,10 @@ four stratified samples (over pairs 1–4), Ent1&2, and Ent3&4.
 
 from __future__ import annotations
 
+from repro.api.explorer import Explorer
 from repro.evaluation.harness import run_workload
 from repro.evaluation.reporting import ExperimentResult
 from repro.experiments.configs import ExperimentStore, default_store
-from repro.query.backends import SummaryBackend
 from repro.workloads.selection_queries import heavy_hitters, light_hitters
 
 #: (label, attribute names, workload kind) per the figure's panels.
@@ -47,7 +47,7 @@ def build_methods(store: ExperimentStore, variant: str) -> dict[str, object]:
     for pair_id in (1, 2, 3, 4):
         methods[f"Strat{pair_id}"] = store.flights_stratified(pair_id, variant)
     for name in ("Ent1&2", "Ent3&4", "Ent1&2&3"):
-        methods[name] = SummaryBackend(store.flights_summary(name, variant))
+        methods[name] = Explorer.attach(store.flights_summary(name, variant))
     return methods
 
 

@@ -16,7 +16,6 @@ from repro.evaluation.metrics import f_measure
 from repro.evaluation.reporting import ExperimentResult
 from repro.experiments.configs import ExperimentStore, default_store
 from repro.experiments.fig5 import build_methods
-from repro.query.backends import SummaryBackend
 from repro.workloads.selection_queries import light_hitters, nonexistent_values
 
 _CORE_COARSE = ("origin_state", "dest_state", "fl_time", "distance")
@@ -71,7 +70,7 @@ def run_fig6(store: ExperimentStore | None = None) -> ExperimentResult:
         methods = build_methods(store, variant)
         # F-measure positivity tests use the paper's rounding.
         for name in ("Ent1&2", "Ent3&4", "Ent1&2&3"):
-            methods[name] = SummaryBackend(methods[name].summary, rounded=True)
+            methods[name] = methods[name].rounded()
         per_method: dict[str, list[float]] = {name: [] for name in ALL_METHODS}
         for template in fig6_templates(variant):
             light = light_hitters(relation, template, scale.num_light)

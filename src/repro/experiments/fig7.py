@@ -11,12 +11,12 @@ and average per-query runtime.
 
 from __future__ import annotations
 
+from repro.api.builder import SummaryBuilder
+from repro.api.explorer import Explorer
 from repro.baselines import stratified_sample, uniform_sample
-from repro.core.summary import EntropySummary
 from repro.evaluation.harness import run_workload
 from repro.evaluation.reporting import ExperimentResult
 from repro.experiments.configs import ExperimentStore, default_store
-from repro.query.backends import SummaryBackend
 from repro.stats.correlation import pair_correlations
 from repro.stats.selection import choose_pairs_by_cover
 from repro.workloads.selection_queries import heavy_hitters, light_hitters
@@ -66,25 +66,27 @@ def build_particles_methods(
     }
 
     def build_no2d():
-        return EntropySummary.build(
-            relation,
-            max_iterations=scale.solver_iterations,
-            name=f"EntNo2D-{num_snapshots}",
+        return (
+            SummaryBuilder(relation)
+            .iterations(scale.solver_iterations)
+            .name(f"EntNo2D-{num_snapshots}")
+            .fit()
         )
 
     def build_all():
-        return EntropySummary.build(
-            relation,
-            pairs=ent_all_pairs(relation),
-            per_pair_budget=scale.particles_pair_budget,
-            max_iterations=scale.solver_iterations,
-            name=f"EntAll-{num_snapshots}",
+        return (
+            SummaryBuilder(relation)
+            .pairs(*ent_all_pairs(relation))
+            .per_pair_budget(scale.particles_pair_budget)
+            .iterations(scale.solver_iterations)
+            .name(f"EntAll-{num_snapshots}")
+            .fit()
         )
 
-    methods["EntNo2D"] = SummaryBackend(
+    methods["EntNo2D"] = Explorer.attach(
         store.summary(f"particles-no2d-{num_snapshots}", build_no2d)
     )
-    methods["EntAll"] = SummaryBackend(
+    methods["EntAll"] = Explorer.attach(
         store.summary(f"particles-all-{num_snapshots}", build_all)
     )
     return relation, methods

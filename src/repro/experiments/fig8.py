@@ -13,12 +13,12 @@ import itertools
 from repro.evaluation.harness import run_workload
 from repro.evaluation.metrics import f_measure
 from repro.evaluation.reporting import ExperimentResult
+from repro.api.explorer import Explorer
 from repro.experiments.configs import (
     ExperimentStore,
     MAXENT_METHODS,
     default_store,
 )
-from repro.query.backends import SummaryBackend
 from repro.workloads.selection_queries import (
     heavy_hitters,
     light_hitters,
@@ -58,12 +58,11 @@ def run_fig8(store: ExperimentStore | None = None) -> ExperimentResult:
     for variant in ("coarse", "fine"):
         relation = store.flights_relation(variant)
         backends = {
-            name: SummaryBackend(store.flights_summary(name, variant))
+            name: Explorer.attach(store.flights_summary(name, variant))
             for name in MAXENT_METHODS
         }
         rounded = {
-            name: SummaryBackend(backend.summary, rounded=True)
-            for name, backend in backends.items()
+            name: explorer.rounded() for name, explorer in backends.items()
         }
         errors: dict[str, list[float]] = {name: [] for name in MAXENT_METHODS}
         f_scores: dict[str, list[float]] = {name: [] for name in MAXENT_METHODS}

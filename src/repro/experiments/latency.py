@@ -13,19 +13,20 @@ import time
 
 import numpy as np
 
+from repro.api.explorer import Explorer
 from repro.evaluation.reporting import ExperimentResult
 from repro.experiments.configs import ExperimentStore, default_store
-from repro.query.backends import SummaryBackend
 from repro.workloads.selection_queries import heavy_hitters, light_hitters
 
 
-def measure_latencies(backend, workload, schema) -> np.ndarray:
+def measure_latencies(method, workload, schema) -> np.ndarray:
     """Per-query wall-clock seconds."""
+    explorer = Explorer.attach(method)
     times = np.empty(len(workload))
     for index, query in enumerate(workload):
         conjunction = query.conjunction(schema)
         start = time.perf_counter()
-        backend.count(conjunction)
+        explorer.count(conjunction)
         times[index] = time.perf_counter() - start
     return times
 
@@ -45,7 +46,7 @@ def run_latency(store: ExperimentStore | None = None) -> ExperimentResult:
     )
 
     methods = {
-        "Ent1&2&3": SummaryBackend(store.flights_summary("Ent1&2&3", "coarse")),
+        "Ent1&2&3": Explorer.attach(store.flights_summary("Ent1&2&3", "coarse")),
         "Uni": store.flights_uniform("coarse"),
     }
     rows = []

@@ -12,12 +12,12 @@ from __future__ import annotations
 
 import itertools
 
-from repro.core.summary import EntropySummary
+from repro.api.builder import SummaryBuilder
+from repro.api.explorer import Explorer
 from repro.evaluation.harness import run_workload
 from repro.evaluation.metrics import f_measure
 from repro.evaluation.reporting import ExperimentResult
 from repro.experiments.configs import ExperimentStore, default_store
-from repro.query.backends import SummaryBackend
 from repro.workloads.selection_queries import (
     heavy_hitters,
     light_hitters,
@@ -49,14 +49,15 @@ def run_strategy_ablation(
         key = f"ablation-{strategy}-{num_pairs}"
         summaries[strategy] = store.summary(
             key,
-            lambda s=strategy: EntropySummary.build(
-                relation,
-                budget=budget,
-                num_pairs=num_pairs,
-                strategy=s,
-                exclude_attrs=["fl_date"],
-                max_iterations=scale.solver_iterations,
-                name=f"{s}-{num_pairs}",
+            lambda s=strategy: (
+                SummaryBuilder(relation)
+                .budget(budget)
+                .num_pairs(num_pairs)
+                .strategy(s)
+                .exclude("fl_date")
+                .iterations(scale.solver_iterations)
+                .name(f"{s}-{num_pairs}")
+                .fit()
             ),
         )
 
@@ -76,8 +77,8 @@ def run_strategy_ablation(
     per_template: list[dict] = []
     aggregate_rows = []
     for strategy, summary in summaries.items():
-        backend = SummaryBackend(summary)
-        rounded = SummaryBackend(summary, rounded=True)
+        backend = Explorer.attach(summary)
+        rounded = backend.rounded()
         errors = []
         f_scores = []
         for template in templates:

@@ -4,28 +4,55 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api.backend import Backend
+from repro.core.inference import QueryEstimate
 from repro.core.summary import EntropySummary
 from repro.stats.predicates import Conjunction
 
 
-class SummaryBackend:
+class SummaryBackend(Backend):
     """Answers counting queries with MaxEnt expected values.
 
     ``rounded=True`` applies the paper's rounding (estimates below 0.5
     become 0), which is what the F-measure experiments evaluate.
     """
 
+    supports_sum = True
+    is_exact = False
+
     def __init__(self, summary: EntropySummary, rounded: bool = False):
         self.summary = summary
         self.schema = summary.schema
         self.rounded = rounded
+        self.name = summary.name
 
-    def count(self, predicate: Conjunction) -> float:
-        """Model-expected COUNT(*) under a conjunction."""
-        estimate = self.summary.count(predicate)
+    def value_of(self, estimate: QueryEstimate) -> float:
+        """The scalar this backend reports for an estimate (honors
+        ``rounded``) — lets batch callers reuse estimates they already
+        hold instead of re-running inference."""
         if self.rounded:
             return float(estimate.rounded)
         return estimate.expectation
+
+    def count(self, predicate: Conjunction) -> float:
+        """Model-expected COUNT(*) under a conjunction."""
+        return self.value_of(self.summary.count(predicate))
+
+    def estimate(self, predicate: Conjunction) -> QueryEstimate:
+        """Full model estimate with variance / confidence interval."""
+        return self.summary.count(predicate)
+
+    def estimate_many(
+        self, predicates: Sequence[Conjunction]
+    ) -> list[QueryEstimate]:
+        """Batched estimates through one vectorized polynomial pass."""
+        return self.summary.engine.estimate_batch(predicates)
+
+    def count_many(self, predicates: Sequence[Conjunction]) -> list[float]:
+        """Batched counts — the fast path behind ``Explorer.run_many``."""
+        return [
+            self.value_of(estimate) for estimate in self.estimate_many(predicates)
+        ]
 
     def sum_values(self, attr, weights, predicate: Conjunction | None) -> float:
         """Model-expected ``SUM(w(attr))`` (Sec 7 aggregate extension)."""
@@ -37,13 +64,9 @@ class SummaryBackend:
         self, attrs: Sequence[str], predicate: Conjunction | None
     ) -> dict[tuple, float]:
         estimates = self.summary.group_by(attrs, predicate)
-        if self.rounded:
-            return {
-                labels: float(estimate.rounded)
-                for labels, estimate in estimates.items()
-            }
         return {
-            labels: estimate.expectation for labels, estimate in estimates.items()
+            labels: self.value_of(estimate)
+            for labels, estimate in estimates.items()
         }
 
     def __repr__(self):

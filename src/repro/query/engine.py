@@ -59,18 +59,71 @@ class GroupRow:
 
 
 class QueryResult:
-    """Result of one execution: a scalar or a list of group rows."""
+    """Result of one execution: a scalar or a list of group rows.
 
-    __slots__ = ("query", "scalar", "rows")
+    For scalar counts answered by a model backend, ``estimate`` carries
+    the full :class:`~repro.core.inference.QueryEstimate`, so the error
+    bounds (``std``, ``ci95``) of Sec 7's Binomial extension travel with
+    the result.
+    """
 
-    def __init__(self, query: CountQuery, scalar: float | None, rows: list[GroupRow] | None):
+    __slots__ = ("query", "scalar", "rows", "estimate")
+
+    def __init__(
+        self,
+        query: CountQuery,
+        scalar: float | None,
+        rows: list[GroupRow] | None,
+        estimate=None,
+    ):
         self.query = query
         self.scalar = scalar
         self.rows = rows
+        self.estimate = estimate
 
     @property
     def is_scalar(self) -> bool:
         return self.scalar is not None
+
+    # -- error bounds (model backends only; None otherwise) -------------
+    @property
+    def std(self) -> float | None:
+        """Model standard deviation of a scalar count, if available."""
+        return self.estimate.std if self.estimate is not None else None
+
+    @property
+    def ci95(self) -> tuple[float, float] | None:
+        """Model 95% confidence interval of a scalar count, if available."""
+        return self.estimate.ci95 if self.estimate is not None else None
+
+    # -- conversions -----------------------------------------------------
+    def to_rows(self) -> list[tuple]:
+        """Uniform row view: ``[(label, ..., count), ...]``.
+
+        A scalar result becomes a single ``(count,)`` row.
+        """
+        if self.is_scalar:
+            return [(self.scalar,)]
+        return [tuple(row.labels) + (row.count,) for row in self.rows]
+
+    def to_dict(self) -> dict:
+        """Dict view of the result.
+
+        Scalar: ``{"count": x}`` plus ``std``/``ci95`` when the backend
+        provides error bounds.  Grouped: label(s) → count, with
+        single-attribute groups keyed by the bare label.
+        """
+        if self.is_scalar:
+            out: dict = {"count": self.scalar}
+            if self.estimate is not None:
+                out["std"] = self.estimate.std
+                out["ci95"] = self.estimate.ci95
+            return out
+        single = len(self.query.group_by) == 1
+        return {
+            (row.labels[0] if single else row.labels): row.count
+            for row in self.rows
+        }
 
     def __repr__(self):
         if self.is_scalar:
@@ -85,8 +138,8 @@ class SQLEngine:
         self.backend = backend
         self.table_name = table_name
 
-    def execute(self, query: "CountQuery | str") -> QueryResult:
-        """Parse (if needed), validate, and run a query against the backend."""
+    def parse(self, query: "CountQuery | str") -> CountQuery:
+        """Parse SQL text (if needed) and validate it for this engine."""
         if isinstance(query, str):
             query = parse_query(query)
         if query.table.lower() != self.table_name.lower():
@@ -94,27 +147,41 @@ class SQLEngine:
                 f"unknown table {query.table!r}; this engine serves "
                 f"{self.table_name!r}"
             )
-        schema = self.backend.schema
         for attr in query.group_by:
-            schema.position(attr)  # raises on unknown attributes
-        predicate = (
-            conjunction_from_conditions(schema, query.conditions)
-            if query.conditions
-            else None
-        )
+            self.backend.schema.position(attr)  # raises on unknown attributes
+        return query
+
+    def compile(self, query: CountQuery) -> Conjunction | None:
+        """Resolve the WHERE conditions into a dense-index conjunction."""
+        if not query.conditions:
+            return None
+        return conjunction_from_conditions(self.backend.schema, query.conditions)
+
+    def execute(self, query: "CountQuery | str") -> QueryResult:
+        """Parse (if needed), validate, and run a query against the backend."""
+        query = self.parse(query)
+        return self.execute_compiled(query, self.compile(query))
+
+    def execute_compiled(
+        self, query: CountQuery, predicate: Conjunction | None
+    ) -> QueryResult:
+        """Run an already-validated query with a precompiled predicate.
+
+        The split lets the Explorer cache compiled predicates across
+        repeated interactive queries and skip re-resolution.
+        """
+        schema = self.backend.schema
         if query.aggregate != "count":
             return QueryResult(query, self._aggregate(query, predicate), None)
         if not query.is_grouped:
             conjunction = predicate or Conjunction(schema, {})
+            estimator = getattr(self.backend, "estimate", None)
+            if estimator is not None:
+                estimate = estimator(conjunction)
+                return QueryResult(
+                    query, float(self.backend.count(conjunction)), None, estimate
+                )
             return QueryResult(query, float(self.backend.count(conjunction)), None)
-        group_conflicts = set(query.group_by) & {
-            condition.attribute for condition in query.conditions
-        }
-        if group_conflicts:
-            raise QueryError(
-                f"attributes {sorted(group_conflicts)} appear in both "
-                "GROUP BY and WHERE; constrain or group, not both"
-            )
         counts = self.backend.group_counts(query.group_by, predicate)
         rows = [GroupRow(labels, count) for labels, count in counts.items()]
         if query.order == "desc":
@@ -136,7 +203,7 @@ class SQLEngine:
         pos = schema.position(query.aggregate_attr)
         weights = numeric_weights(schema.domain(pos))
         sum_method = getattr(self.backend, "sum_values", None)
-        if sum_method is None:
+        if sum_method is None or getattr(self.backend, "supports_sum", True) is False:
             raise QueryError(
                 f"backend {self.backend!r} does not support SUM/AVG"
             )

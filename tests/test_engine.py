@@ -71,11 +71,23 @@ class TestExactExecution:
         with pytest.raises(Exception):
             exact_engine.execute("SELECT nope, COUNT(*) FROM R GROUP BY nope")
 
-    def test_group_and_where_conflict(self, exact_engine):
-        with pytest.raises(QueryError, match="both"):
-            exact_engine.execute(
-                "SELECT state, COUNT(*) FROM R WHERE state = 'CA' GROUP BY state"
-            )
+    def test_group_and_where_same_attribute(self, exact_engine, relation):
+        # Filter-then-group: only the matching value appears as a group.
+        result = exact_engine.execute(
+            "SELECT state, COUNT(*) FROM R WHERE state = 'CA' GROUP BY state"
+        )
+        assert [row.labels[0] for row in result.rows] == ["CA"]
+        assert result.rows[0].count == relation.marginal("state")[0]
+
+    def test_group_and_where_in_filter(self, exact_engine, relation):
+        result = exact_engine.execute(
+            "SELECT state, COUNT(*) FROM R WHERE state IN ('CA', 'WA') "
+            "GROUP BY state"
+        )
+        marginal = relation.marginal("state")
+        assert {row.labels[0]: row.count for row in result.rows} == {
+            "CA": marginal[0], "WA": marginal[2],
+        }
 
     def test_count_on_grouped_query_rejected(self, exact_engine):
         with pytest.raises(QueryError, match="grouped"):
@@ -113,6 +125,34 @@ class TestSummaryExecution:
     def test_same_query_same_answer(self, summary_engine):
         sql = "SELECT COUNT(*) FROM R WHERE state = 'WA' AND hour = 3"
         assert summary_engine.count(sql) == summary_engine.count(sql)
+
+    def test_group_and_where_same_attribute(self, summary_engine, exact_engine):
+        sql = (
+            "SELECT state, COUNT(*) FROM R WHERE state IN ('CA', 'NY') "
+            "GROUP BY state"
+        )
+        approx = summary_engine.execute(sql)
+        exact = exact_engine.execute(sql)
+        # Model-side group-by only reports the allowed values ...
+        assert {row.labels[0] for row in approx.rows} == {"CA", "NY"}
+        # ... and the estimates track the exact filtered counts.
+        exact_counts = {row.labels[0]: row.count for row in exact.rows}
+        for row in approx.rows:
+            assert row.count == pytest.approx(
+                exact_counts[row.labels[0]], rel=0.25, abs=6
+            )
+
+    def test_group_and_where_with_extra_predicate(
+        self, summary_engine, exact_engine
+    ):
+        sql = (
+            "SELECT state, COUNT(*) FROM R WHERE state = 'CA' AND hour >= 2 "
+            "GROUP BY state"
+        )
+        approx = summary_engine.execute(sql)
+        assert [row.labels[0] for row in approx.rows] == ["CA"]
+        exact = exact_engine.execute(sql).rows[0].count
+        assert approx.rows[0].count == pytest.approx(exact, rel=0.3, abs=8)
 
 
 class TestQueryResult:

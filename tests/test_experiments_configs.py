@@ -130,7 +130,12 @@ class TestStore:
         second_store = ExperimentStore(tiny, cache_dir=tmp_path)
         loaded = second_store.flights_summary("No2D", "coarse")
         assert loaded.total == built.total
-        assert (tmp_path / "tiny-flights-coarse-No2D.json").exists()
+        # Persistence now goes through the versioned SummaryStore.
+        assert (tmp_path / "manifest.json").exists()
+        assert second_store.summary_store.has("tiny-flights-coarse-No2D")
+        record = second_store.summary_store.record("tiny-flights-coarse-No2D")
+        assert record.version == 1
+        assert record.tag == "tiny"
 
     def test_sample_caching(self, store):
         assert store.flights_uniform("coarse") is store.flights_uniform("coarse")

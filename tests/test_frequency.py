@@ -16,7 +16,7 @@ from repro.data.relation import Relation
 from repro.data.schema import Schema
 from repro.errors import SchemaError
 
-from conftest import relations
+from tests.conftest import relations
 
 
 @pytest.fixture

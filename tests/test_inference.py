@@ -139,11 +139,18 @@ class TestGroupBy:
         for key, estimate in grouped.items():
             assert estimate.expectation == pytest.approx(direct[key], rel=1e-9)
 
-    def test_group_by_rejects_constrained_attr(self, fitted):
+    def test_group_by_constrained_attr_filters_groups(self, fitted):
+        # Filter-then-group: a predicate on the group attribute restricts
+        # which values appear, and each group matches the point estimate.
         poly, params, engine, _ = fitted
         predicate = Conjunction(poly.schema, {0: RangePredicate(0, 1)})
-        with pytest.raises(QueryError):
-            engine.group_by([0], predicate)
+        grouped = engine.group_by([0], predicate)
+        assert set(grouped) == {(0,), (1,)}
+        for (value,), estimate in grouped.items():
+            point = engine.estimate(
+                Conjunction(poly.schema, {0: RangePredicate.point(value)})
+            )
+            assert estimate.expectation == pytest.approx(point.expectation)
 
     def test_group_by_rejects_duplicates(self, fitted):
         _, _, engine, _ = fitted

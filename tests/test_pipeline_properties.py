@@ -15,7 +15,7 @@ from repro.core.naive import NaivePolynomial
 from repro.core.polynomial import CompressedPolynomial
 from repro.core.solver import MirrorDescentSolver
 
-from conftest import relations_with_stats
+from tests.conftest import relations_with_stats
 
 
 def _fit(statistic_set, max_iterations=250):

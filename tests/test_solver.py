@@ -15,7 +15,7 @@ from repro.core.solver import MirrorDescentSolver, solve_statistics
 from repro.core.variables import ModelParameters
 from repro.errors import SolverError
 
-from conftest import relations_with_stats
+from tests.conftest import relations_with_stats
 
 
 class TestConvergence:
