@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke lint install
+.PHONY: test bench-smoke lint install docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,11 @@ bench-smoke:
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	$(PYTHON) -W error::SyntaxWarning -c "import repro, repro.api, repro.cli, repro.experiments"
+
+# Documentation rot check: every ```python block in README.md and
+# docs/*.md must compile, every relative link must resolve.
+docs-check:
+	$(PYTHON) tools/check_docs.py
 
 # Editable install.  This offline image lacks `wheel`, so PEP 660
 # editable builds fail; setup.py develop reads the same pyproject

@@ -1,6 +1,12 @@
 """EntropyDB reproduction: probabilistic database summarization for
 interactive data exploration (Orr, Balazinska, Suciu — VLDB 2017).
 
+A *summary* is a maximum-entropy probabilistic model of one relation,
+fitted to a budgeted set of 1D/2D statistics; counting queries are
+answered in milliseconds by evaluating a compressed polynomial instead
+of scanning data.  This package reproduces the paper's models and
+experiments, then grows them into a small analytic system.
+
 The canonical public API lives in :mod:`repro.api` and is
 session-oriented:
 
@@ -16,26 +22,40 @@ session-oriented:
            .fit()
        )
 
+   Add ``.shards(4, by="origin_state")`` before ``fit()`` to partition
+   the relation and fit one model per shard in parallel worker
+   processes — queries evaluate the shards independently and merge
+   (counts add, error bounds combine in quadrature), and shards whose
+   partition cannot match the predicate are pruned.
+
 3. open an :class:`~repro.api.Explorer` session and ask questions —
    chainable queries, plain SQL, or batched ``run_many()`` (one
-   vectorized inference pass per batch)::
+   vectorized inference pass per batch, fanned across shards for
+   sharded models)::
 
        ex = Explorer.attach(summary)
        ex.query().where(distance__ge=1000).group_by("origin_state") \\
          .order("desc").limit(10).run()
 
-4. persist fitted models as named, versioned artifacts in a
-   :class:`~repro.api.SummaryStore` and reopen them with
-   ``Explorer.open(store, name)``.
+4. persist fitted models — plain or sharded — as named, versioned
+   artifacts in a :class:`~repro.api.SummaryStore` and reopen them
+   with ``Explorer.open(store, name)``.
 
 Every estimation method — the exact relation, uniform/stratified
-samples, MaxEnt summaries — implements the :class:`~repro.api.Backend`
-ABC, so the same query text runs against any of them.  The lower-level
-layers (``repro.core``, ``repro.query``, ``repro.stats``) remain
-importable for tests and experiments; ``EntropySummary.build`` is
-deprecated in favor of the builder.
+samples, single MaxEnt summaries, sharded summaries — implements the
+:class:`~repro.api.Backend` ABC, so the same query text runs against
+any of them.  The lower-level layers (``repro.core``, ``repro.query``,
+``repro.stats``) remain importable for tests and experiments;
+construct summaries with :class:`~repro.api.SummaryBuilder` (the old
+``EntropySummary.build`` shim only warns and delegates to it).
 
-See ``examples/quickstart.py`` for a complete tour.
+Verify an installation with the tier-1 suite::
+
+    PYTHONPATH=src python -m pytest -x -q
+
+See ``README.md`` for a quickstart, ``docs/`` for the architecture and
+API reference, and ``examples/quickstart.py`` /
+``examples/sharded_exploration.py`` for complete tours.
 """
 
 from repro.api import (
@@ -50,11 +70,14 @@ from repro.core import (
     CompressedPolynomial,
     EntropySummary,
     InferenceEngine,
+    MergedEstimate,
     MirrorDescentSolver,
     ModelParameters,
     NaivePolynomial,
     QueryEstimate,
+    ShardedSummary,
     SolverReport,
+    partition_relation,
 )
 from repro.data import (
     Bucket,
@@ -83,7 +106,7 @@ from repro.stats import (
     build_statistic_set,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Backend",
@@ -97,6 +120,7 @@ __all__ = [
     "EquiWidthBinner",
     "Explorer",
     "InferenceEngine",
+    "MergedEstimate",
     "MirrorDescentSolver",
     "ModelParameters",
     "NaivePolynomial",
@@ -109,6 +133,7 @@ __all__ = [
     "Schema",
     "SchemaError",
     "SetPredicate",
+    "ShardedSummary",
     "SolverError",
     "SolverReport",
     "Statistic",
@@ -120,5 +145,6 @@ __all__ = [
     "TopKGroupBinner",
     "build_statistic_set",
     "integer_domain",
+    "partition_relation",
     "__version__",
 ]

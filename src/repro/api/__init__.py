@@ -7,10 +7,13 @@ One coherent surface over the whole reproduction:
   ``run_many()`` execution;
 * :class:`SummaryBuilder` — keyword-free summary construction,
   replacing the deprecated ``EntropySummary.build`` kwargs pile;
+  ``.shards(n, by=...)`` fits a partitioned
+  :class:`~repro.core.sharding.ShardedSummary` in parallel workers;
 * :class:`Backend` — the formal ABC every estimation method (exact,
-  samples, MaxEnt summaries) implements, with capability flags;
+  samples, single or sharded MaxEnt summaries) implements, with
+  capability flags;
 * :class:`SummaryStore` — named, versioned persistence for fitted
-  summaries.
+  summaries, including whole shard sets as one version.
 
 Quick tour::
 

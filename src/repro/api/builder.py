@@ -17,12 +17,20 @@ name=..., seed=...)`` with a chainable builder::
 Automatic pair selection (Sec 4.3) uses ``budget``/``num_pairs``
 instead of explicit ``pairs``; leaving both unset fits a 1D-only
 summary (the paper's *No2D*).
+
+``.shards(n, by=...)`` turns the fit into a sharded build: the
+relation is partitioned, the 2D bucket budget is divided across the
+shards (total model size stays constant), and ``fit()`` returns a
+:class:`~repro.core.sharding.ShardedSummary` whose shard models were
+fitted in parallel worker processes.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
+from repro.core.sharding import ShardedSummary, partition_relation
 from repro.core.summary import EntropySummary
 from repro.errors import BudgetError, ReproError
 from repro.stats.selection import build_statistic_set
@@ -47,6 +55,9 @@ class SummaryBuilder:
         self._threshold: float = 1e-6
         self._name: str = "summary"
         self._seed: int = 0
+        self._num_shards: int = 1
+        self._shard_by = None
+        self._workers: int | None = None
 
     # -- statistic selection --------------------------------------------
     def pairs(self, *pairs) -> "SummaryBuilder":
@@ -139,6 +150,31 @@ class SummaryBuilder:
         self._seed = int(seed)
         return self
 
+    # -- sharding --------------------------------------------------------
+    def shards(self, count: int, by=None, workers: int | None = None) -> "SummaryBuilder":
+        """Fit ``count`` per-shard models instead of one global model.
+
+        ``by=None`` partitions rows round-robin; ``by="attr"`` cuts the
+        attribute's domain into contiguous ranges balanced by row count
+        (queries constraining it then skip non-owning shards).  The 2D
+        bucket budget is divided across shards so the sharded summary
+        has the same total budget as the unsharded fit — per-shard
+        polynomials are smaller, which makes both the build and query
+        evaluation cheaper.  ``workers`` caps the build's worker
+        processes (default: one per shard up to the core count);
+        ``workers=1`` builds serially in-process.
+
+        ``shards(1)`` restores the unsharded fit.
+        """
+        if count < 1:
+            raise ReproError(f"shards must be >= 1, got {count}")
+        if workers is not None and workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self._num_shards = int(count)
+        self._shard_by = by
+        self._workers = workers
+        return self
+
     def name(self, name: str) -> "SummaryBuilder":
         """Display/storage name of the fitted summary."""
         self._name = str(name)
@@ -146,7 +182,8 @@ class SummaryBuilder:
 
     # -- interop ---------------------------------------------------------
     def with_options(self, **options) -> "SummaryBuilder":
-        """Apply options given as ``EntropySummary.build`` keyword names.
+        """Apply options given as a keyword dict (legacy
+        ``EntropySummary.build`` names).
 
         Bridges callers that carry configuration around as dicts (the
         hierarchical summary, the deprecated ``build`` shim).
@@ -174,8 +211,15 @@ class SummaryBuilder:
         return self
 
     # -- terminal --------------------------------------------------------
-    def fit(self) -> EntropySummary:
-        """Select statistics, compress the polynomial, and solve."""
+    def fit(self) -> "EntropySummary | ShardedSummary":
+        """Select statistics, compress the polynomial, and solve.
+
+        With ``shards(n > 1)`` this partitions the relation, divides
+        the bucket budget, fits the shard models in worker processes,
+        and returns a :class:`~repro.core.sharding.ShardedSummary`.
+        """
+        if self._num_shards > 1:
+            return self._fit_sharded()
         statistic_set = build_statistic_set(
             self._relation,
             budget=self._budget,
@@ -194,10 +238,44 @@ class SummaryBuilder:
             name=self._name,
         )
 
+    def _fit_sharded(self) -> ShardedSummary:
+        partition = partition_relation(
+            self._relation, self._num_shards, by=self._shard_by
+        )
+        # Hold the *total* 2D bucket budget constant: each shard models
+        # 1/n of the rows with 1/n of the buckets (floor of 2 so every
+        # explicit pair keeps at least a 2x2 split).
+        per_pair = self._per_pair_budget
+        if per_pair is not None:
+            per_pair = max(2, math.ceil(per_pair / self._num_shards))
+        budget = self._budget
+        if budget:
+            budget = max(2, math.ceil(budget / self._num_shards))
+        stat_options = {
+            "budget": budget,
+            "num_pairs": self._num_pairs,
+            "pairs": self._pairs,
+            "per_pair_budget": per_pair,
+            "strategy": self._strategy,
+            "heuristic": self._heuristic,
+            "exclude_attrs": self._exclude,
+            "seed": self._seed,
+        }
+        return ShardedSummary.fit_partitions(
+            partition,
+            stat_options,
+            max_iterations=self._iterations,
+            threshold=self._threshold,
+            name=self._name,
+            workers=self._workers,
+        )
+
     def __repr__(self):
         parts = [f"name={self._name!r}"]
         if self._pairs:
             parts.append(f"pairs={self._pairs!r}")
         if self._budget:
             parts.append(f"budget={self._budget}")
+        if self._num_shards > 1:
+            parts.append(f"shards={self._num_shards}")
         return f"SummaryBuilder({', '.join(parts)})"

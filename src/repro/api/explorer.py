@@ -103,6 +103,7 @@ class Explorer:
         * ``Relation`` → exact full-scan backend,
         * ``EntropySummary`` → model backend (``rounded=True`` applies
           the paper's rounding of estimates below 0.5),
+        * ``ShardedSummary`` → shard-merging model backend,
         * any :class:`~repro.api.backend.Backend` (or duck-typed object
           with ``count``) → used as is,
         * an ``Explorer`` → returned unchanged.
@@ -111,6 +112,7 @@ class Explorer:
             return source
         # Imported lazily: these modules subclass Backend from this
         # package, so top-level imports would be circular.
+        from repro.core.sharding import ShardedSummary
         from repro.core.summary import EntropySummary
         from repro.data.relation import Relation
 
@@ -118,6 +120,10 @@ class Explorer:
             from repro.query.backends import SummaryBackend
 
             backend = SummaryBackend(source, rounded=rounded)
+        elif isinstance(source, ShardedSummary):
+            from repro.query.backends import ShardedBackend
+
+            backend = ShardedBackend(source, rounded=rounded)
         elif isinstance(source, Relation):
             from repro.baselines.exact import ExactBackend
 
@@ -158,7 +164,8 @@ class Explorer:
 
     @property
     def summary(self):
-        """The underlying ``EntropySummary`` (None for non-model backends)."""
+        """The underlying ``EntropySummary``/``ShardedSummary`` (None
+        for non-model backends)."""
         return getattr(self.backend, "summary", None)
 
     def rounded(self, flag: bool = True) -> "Explorer":
@@ -199,12 +206,12 @@ class Explorer:
         }
 
     def clear_cache(self) -> None:
-        """Drop both session caches (and the model cache, if any)."""
+        """Drop both session caches (and the model caches, if any)."""
         self._predicates.clear()
         self._results.clear()
         summary = self.summary
         if summary is not None:
-            summary.engine.clear_cache()
+            summary.clear_cache()
 
     # ------------------------------------------------------------------
     # Querying

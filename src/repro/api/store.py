@@ -8,11 +8,18 @@ versioned storage): every ``save`` creates a new immutable version of a
 name, optionally tagged, and ``load``/``list`` address summaries by
 name instead of file prefix.
 
+Sharded summaries persist as one named version too: the version's
+prefix holds the shard manifest plus one file pair per shard, and
+``load`` transparently returns a
+:class:`~repro.core.sharding.ShardedSummary`.
+
 Layout::
 
     <root>/manifest.json
-    <root>/<dir>/v<k>.json     (statistics, schema)
-    <root>/<dir>/v<k>.npz      (fitted parameters)
+    <root>/<dir>/v<k>.json               (statistics, schema — or the
+                                          shard manifest when sharded)
+    <root>/<dir>/v<k>.npz                (fitted parameters)
+    <root>/<dir>/v<k>-shard<i>.json/.npz (sharded versions only)
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
+from repro.core.sharding import ShardedSummary, shard_prefix
 from repro.core.summary import EntropySummary
 from repro.errors import ReproError
 
@@ -48,12 +56,19 @@ class SummaryRecord:
     total: int
     num_statistics: int
     prefix: str  # store-relative path prefix of the .json/.npz pair
+    #: shard count of a sharded version; 0 for a plain summary.
+    shards: int = 0
+    shard_by: str | None = None
 
     def describe(self) -> str:
         tag = f" tag={self.tag}" if self.tag else ""
+        sharding = ""
+        if self.shards:
+            by = f" by {self.shard_by}" if self.shard_by else ""
+            sharding = f", {self.shards} shards{by}"
         return (
             f"{self.name}@v{self.version}{tag}: n={self.total}, "
-            f"stats={self.num_statistics}"
+            f"stats={self.num_statistics}{sharding}"
         )
 
 
@@ -126,12 +141,14 @@ class SummaryStore:
             total=version_entry["total"],
             num_statistics=version_entry["num_statistics"],
             prefix=version_entry["prefix"],
+            shards=version_entry.get("shards", 0),
+            shard_by=version_entry.get("shard_by"),
         )
 
     # -- public API ------------------------------------------------------
     def save(
         self,
-        summary: EntropySummary,
+        summary: "EntropySummary | ShardedSummary",
         name: str | None = None,
         tag: str | None = None,
     ) -> SummaryRecord:
@@ -140,7 +157,8 @@ class SummaryStore:
         ``name`` defaults to ``summary.name``.  Versions are immutable
         and monotonically numbered per name; ``tag`` is free-form (e.g.
         ``"baseline"``, ``"budget-3000"``) and may repeat across
-        versions.
+        versions.  A :class:`~repro.core.sharding.ShardedSummary`
+        persists its whole shard set as the one version.
         """
         name = name if name is not None else summary.name
         if not name:
@@ -162,9 +180,13 @@ class SummaryStore:
                 "tag": tag,
                 "created_at": time.time(),
                 "total": summary.total,
-                "num_statistics": summary.statistic_set.num_statistics,
+                "num_statistics": summary.num_statistics,
                 "prefix": prefix,
             }
+            if isinstance(summary, ShardedSummary):
+                version_entry["kind"] = "sharded"
+                version_entry["shards"] = summary.num_shards
+                version_entry["shard_by"] = summary.shard_by
             entry["versions"].append(version_entry)
             self._write_manifest(document)
         return self._record(name, entry, version_entry)
@@ -199,10 +221,17 @@ class SummaryStore:
         name: str,
         version: int | None = None,
         tag: str | None = None,
-    ) -> EntropySummary:
-        """Load a stored summary (latest version unless pinned)."""
+    ) -> "EntropySummary | ShardedSummary":
+        """Load a stored summary (latest version unless pinned).
+
+        Sharded versions come back as
+        :class:`~repro.core.sharding.ShardedSummary`.
+        """
         _, version_entry = self._resolve(name, version, tag)
-        return EntropySummary.load(self.root / version_entry["prefix"])
+        prefix = self.root / version_entry["prefix"]
+        if version_entry.get("kind") == "sharded":
+            return ShardedSummary.load(prefix)
+        return EntropySummary.load(prefix)
 
     def record(
         self,
@@ -259,6 +288,10 @@ class SummaryStore:
                 prefix = self.root / item["prefix"]
                 prefix.with_suffix(".json").unlink(missing_ok=True)
                 prefix.with_suffix(".npz").unlink(missing_ok=True)
+                for index in range(item.get("shards", 0)):
+                    shard = shard_prefix(prefix, index)
+                    shard.with_suffix(".json").unlink(missing_ok=True)
+                    shard.with_suffix(".npz").unlink(missing_ok=True)
             entry["versions"] = [
                 item for item in entry["versions"] if item not in doomed
             ]

@@ -10,6 +10,9 @@ versioned summary store (``--store`` + ``--name``).
     python -m repro generate flights --rows 50000 --out data/flights
     python -m repro build --data data/flights --pairs fl_time:distance \\
         --budget 300 --store models --name flights --tag first
+    python -m repro build --data data/flights --pairs fl_time:distance \\
+        --budget 300 --shards 4 --shard-by origin_state --store models \\
+        --name flights-sharded
     python -m repro query --store models --name flights \\
         --sql "SELECT COUNT(*) FROM R WHERE distance >= 1000"
     python -m repro info --store models --name flights
@@ -26,6 +29,7 @@ import sys
 from repro.api.builder import SummaryBuilder
 from repro.api.explorer import Explorer
 from repro.api.store import SummaryStore
+from repro.core.sharding import ShardedSummary, load_model
 from repro.core.summary import EntropySummary
 from repro.data.serialize import load_relation, save_relation
 from repro.errors import ReproError
@@ -70,6 +74,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--heuristic", choices=["composite", "large", "zero"], default="composite"
     )
     build.add_argument("--iterations", type=int, default=30)
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="fit this many per-shard models instead of one (default 1)",
+    )
+    build.add_argument(
+        "--shard-by",
+        help="partition rows by this attribute's value ranges "
+        "(default: round-robin)",
+    )
+    build.add_argument(
+        "--workers",
+        type=int,
+        help="worker processes for the sharded build "
+        "(default: one per shard up to the core count)",
+    )
     build.add_argument("--out", help="model path prefix")
     build.add_argument("--store", help="save into this summary store instead")
     build.add_argument("--name", help="summary name inside the store")
@@ -154,29 +175,49 @@ def _cmd_build(args) -> int:
     )
     if pairs:
         builder.pairs(*pairs).per_pair_budget(args.budget)
+    if args.shard_by and args.shards < 2:
+        raise ReproError("--shard-by needs --shards >= 2")
+    if args.shards != 1:
+        # Delegate validation too: --shards 0 must error, not silently
+        # build an unsharded model.
+        builder.shards(
+            args.shards, by=args.shard_by, workers=args.workers
+        )
     summary = builder.fit()
     report = summary.size_report()
-    print(
-        f"built {summary!r}\n"
-        f"  solver: {summary.report!r}\n"
-        f"  terms: {report['num_terms']} "
-        f"(uncompressed {report['num_uncompressed_monomials']})"
-    )
+    if isinstance(summary, ShardedSummary):
+        print(
+            f"built {summary!r}\n"
+            f"  terms: {report['num_terms']} across {report['num_shards']} shards"
+        )
+    else:
+        print(
+            f"built {summary!r}\n"
+            f"  solver: {summary.report!r}\n"
+            f"  terms: {report['num_terms']} "
+            f"(uncompressed {report['num_uncompressed_monomials']})"
+        )
     if args.out:
         summary.save(args.out)
-        print(f"  saved to {args.out}.(json|npz)")
+        if isinstance(summary, ShardedSummary):
+            print(
+                f"  saved to {args.out}.json + "
+                f"{summary.num_shards} shard file pairs"
+            )
+        else:
+            print(f"  saved to {args.out}.(json|npz)")
     if args.store:
         record = SummaryStore(args.store).save(summary, name, tag=args.tag)
         print(f"  stored as {record.describe()} in {args.store}")
     return 0
 
 
-def _load_summary(args) -> EntropySummary:
+def _load_summary(args) -> "EntropySummary | ShardedSummary":
     """Resolve --model / --store addressing shared by query and info."""
     if bool(args.model) == bool(args.store):
         raise ReproError("give exactly one of --model PREFIX or --store DIR")
     if args.model:
-        return EntropySummary.load(args.model)
+        return load_model(args.model)
     if not args.name:
         raise ReproError("--store needs --name")
     return SummaryStore(args.store).load(
@@ -213,15 +254,23 @@ def _cmd_info(args) -> int:
     print(f"model:      {summary.name}")
     print(f"cardinality {summary.total}")
     print(f"schema:     {summary.schema!r}")
-    print(
-        f"statistics: {summary.statistic_set.num_one_dim} 1D + "
-        f"{summary.statistic_set.num_multi_dim} multi-dim"
-    )
-    print(
-        f"polynomial: {report['num_terms']} terms in "
-        f"{report['num_components']} components "
-        f"(uncompressed {report['num_uncompressed_monomials']})"
-    )
+    if isinstance(summary, ShardedSummary):
+        by = f" by {summary.shard_by}" if summary.shard_by else " (round-robin)"
+        print(f"sharding:   {summary.num_shards} shards{by}")
+        print(f"statistics: {summary.num_statistics} across shards")
+        print(f"polynomial: {report['num_terms']} terms across shards")
+        for index, shard in enumerate(summary.shards):
+            print(f"  shard {index}: {shard!r}")
+    else:
+        print(
+            f"statistics: {summary.statistic_set.num_one_dim} 1D + "
+            f"{summary.statistic_set.num_multi_dim} multi-dim"
+        )
+        print(
+            f"polynomial: {report['num_terms']} terms in "
+            f"{report['num_components']} components "
+            f"(uncompressed {report['num_uncompressed_monomials']})"
+        )
     print(f"storage:    {report['total_bytes']} bytes in memory")
     return 0
 

@@ -4,6 +4,13 @@ from repro.core.dual import dual_gradient, dual_value, solve_dual_scipy
 from repro.core.hierarchy import HierarchicalSummary
 from repro.core.inference import InferenceEngine, QueryEstimate, round_half_up
 from repro.core.naive import NaivePolynomial
+from repro.core.sharding import (
+    MergedEstimate,
+    Partition,
+    ShardedSummary,
+    load_model,
+    partition_relation,
+)
 from repro.core.polynomial import (
     CompressedPolynomial,
     EvaluationParts,
@@ -28,14 +35,19 @@ __all__ = [
     "EntropySummary",
     "EvaluationParts",
     "InferenceEngine",
+    "MergedEstimate",
     "MirrorDescentSolver",
     "ModelParameters",
     "NaivePolynomial",
+    "Partition",
     "QueryEstimate",
+    "ShardedSummary",
     "SolverReport",
     "build_components",
     "dual_gradient",
     "empirical_query_distribution",
+    "load_model",
+    "partition_relation",
     "sample_world",
     "sample_world_sequential",
     "dual_value",

@@ -50,8 +50,8 @@ class HierarchicalSummary:
         Maps each fine label of the drill attribute to its coarse group
         label (e.g. city → state).
     coarse_kwargs / leaf_kwargs:
-        Options forwarded to :class:`~repro.api.builder.SummaryBuilder`
-        (as ``EntropySummary.build``-style keyword names) for the
+        Options forwarded to
+        :meth:`~repro.api.builder.SummaryBuilder.with_options` for the
         level-0 and level-1 models (budgets, iterations, ...).
     """
 

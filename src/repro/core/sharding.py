@@ -1,0 +1,612 @@
+"""Sharded summaries: partition-wise build, merge-at-query-time.
+
+The paper fits one max-entropy model over the whole relation, which
+caps both build throughput (one big Mirror Descent solve) and the data
+sizes a summary can serve.  This module bolts scale on the same way
+OrpheusDB bolts versioning onto relations and the LSST design
+partitions the sky: split the relation into shards, fit one
+:class:`~repro.core.summary.EntropySummary` per shard, and answer
+queries by evaluating shards independently and merging.
+
+The merge algebra follows from rows belonging to exactly one shard and
+the shard models being fitted independently:
+
+* **COUNT** — expectations add: ``E[q] = Σ_s E_s[q]``;
+* **SUM** — same, by linearity;
+* **AVG** — count-weighted: ``E[SUM]/E[COUNT]`` over the merged values
+  (the ratio estimator the samplers use);
+* **error bounds** — per-shard Binomial variances add (independent
+  models), i.e. standard deviations combine in quadrature.
+
+Two partitioning schemes:
+
+* **round-robin** (``by=None``) — row ``i`` goes to shard ``i % n``;
+  shards are statistically interchangeable subsamples.
+* **by attribute** (``by="attr"``) — the attribute's domain is split
+  into ``n`` contiguous index ranges balanced by row count; a shard
+  owns every row whose value falls in its range.  Queries constraining
+  the attribute then *prune*: shards whose range misses the predicate
+  contribute an exact zero and are never evaluated.
+
+Sharding keeps the overall model budget constant — the builder divides
+the 2D bucket budget across shards — so the summed solver work often
+*drops* (solve cost grows superlinearly with per-model statistic
+count) and the shard fits run in parallel worker processes on top.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.summary import EntropySummary
+from repro.data.relation import Relation
+from repro.errors import QueryError, ReproError
+from repro.stats.predicates import Conjunction, RangePredicate, conjunction_from_masks
+
+#: two-sided 95% normal quantile (matches repro.core.inference).
+_Z95 = 1.959963984540054
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Partition:
+    """A relation split into disjoint shards.
+
+    ``by_position``/``ranges`` are ``None`` for round-robin; for
+    attribute partitioning, ``ranges[s]`` is the inclusive domain-index
+    interval of the shard attribute owned by shard ``s``.
+    """
+
+    relations: tuple[Relation, ...]
+    by_position: int | None = None
+    ranges: tuple[tuple[int, int], ...] | None = None
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.relations)
+
+
+def partition_relation(
+    relation: Relation, num_shards: int, by=None
+) -> Partition:
+    """Split a relation into ``num_shards`` disjoint shards.
+
+    Round-robin (``by=None``) assigns row ``i`` to shard ``i % n``.
+    With ``by`` set, the attribute's domain indices are cut into ``n``
+    contiguous ranges balanced by row count, and each shard takes the
+    rows whose value falls in its range.
+    """
+    if num_shards < 2:
+        raise ReproError(f"partitioning needs >= 2 shards, got {num_shards}")
+    if num_shards > relation.num_rows:
+        raise ReproError(
+            f"cannot cut {relation.num_rows} rows into {num_shards} shards"
+        )
+    if by is None:
+        rows = np.arange(relation.num_rows)
+        shards = tuple(
+            relation.sample_rows(rows[start::num_shards])
+            for start in range(num_shards)
+        )
+        return Partition(shards)
+
+    pos = relation.schema.position(by)
+    size = relation.schema.domain(pos).size
+    if num_shards > size:
+        raise ReproError(
+            f"attribute {relation.schema.attribute_names[pos]!r} has only "
+            f"{size} values; cannot cut it into {num_shards} shards"
+        )
+    marginal = relation.marginal(pos)
+    cumulative = np.cumsum(marginal)
+    total = int(cumulative[-1])
+    # Cut the cumulative distribution at n equal row quotas, then snap
+    # each cut to a value boundary.  Duplicate cuts (one value holding
+    # more than a quota) would leave a shard empty.
+    quotas = total * np.arange(1, num_shards) / num_shards
+    cuts = np.searchsorted(cumulative, quotas, side="left")
+    bounds = [0, *(int(cut) + 1 for cut in cuts), size]
+    ranges = []
+    for start, stop in zip(bounds, bounds[1:]):
+        if stop <= start:
+            raise ReproError(
+                f"attribute {relation.schema.attribute_names[pos]!r} is too "
+                f"skewed to balance into {num_shards} shards; use fewer "
+                "shards or round-robin partitioning"
+            )
+        ranges.append((start, stop - 1))
+    column = relation.column(pos)
+    shards = []
+    for low, high in ranges:
+        keep = (column >= low) & (column <= high)
+        if not keep.any():
+            raise ReproError(
+                f"shard range [{low}, {high}] of attribute "
+                f"{relation.schema.attribute_names[pos]!r} holds no rows; "
+                "use fewer shards or round-robin partitioning"
+            )
+        shards.append(relation.sample_rows(np.flatnonzero(keep)))
+    return Partition(tuple(shards), pos, tuple(ranges))
+
+
+# ----------------------------------------------------------------------
+# Merged estimates
+# ----------------------------------------------------------------------
+
+class MergedEstimate:
+    """Shard-merged answer to one counting query.
+
+    Mirrors the :class:`~repro.core.inference.QueryEstimate` interface
+    (``expectation``/``std``/``ci95``/``rounded``) but carries an
+    explicit variance — the quadrature sum of the per-shard Binomial
+    variances — instead of deriving one from a single Binomial.
+    """
+
+    __slots__ = ("expectation", "variance", "total")
+
+    def __init__(self, expectation: float, variance: float, total: int):
+        self.expectation = expectation
+        self.variance = max(variance, 0.0)
+        self.total = total
+
+    @property
+    def probability(self) -> float:
+        if self.total <= 0:
+            return 0.0
+        return min(max(self.expectation / self.total, 0.0), 1.0)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        half = _Z95 * self.std
+        return (
+            max(self.expectation - half, 0.0),
+            min(self.expectation + half, float(self.total)),
+        )
+
+    @property
+    def rounded(self) -> int:
+        from repro.core.inference import round_half_up
+
+        return round_half_up(self.expectation)
+
+    def __repr__(self):
+        return (
+            f"MergedEstimate({self.expectation:.3f} ± {self.std:.3f}, "
+            f"n={self.total})"
+        )
+
+
+def _merge(estimates, total: int) -> MergedEstimate:
+    expectation = 0.0
+    variance = 0.0
+    for estimate in estimates:
+        expectation += estimate.expectation
+        variance += estimate.variance
+    return MergedEstimate(expectation, variance, total)
+
+
+# ----------------------------------------------------------------------
+# Worker-process build
+# ----------------------------------------------------------------------
+
+def _fit_shard_direct(payload) -> EntropySummary:
+    """Fit one shard in the current process."""
+    relation, stat_options, max_iterations, threshold, name = payload
+    from repro.stats.selection import build_statistic_set
+
+    statistic_set = build_statistic_set(relation, **stat_options)
+    return EntropySummary.from_statistics(
+        statistic_set,
+        max_iterations=max_iterations,
+        threshold=threshold,
+        name=name,
+    )
+
+
+def _fit_shard(payload):
+    """Worker-process entry point (module-level so it pickles)."""
+    return _fit_shard_direct(payload).to_payload()
+
+
+def default_workers(num_shards: int) -> int:
+    """Worker-process count: one per shard, capped by the machine."""
+    return max(1, min(num_shards, os.cpu_count() or 1))
+
+
+# ----------------------------------------------------------------------
+# The sharded summary
+# ----------------------------------------------------------------------
+
+class ShardedSummary:
+    """One logical summary made of per-shard MaxEnt models.
+
+    Build with :meth:`fit_partitions` (or, at the API layer,
+    ``SummaryBuilder(relation).shards(n, by=...)``).  Queries evaluate
+    every non-pruned shard and merge; see the module docstring for the
+    merge algebra.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[EntropySummary],
+        name: str = "summary",
+        shard_by: str | None = None,
+        ranges: Sequence[tuple[int, int]] | None = None,
+    ):
+        shards = list(shards)
+        if len(shards) < 2:
+            raise ReproError("a sharded summary needs at least two shards")
+        schema = shards[0].schema
+        for shard in shards[1:]:
+            if shard.schema != schema:
+                raise ReproError("all shards must share one schema")
+        if (shard_by is None) != (ranges is None):
+            raise ReproError("shard_by and ranges must be given together")
+        if ranges is not None and len(ranges) != len(shards):
+            raise ReproError("need exactly one owned range per shard")
+        self.shards = shards
+        self.name = name
+        self.schema = schema
+        self.shard_by = shard_by
+        self.total = sum(shard.total for shard in shards)
+        if shard_by is None:
+            self._by_pos = None
+            self._owned: list[RangePredicate] | None = None
+        else:
+            self._by_pos = schema.position(shard_by)
+            self._owned = [RangePredicate(low, high) for low, high in ranges]
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def fit_partitions(
+        cls,
+        partition: Partition,
+        stat_options: Mapping | None = None,
+        max_iterations: int = 30,
+        threshold: float = 1e-6,
+        name: str = "summary",
+        workers: int | None = None,
+    ) -> "ShardedSummary":
+        """Fit one summary per shard, in parallel worker processes.
+
+        ``stat_options`` are :func:`repro.stats.selection.build_statistic_set`
+        keywords applied to every shard (the builder pre-divides bucket
+        budgets).  ``workers=1`` fits serially in-process; the default
+        uses one worker per shard up to the machine's core count.
+        """
+        stat_options = dict(stat_options or {})
+        payloads = [
+            (
+                relation,
+                stat_options,
+                max_iterations,
+                threshold,
+                f"{name}/shard{index}",
+            )
+            for index, relation in enumerate(partition.relations)
+        ]
+        workers = default_workers(len(payloads)) if workers is None else workers
+        shards = None
+        if workers > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(_fit_shard, payloads))
+            except OSError:
+                # Restricted environments (no fork/spawn) fall back to a
+                # serial build rather than failing the fit.
+                shards = None
+            else:
+                shards = [
+                    EntropySummary.from_payload(document, arrays)
+                    for document, arrays in results
+                ]
+        if shards is None:
+            # Serial in-process build: keep the fitted objects directly
+            # instead of round-tripping through the worker payload
+            # (which would rebuild every shard polynomial a second time).
+            shards = [_fit_shard_direct(payload) for payload in payloads]
+        shard_by = (
+            None
+            if partition.by_position is None
+            else shards[0].schema.attribute_names[partition.by_position]
+        )
+        return cls(shards, name=name, shard_by=shard_by, ranges=partition.ranges)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_statistics(self) -> int:
+        """Statistic count across all shards."""
+        return sum(shard.num_statistics for shard in self.shards)
+
+    def clear_cache(self) -> None:
+        for shard in self.shards:
+            shard.engine.clear_cache()
+
+    def size_report(self) -> dict:
+        """Aggregate storage footprint across shards."""
+        report = {
+            "num_shards": self.num_shards,
+            "num_terms": 0,
+            "parameter_bytes": 0,
+            "term_bytes": 0,
+            "total_bytes": 0,
+        }
+        for shard in self.shards:
+            shard_report = shard.size_report()
+            report["num_terms"] += shard_report["num_terms"]
+            report["parameter_bytes"] += shard_report["parameter_bytes"]
+            report["term_bytes"] += shard_report["term_bytes"]
+            report["total_bytes"] += shard_report["total_bytes"]
+        return report
+
+    # -- shard routing ---------------------------------------------------
+    def _narrow(self, predicate: Conjunction | None, shard_index: int):
+        """The conjunction shard ``shard_index`` should evaluate.
+
+        With attribute partitioning the shard's owned range is
+        intersected into the predicate, so values the shard does not
+        own are excluded exactly; an empty intersection means the shard
+        provably contributes zero and ``None, True`` is returned.
+        """
+        if self._owned is None:
+            return predicate, False
+        owned = self._owned[shard_index]
+        if predicate is None or predicate.is_trivial():
+            return (
+                Conjunction(self.schema, {self._by_pos: owned}),
+                False,
+            )
+        constraint = predicate.predicate_at(self._by_pos)
+        if constraint.is_true:
+            masks = {
+                pos: predicate.predicate_at(pos).mask(
+                    self.schema.domain(pos).size
+                )
+                for pos in predicate.constrained_positions
+            }
+            masks[self._by_pos] = owned.mask(self.schema.domain(self._by_pos).size)
+            return conjunction_from_masks(self.schema, masks), False
+        size = self.schema.domain(self._by_pos).size
+        narrowed = constraint.mask(size) & owned.mask(size)
+        if not narrowed.any():
+            return None, True
+        masks = {
+            pos: predicate.predicate_at(pos).mask(self.schema.domain(pos).size)
+            for pos in predicate.constrained_positions
+        }
+        masks[self._by_pos] = narrowed
+        return conjunction_from_masks(self.schema, masks), False
+
+    # -- querying --------------------------------------------------------
+    def count(self, predicate: Conjunction) -> MergedEstimate:
+        """Merged estimate of ``SELECT COUNT(*) WHERE predicate``."""
+        return self.estimate(predicate)
+
+    def estimate(self, predicate: Conjunction | None) -> MergedEstimate:
+        estimates = []
+        for index, shard in enumerate(self.shards):
+            narrowed, pruned = self._narrow(predicate, index)
+            if pruned:
+                continue
+            if narrowed is None:
+                narrowed = Conjunction(self.schema, {})
+            estimates.append(shard.engine.estimate(narrowed))
+        return _merge(estimates, self.total)
+
+    def estimate_batch(
+        self,
+        predicates: Sequence[Conjunction],
+        parallel: bool | None = None,
+    ) -> list[MergedEstimate]:
+        """Merged estimates for a batch, one vectorized pass per shard.
+
+        Shards are independent, so with ``parallel`` (default: when the
+        machine has more than one core) the per-shard batch evaluations
+        fan out across a thread pool — the numpy evaluation kernels run
+        outside the GIL.
+        """
+        predicates = [
+            predicate if predicate is not None else Conjunction(self.schema, {})
+            for predicate in predicates
+        ]
+        for predicate in predicates:
+            if predicate.schema != self.schema:
+                raise QueryError("query predicate uses a different schema")
+        # Masks are shard-invariant: compute each predicate's once and
+        # only intersect the owned range per shard.
+        base_masks = [predicate.attribute_masks() for predicate in predicates]
+        if self._owned is None:
+            owned_masks = None
+        else:
+            size = self.schema.domain(self._by_pos).size
+            owned_masks = [owned.mask(size) for owned in self._owned]
+        expectations = np.zeros(len(predicates))
+        variances = np.zeros(len(predicates))
+
+        def shard_pass(index: int):
+            live: list[int] = []
+            masks_list: list[dict] = []
+            for query_index, masks in enumerate(base_masks):
+                if owned_masks is None:
+                    live.append(query_index)
+                    masks_list.append(masks)
+                    continue
+                constraint = masks.get(self._by_pos)
+                if constraint is None:
+                    narrowed = owned_masks[index]
+                else:
+                    narrowed = constraint & owned_masks[index]
+                    if not narrowed.any():
+                        continue  # pruned: exact zero for this shard
+                shard_masks = dict(masks)
+                shard_masks[self._by_pos] = narrowed
+                live.append(query_index)
+                masks_list.append(shard_masks)
+            if not live:
+                return (), ()
+            estimates = self.shards[index].engine.estimate_masks_batch(masks_list)
+            return live, estimates
+
+        if parallel is None:
+            parallel = (os.cpu_count() or 1) > 1
+        if parallel and self.num_shards > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=self.num_shards) as pool:
+                passes = list(pool.map(shard_pass, range(self.num_shards)))
+        else:
+            passes = [shard_pass(index) for index in range(self.num_shards)]
+        for live, estimates in passes:
+            for query_index, estimate in zip(live, estimates):
+                expectations[query_index] += estimate.expectation
+                variances[query_index] += estimate.variance
+        return [
+            MergedEstimate(float(expectation), float(variance), self.total)
+            for expectation, variance in zip(expectations, variances)
+        ]
+
+    def group_by(
+        self,
+        attrs: Sequence,
+        predicate: Conjunction | None = None,
+    ) -> dict[tuple, MergedEstimate]:
+        """Merged GROUP BY COUNT(*): the union of shard groups, with
+        per-label expectations summed and variances added."""
+        merged: dict[tuple, list[float]] = {}
+        for index, shard in enumerate(self.shards):
+            narrowed, pruned = self._narrow(predicate, index)
+            if pruned:
+                continue
+            for labels, estimate in shard.group_by(attrs, narrowed).items():
+                cell = merged.setdefault(labels, [0.0, 0.0])
+                cell[0] += estimate.expectation
+                cell[1] += estimate.variance
+        return {
+            labels: MergedEstimate(expectation, variance, self.total)
+            for labels, (expectation, variance) in merged.items()
+        }
+
+    def sum_estimate(
+        self,
+        attr,
+        weights: np.ndarray,
+        predicate: Conjunction | None = None,
+    ) -> float:
+        """Merged ``E[SUM(w(attr))]`` — per-shard sums add by linearity."""
+        pos = self.schema.position(attr)
+        total = 0.0
+        for index, shard in enumerate(self.shards):
+            narrowed, pruned = self._narrow(predicate, index)
+            if pruned:
+                continue
+            total += shard.engine.sum_estimate(pos, weights, narrowed)
+        return total
+
+    def avg_estimate(
+        self,
+        attr,
+        weights: np.ndarray,
+        predicate: Conjunction | None = None,
+    ) -> float:
+        """Merged AVG: ratio of the merged SUM and COUNT expectations."""
+        total = self.sum_estimate(attr, weights, predicate)
+        count = (
+            self.estimate(predicate).expectation
+            if predicate is not None and not predicate.is_trivial()
+            else float(self.total)
+        )
+        if count <= 0:
+            raise QueryError("AVG undefined: predicate has expected count 0")
+        return total / count
+
+    # -- persistence -----------------------------------------------------
+    def save(self, prefix) -> None:
+        """Write ``<prefix>.json`` (shard manifest) plus one
+        ``<prefix>-shard<i>.(json|npz)`` pair per shard."""
+        prefix = Path(prefix)
+        prefix.parent.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "kind": "sharded",
+            "name": self.name,
+            "total": self.total,
+            "num_shards": self.num_shards,
+            "shard_by": self.shard_by,
+            "ranges": (
+                None
+                if self._owned is None
+                else [[owned.low, owned.high] for owned in self._owned]
+            ),
+        }
+        prefix.with_suffix(".json").write_text(json.dumps(manifest))
+        for index, shard in enumerate(self.shards):
+            shard.save(shard_prefix(prefix, index))
+
+    @classmethod
+    def load(cls, prefix) -> "ShardedSummary":
+        """Inverse of :meth:`save`."""
+        prefix = Path(prefix)
+        manifest = json.loads(prefix.with_suffix(".json").read_text())
+        if manifest.get("kind") != "sharded":
+            raise ReproError(
+                f"{prefix} is not a sharded summary; use EntropySummary.load "
+                "or repro.core.sharding.load_model"
+            )
+        shards = [
+            EntropySummary.load(shard_prefix(prefix, index))
+            for index in range(manifest["num_shards"])
+        ]
+        return cls(
+            shards,
+            name=manifest["name"],
+            shard_by=manifest["shard_by"],
+            ranges=manifest["ranges"],
+        )
+
+    def __repr__(self):
+        by = f", by={self.shard_by!r}" if self.shard_by else ""
+        return (
+            f"ShardedSummary({self.name!r}, shards={self.num_shards}{by}, "
+            f"n={self.total}, stats={self.num_statistics})"
+        )
+
+
+def shard_prefix(prefix, index: int) -> Path:
+    """File prefix of shard ``index`` under a sharded model prefix."""
+    prefix = Path(prefix)
+    return prefix.parent / f"{prefix.name}-shard{index}"
+
+
+def load_model(prefix) -> "EntropySummary | ShardedSummary":
+    """Load whichever summary kind ``prefix`` holds.
+
+    Dispatches on the ``kind`` marker in ``<prefix>.json``: sharded
+    manifests load as :class:`ShardedSummary`, everything else as a
+    plain :class:`EntropySummary`.
+    """
+    prefix = Path(prefix)
+    path = prefix.with_suffix(".json")
+    if not path.exists():
+        raise ReproError(f"no summary at {prefix}(.json)")
+    document = json.loads(path.read_text())
+    if isinstance(document, dict) and document.get("kind") == "sharded":
+        return ShardedSummary.load(prefix)
+    return EntropySummary.load(prefix)

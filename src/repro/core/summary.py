@@ -170,14 +170,25 @@ class EntropySummary:
         report["total_bytes"] = report["parameter_bytes"] + term_bytes
         return report
 
+    @property
+    def num_statistics(self) -> int:
+        """Statistic count |Φ| (uniform across summary kinds)."""
+        return self.statistic_set.num_statistics
+
+    def clear_cache(self) -> None:
+        """Drop the inference engine's masked-evaluation cache."""
+        self.engine.clear_cache()
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, prefix) -> None:
-        """Write ``<prefix>.json`` (statistics) + ``<prefix>.npz``
-        (parameters)."""
-        prefix = Path(prefix)
-        prefix.parent.mkdir(parents=True, exist_ok=True)
+    def to_payload(self) -> tuple[dict, dict]:
+        """Portable in-memory form: ``(document, arrays)``.
+
+        ``document`` is JSON-safe (statistics, schema); ``arrays`` maps
+        names to numpy arrays (fitted parameters).  This is the currency
+        of both :meth:`save` and the sharded build's worker processes.
+        """
         document = {
             "name": self.name,
             "total": self.statistic_set.total,
@@ -188,15 +199,12 @@ class EntropySummary:
                 for statistic in self.statistic_set.multi_dim
             ],
         }
-        prefix.with_suffix(".json").write_text(json.dumps(document))
-        np.savez_compressed(prefix.with_suffix(".npz"), **self.params.to_arrays())
+        return document, self.params.to_arrays()
 
     @classmethod
-    def load(cls, prefix) -> "EntropySummary":
-        """Inverse of :meth:`save`; rebuilds the polynomial structure
-        from the statistics and reattaches the fitted parameters."""
-        prefix = Path(prefix)
-        document = json.loads(prefix.with_suffix(".json").read_text())
+    def from_payload(cls, document: dict, arrays: Mapping) -> "EntropySummary":
+        """Inverse of :meth:`to_payload`; rebuilds the polynomial from
+        the statistics and reattaches the fitted parameters."""
         schema = decode_schema(document["schema"])
         statistic_set = StatisticSet(
             schema,
@@ -205,10 +213,26 @@ class EntropySummary:
         )
         for encoded in document["multi_dim"]:
             statistic_set.add_multi_dim(_decode_statistic(schema, encoded))
-        with np.load(prefix.with_suffix(".npz")) as arrays:
-            params = ModelParameters.from_arrays(dict(arrays))
+        params = ModelParameters.from_arrays(dict(arrays))
         polynomial = CompressedPolynomial(statistic_set)
         return cls(statistic_set, polynomial, params, None, document["name"])
+
+    def save(self, prefix) -> None:
+        """Write ``<prefix>.json`` (statistics) + ``<prefix>.npz``
+        (parameters)."""
+        prefix = Path(prefix)
+        prefix.parent.mkdir(parents=True, exist_ok=True)
+        document, arrays = self.to_payload()
+        prefix.with_suffix(".json").write_text(json.dumps(document))
+        np.savez_compressed(prefix.with_suffix(".npz"), **arrays)
+
+    @classmethod
+    def load(cls, prefix) -> "EntropySummary":
+        """Inverse of :meth:`save`."""
+        prefix = Path(prefix)
+        document = json.loads(prefix.with_suffix(".json").read_text())
+        with np.load(prefix.with_suffix(".npz")) as arrays:
+            return cls.from_payload(document, dict(arrays))
 
     def __repr__(self):
         return (

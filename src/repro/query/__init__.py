@@ -2,7 +2,7 @@
 exact / sample / summary backends."""
 
 from repro.query.ast import Condition, CountQuery
-from repro.query.backends import SummaryBackend
+from repro.query.backends import ShardedBackend, SummaryBackend
 from repro.query.engine import CountBackend, GroupRow, QueryResult, SQLEngine
 from repro.query.linear import (
     LinearQuery,
@@ -19,6 +19,7 @@ __all__ = [
     "LinearQuery",
     "QueryResult",
     "SQLEngine",
+    "ShardedBackend",
     "SummaryBackend",
     "condition_mask",
     "conjunction_from_conditions",

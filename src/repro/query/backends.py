@@ -1,4 +1,9 @@
-"""Backend adapter exposing an EntropyDB summary to the SQL engine."""
+"""Backend adapters exposing EntropyDB summaries to the SQL engine.
+
+:class:`SummaryBackend` serves a single :class:`EntropySummary`;
+:class:`ShardedBackend` serves a :class:`~repro.core.sharding.ShardedSummary`
+by fanning queries across the shards and merging their answers.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,7 @@ from typing import Sequence
 
 from repro.api.backend import Backend
 from repro.core.inference import QueryEstimate
+from repro.core.sharding import MergedEstimate, ShardedSummary
 from repro.core.summary import EntropySummary
 from repro.stats.predicates import Conjunction
 
@@ -71,3 +77,80 @@ class SummaryBackend(Backend):
 
     def __repr__(self):
         return f"SummaryBackend({self.summary.name!r})"
+
+
+class ShardedBackend(Backend):
+    """Answers counting queries by merging per-shard MaxEnt estimates.
+
+    Same contract as :class:`SummaryBackend` — the SQL engine and the
+    Explorer cannot tell the two apart — but each call evaluates every
+    non-pruned shard of a :class:`~repro.core.sharding.ShardedSummary`
+    and combines the answers (counts add, variances add).  Batched
+    entry points fan the per-shard passes across a thread pool when
+    ``parallel`` is enabled (default: machines with more than one
+    core).
+    """
+
+    supports_sum = True
+    is_exact = False
+
+    def __init__(
+        self,
+        summary: ShardedSummary,
+        rounded: bool = False,
+        parallel: bool | None = None,
+    ):
+        self.summary = summary
+        self.schema = summary.schema
+        self.rounded = rounded
+        self.parallel = parallel
+        self.name = summary.name
+
+    def value_of(self, estimate: MergedEstimate) -> float:
+        """Scalar reported for a merged estimate (honors ``rounded``)."""
+        if self.rounded:
+            return float(estimate.rounded)
+        return estimate.expectation
+
+    def count(self, predicate: Conjunction) -> float:
+        return self.value_of(self.summary.estimate(predicate))
+
+    def estimate(self, predicate: Conjunction) -> MergedEstimate:
+        """Full merged estimate with quadrature-combined error bounds."""
+        return self.summary.estimate(predicate)
+
+    def estimate_many(
+        self, predicates: Sequence[Conjunction]
+    ) -> list[MergedEstimate]:
+        """Batched merged estimates — one vectorized pass per shard,
+        shards evaluated in parallel."""
+        return self.summary.estimate_batch(predicates, parallel=self.parallel)
+
+    def count_many(self, predicates: Sequence[Conjunction]) -> list[float]:
+        return [
+            self.value_of(estimate) for estimate in self.estimate_many(predicates)
+        ]
+
+    def sum_values(self, attr, weights, predicate: Conjunction | None) -> float:
+        return self.summary.sum_estimate(attr, weights, predicate)
+
+    def group_counts(
+        self, attrs: Sequence[str], predicate: Conjunction | None
+    ) -> dict[tuple, float]:
+        estimates = self.summary.group_by(attrs, predicate)
+        return {
+            labels: self.value_of(estimate)
+            for labels, estimate in estimates.items()
+        }
+
+    def describe(self) -> dict:
+        card = super().describe()
+        card["shards"] = self.summary.num_shards
+        card["shard_by"] = self.summary.shard_by
+        return card
+
+    def __repr__(self):
+        return (
+            f"ShardedBackend({self.summary.name!r}, "
+            f"shards={self.summary.num_shards})"
+        )

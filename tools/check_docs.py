@@ -1,0 +1,116 @@
+"""Documentation checker: code blocks compile, relative links resolve.
+
+Run from the repository root (``make docs-check``)::
+
+    python tools/check_docs.py [files...]
+
+With no arguments it checks ``README.md`` and every ``docs/*.md``.
+Two classes of rot are caught:
+
+* every ```` ```python ```` fenced block must byte-compile — snippets
+  that drift from the API fail here before a reader pastes them;
+* every relative markdown link ``[text](path)`` must point at a file
+  or directory that exists (``http(s)``/``mailto`` targets and pure
+  ``#anchors`` are skipped; ``path#fragment`` checks only the path).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+# [text](target) — skipping images is unnecessary; their paths should
+# resolve too.  Nested brackets inside the text are fine because the
+# pattern only cares about the (...) target.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def python_blocks(text: str):
+    """Yield ``(start_line, source)`` for every ```python fence.
+
+    An unterminated fence yields ``(start_line, None)`` so callers can
+    flag it instead of silently skipping the (unchecked) code.
+    """
+    lines = text.splitlines()
+    block: list[str] | None = None
+    start = 0
+    for number, line in enumerate(lines, 1):
+        match = FENCE.match(line.strip())
+        if block is None:
+            if match and match.group(1).lower() == "python":
+                block = []
+                start = number + 1
+        elif match and not match.group(1):
+            yield start, "\n".join(block)
+            block = None
+        elif block is not None:
+            block.append(line)
+    if block is not None:
+        yield start, None
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text()
+    for start, source in python_blocks(text):
+        if source is None:
+            errors.append(
+                f"{path}:{start - 1}: unterminated ```python fence"
+            )
+            continue
+        try:
+            compile(source, f"{path}:{start}", "exec")
+        except SyntaxError as error:
+            errors.append(
+                f"{path}:{start + (error.lineno or 1) - 1}: code block "
+                f"does not compile: {error.msg}"
+            )
+    for number, line in enumerate(text.splitlines(), 1):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                errors.append(
+                    f"{path}:{number}: broken link -> {target}"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [Path("README.md"), *sorted(Path("docs").glob("*.md"))]
+    missing = [str(path) for path in files if not path.exists()]
+    if missing:
+        print(f"error: no such file(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    errors = []
+    blocks = 0
+    for path in files:
+        blocks += sum(
+            1 for _, source in python_blocks(path.read_text())
+            if source is not None
+        )
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"docs check FAILED: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"docs check OK: {len(files)} file(s), {blocks} python block(s), "
+        "all relative links resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
