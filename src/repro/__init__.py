@@ -37,6 +37,15 @@ session-oriented:
        ex.query().where(distance__ge=1000).group_by("origin_state") \\
          .order("desc").limit(10).run()
 
+   Every query — from the Explorer, the SQL engine, the CLI, or the
+   evaluation harness — flows through the :mod:`repro.plan` query
+   planner: the WHERE clause normalizes to a canonical predicate
+   (``BETWEEN 3 AND 7`` and ``x >= 3 AND x <= 7`` share one cache
+   key, contradictions answer ``0`` without touching a backend), a
+   cost/capability model routes it (exact scan vs summary vs sharded
+   fan-out with pruning), and shared physical operators execute it.
+   ``ex.explain(q)`` shows the three stages for any query.
+
 4. persist fitted models — plain or sharded — as named, versioned
    artifacts in a :class:`~repro.api.SummaryStore` and reopen them
    with ``Explorer.open(store, name)``.
@@ -106,7 +115,7 @@ from repro.stats import (
     build_statistic_set,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Backend",

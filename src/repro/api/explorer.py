@@ -7,14 +7,17 @@ that session object.  It owns
 
 * a :class:`~repro.api.backend.Backend` (exact relation, sample, or
   MaxEnt summary — anything goes),
-* a SQL engine for text queries and a fluent builder for programmatic
-  ones,
-* per-session LRU caches of *compiled predicates* and *query results*
-  (group-bys included), so repeated interactive queries skip label
-  resolution and re-inference entirely,
-* ``run_many()`` — batched execution that funnels all scalar counting
-  queries of a batch through a single vectorized
-  :class:`~repro.core.inference.InferenceEngine` pass.
+* a :class:`~repro.plan.Planner` for text and programmatic queries —
+  every query normalizes to a :class:`~repro.plan.CanonicalPredicate`,
+  routes through the cost/capability model, and runs on the shared
+  physical operators (``explain()`` shows the three stages),
+* per-session LRU caches keyed on the *canonical* form, so repeated
+  interactive queries — including syntactic variants like ``BETWEEN 3
+  AND 7`` vs ``x >= 3 AND x <= 7`` — skip label resolution and
+  re-inference entirely,
+* ``run_many()`` — batched execution through the planner's shared
+  batched executor (one vectorized
+  :class:`~repro.core.inference.InferenceEngine` pass per backend).
 
 Construction::
 
@@ -30,6 +33,8 @@ from typing import Sequence
 
 from repro.api.query import Query
 from repro.errors import QueryError, ReproError
+from repro.plan.canonical import CanonicalPredicate
+from repro.plan.planner import Planner, QueryPlan, make_cache_key
 from repro.query.ast import CountQuery
 from repro.query.engine import QueryResult, SQLEngine
 from repro.stats.predicates import Conjunction
@@ -83,6 +88,8 @@ class Explorer:
         self.backend = backend
         self.table_name = table_name
         self.engine = SQLEngine(backend, table_name=table_name)
+        self.planner: Planner = self.engine.planner
+        self._asts = _LRUCache(cache_size)
         self._predicates = _LRUCache(cache_size)
         self._results = _LRUCache(cache_size)
 
@@ -193,6 +200,11 @@ class Explorer:
 
     def cache_info(self) -> dict:
         return {
+            "asts": {
+                "size": len(self._asts.data),
+                "hits": self._asts.hits,
+                "misses": self._asts.misses,
+            },
             "predicates": {
                 "size": len(self._predicates.data),
                 "hits": self._predicates.hits,
@@ -206,7 +218,8 @@ class Explorer:
         }
 
     def clear_cache(self) -> None:
-        """Drop both session caches (and the model caches, if any)."""
+        """Drop the session caches (and the model caches, if any)."""
+        self._asts.clear()
         self._predicates.clear()
         self._results.clear()
         summary = self.summary
@@ -226,6 +239,10 @@ class Explorer:
 
     @staticmethod
     def _predicate_key(query: CountQuery):
+        """Syntactic pre-key of a WHERE clause — maps repeated query
+        texts to their cached :class:`CanonicalPredicate` without
+        re-resolving labels.  Semantic dedup happens one level down:
+        the *result* cache keys on the canonical form itself."""
         return tuple(
             sorted(
                 (condition.attribute, condition.op, repr(condition.values))
@@ -233,29 +250,55 @@ class Explorer:
             )
         )
 
-    def _compile(self, query: CountQuery) -> Conjunction | None:
-        if not query.conditions:
-            return None
-        key = self._predicate_key(query)
-        predicate = self._predicates.get(key)
-        if predicate is None:
-            predicate = self.engine.compile(query)
-            self._predicates.put(key, predicate)
-        return predicate
-
     def _normalize(self, query) -> CountQuery:
         if isinstance(query, Query):
             query = query.to_ast()
-        return self.engine.parse(query)
+        if isinstance(query, str):
+            # Raw-text pre-key: repeated interactive queries skip the
+            # tokenizer entirely (the semantic dedup still happens at
+            # the canonical-predicate level below).
+            cached = self._asts.get(query)
+            if cached is not None:
+                return cached
+            parsed = self.planner.parse(query)
+            self._asts.put(query, parsed)
+            return parsed
+        return self.planner.parse(query)
+
+    def _canonical(self, query: CountQuery) -> CanonicalPredicate:
+        """Normalize a validated query's WHERE clause (cached)."""
+        key = self._predicate_key(query)
+        canonical = self._predicates.get(key)
+        if canonical is None:
+            canonical = self.planner.normalize(query)
+            self._predicates.put(key, canonical)
+        return canonical
+
+    def plan(self, query: "CountQuery | Query | str") -> QueryPlan:
+        """The full normalize → route → execute plan for a query."""
+        query = self._normalize(query)
+        return self.planner.plan(query, predicate=self._canonical(query))
+
+    def explain(self, query: "CountQuery | Query | str") -> str:
+        """Render a query's plan: one line per planning stage."""
+        return self.plan(query).explain()
 
     def execute(self, query: "CountQuery | Query | str") -> QueryResult:
-        """Execute one query with predicate + result caching."""
+        """Execute one query with predicate + result caching.
+
+        Both caches key on canonical forms, so syntactic variants of
+        one query (reordered conjuncts, ``BETWEEN`` vs ``>=``/``<=``)
+        share entries.  A cache hit stops after the normalize stage —
+        routing and execution only run on misses.
+        """
         query = self._normalize(query)
-        key = repr(query)
+        canonical = self._canonical(query)
+        key = make_cache_key(query, canonical)
         cached = self._results.get(key)
         if cached is not None:
             return cached
-        result = self.engine.execute_compiled(query, self._compile(query))
+        plan = self.planner.plan(query, predicate=canonical)
+        result = self.planner.execute(plan)
         self._results.put(key, result)
         return result
 
@@ -264,55 +307,40 @@ class Explorer:
     ) -> list[QueryResult]:
         """Execute a batch of queries, vectorizing where possible.
 
-        All scalar ``COUNT(*)`` queries in the batch run through one
+        Plans run through the planner's shared batched executor: all
+        batchable scalar ``COUNT(*)`` plans go through one
         :meth:`InferenceEngine.estimate_masks_batch` pass on model
         backends (one polynomial evaluation for the whole batch instead
-        of one per query); grouped and SUM/AVG queries fall back to
-        per-query execution.  Results come back in input order and
-        populate the session cache like sequential ``run()`` calls.
+        of one per query); contradictions answer ``0`` without touching
+        the backend; grouped and SUM/AVG queries run per-query.
+        Results come back in input order and populate the session cache
+        like sequential ``run()`` calls.
         """
         parsed = [self._normalize(query) for query in queries]
-        keys = [repr(query) for query in parsed]
-        results: list[QueryResult | None] = [self._results.get(key) for key in keys]
-
-        batchable: list[int] = []
-        for index, (query, result) in enumerate(zip(parsed, results)):
-            if result is not None:
-                continue
-            if query.aggregate == "count" and not query.is_grouped:
-                batchable.append(index)
-            else:
-                result = self.engine.execute_compiled(query, self._compile(query))
-                self._results.put(keys[index], result)
-                results[index] = result
-
-        if batchable:
-            conjunctions = [
-                self._compile(parsed[index]) or Conjunction(self.schema, {})
-                for index in batchable
-            ]
-            estimator = getattr(self.backend, "estimate_many", None)
-            value_of = getattr(self.backend, "value_of", None)
-            if estimator is not None and value_of is not None:
-                # One vectorized inference pass yields both the scalar
-                # counts and the error bounds.
-                estimates = estimator(conjunctions)
-                counts = [value_of(estimate) for estimate in estimates]
-            else:
-                estimates = None
-                counter = getattr(self.backend, "count_many", None)
-                if counter is not None:
-                    counts = counter(conjunctions)
-                else:
-                    counts = [self.backend.count(c) for c in conjunctions]
-            for offset, index in enumerate(batchable):
-                result = QueryResult(
-                    parsed[index],
-                    float(counts[offset]),
-                    None,
-                    estimates[offset] if estimates is not None else None,
-                )
-                self._results.put(keys[index], result)
+        canonicals = [self._canonical(query) for query in parsed]
+        keys = [
+            make_cache_key(query, canonical)
+            for query, canonical in zip(parsed, canonicals)
+        ]
+        results: list[QueryResult | None] = [
+            self._results.get(key) for key in keys
+        ]
+        # Equivalent queries inside one batch share a canonical key, so
+        # each distinct key is planned and evaluated once; cache hits
+        # are never planned at all.
+        pending: dict[tuple, list[int]] = {}
+        for index, result in enumerate(results):
+            if result is None:
+                pending.setdefault(keys[index], []).append(index)
+        unique = [
+            self.planner.plan(parsed[indices[0]], predicate=canonicals[indices[0]])
+            for indices in pending.values()
+        ]
+        for indices, result in zip(
+            pending.values(), self.planner.execute_many(unique)
+        ):
+            self._results.put(keys[indices[0]], result)
+            for index in indices:
                 results[index] = result
         return results  # type: ignore[return-value]
 
@@ -320,7 +348,8 @@ class Explorer:
     def count(self, query) -> float:
         """Scalar count of a SQL string, fluent query, or conjunction."""
         if isinstance(query, Conjunction):
-            return float(self.backend.count(query))
+            plan = self.planner.plan_conjunction(query)
+            return float(self.planner.execute(plan).scalar)
         result = self.execute(query)
         if not result.is_scalar:
             raise QueryError("query is grouped; use execute()")
@@ -330,15 +359,20 @@ class Explorer:
         """Batched scalar counts.
 
         Accepts a list of :class:`Conjunction` (the harness's native
-        currency) or of SQL/fluent queries; conjunctions go straight to
-        the backend's vectorized path.
+        currency) or of SQL/fluent queries.  Either way the batch runs
+        through the planner's shared batched executor, so conjunctions
+        get the same routing (shard pruning, vectorized backend passes)
+        as SQL text.
         """
         predicates = list(predicates)
         if all(isinstance(item, Conjunction) for item in predicates):
-            counter = getattr(self.backend, "count_many", None)
-            if counter is not None:
-                return [float(value) for value in counter(predicates)]
-            return [float(self.backend.count(item)) for item in predicates]
+            plans = [
+                self.planner.plan_conjunction(item) for item in predicates
+            ]
+            return [
+                float(result.scalar)
+                for result in self.planner.execute_many(plans)
+            ]
         values = []
         for result in self.run_many(predicates):
             if not result.is_scalar:

@@ -15,6 +15,10 @@ versioned summary store (``--store`` + ``--name``).
         --name flights-sharded
     python -m repro query --store models --name flights \\
         --sql "SELECT COUNT(*) FROM R WHERE distance >= 1000"
+    python -m repro query --store models --name flights --file queries.sql
+    cat queries.sql | python -m repro query --model models/flights --file -
+    python -m repro query --store models --name flights --explain \\
+        --sql "SELECT COUNT(*) FROM R WHERE distance BETWEEN 500 AND 900"
     python -m repro info --store models --name flights
     python -m repro store list --dir models
     python -m repro experiment fig5 --scale small
@@ -98,9 +102,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     query = commands.add_parser("query", help="run SQL against a saved model")
     add_model_source(query, "model path prefix")
-    query.add_argument("--sql", required=True)
+    query.add_argument("--sql", help="one SQL query to run")
+    query.add_argument(
+        "--file",
+        help="batch mode: file of SQL queries, one per line ('-' = stdin); "
+        "the whole batch runs through the planner's batched executor and "
+        "prints one result per line",
+    )
     query.add_argument(
         "--rounded", action="store_true", help="round estimates the paper's way"
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print each query's plan (normalize → route → execute) "
+        "instead of executing it",
     )
 
     info = commands.add_parser("info", help="describe a saved model")
@@ -225,15 +241,63 @@ def _load_summary(args) -> "EntropySummary | ShardedSummary":
     )
 
 
-def _cmd_query(args) -> int:
-    explorer = Explorer.attach(_load_summary(args), rounded=args.rounded)
-    result = explorer.sql(args.sql)
+def _format_result(result) -> str:
+    """One line per result: a number, or tab-joined label/count pairs
+    separated by '; ' for grouped queries."""
     if result.is_scalar:
-        print(f"{result.scalar:.3f}")
+        return f"{result.scalar:.3f}"
+    return "; ".join(
+        "\t".join([*(str(label) for label in row.labels), f"{row.count:.3f}"])
+        for row in result.rows
+    )
+
+
+def _read_batch(source: str) -> list[str]:
+    """SQL queries from a file ('-' = stdin): one per line, blank lines
+    and ``--`` comment lines skipped."""
+    if source == "-":
+        text = sys.stdin.read()
     else:
-        for row in result.rows:
-            labels = "\t".join(str(label) for label in row.labels)
-            print(f"{labels}\t{row.count:.3f}")
+        try:
+            with open(source, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            raise ReproError(f"cannot read query file {source!r}: {error}")
+    queries = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line and not line.startswith("--"):
+            queries.append(line)
+    if not queries:
+        raise ReproError(f"no queries found in {source!r}")
+    return queries
+
+
+def _cmd_query(args) -> int:
+    if bool(args.sql) == bool(args.file):
+        raise ReproError("give exactly one of --sql QUERY or --file PATH")
+    explorer = Explorer.attach(_load_summary(args), rounded=args.rounded)
+    if args.sql:
+        if args.explain:
+            print(explorer.explain(args.sql))
+            return 0
+        result = explorer.sql(args.sql)
+        if result.is_scalar:
+            print(f"{result.scalar:.3f}")
+        else:
+            for row in result.rows:
+                labels = "\t".join(str(label) for label in row.labels)
+                print(f"{labels}\t{row.count:.3f}")
+        return 0
+    queries = _read_batch(args.file)
+    if args.explain:
+        for sql in queries:
+            print(explorer.explain(sql))
+        return 0
+    # One batched pass: scalar counts of the batch share one vectorized
+    # backend evaluation; one output line per input query, in order.
+    for result in explorer.run_many(queries):
+        print(_format_result(result))
     return 0
 
 

@@ -359,42 +359,69 @@ class ShardedSummary:
         return report
 
     # -- shard routing ---------------------------------------------------
-    def _narrow(self, predicate: Conjunction | None, shard_index: int):
-        """The conjunction shard ``shard_index`` should evaluate.
+    def shard_conjunctions(
+        self, predicate: Conjunction | None
+    ) -> list[Conjunction | None]:
+        """The conjunction each shard should evaluate; ``None`` = pruned.
 
-        With attribute partitioning the shard's owned range is
-        intersected into the predicate, so values the shard does not
-        own are excluded exactly; an empty intersection means the shard
-        provably contributes zero and ``None, True`` is returned.
+        This is the single pruning pass shared by every query path
+        (scalar counts, group-bys, sums, and the planner's routing
+        stage): the predicate's per-attribute masks are derived *once*,
+        then only the shard attribute's mask is intersected with each
+        shard's owned range.  An empty intersection means the shard
+        provably contributes zero and is never evaluated.
         """
         if self._owned is None:
-            return predicate, False
-        owned = self._owned[shard_index]
-        if predicate is None or predicate.is_trivial():
-            return (
-                Conjunction(self.schema, {self._by_pos: owned}),
-                False,
+            narrowed = (
+                Conjunction(self.schema, {})
+                if predicate is None or predicate.is_trivial()
+                else predicate
             )
-        constraint = predicate.predicate_at(self._by_pos)
-        if constraint.is_true:
-            masks = {
-                pos: predicate.predicate_at(pos).mask(
-                    self.schema.domain(pos).size
-                )
-                for pos in predicate.constrained_positions
-            }
-            masks[self._by_pos] = owned.mask(self.schema.domain(self._by_pos).size)
-            return conjunction_from_masks(self.schema, masks), False
+            return [narrowed] * self.num_shards
         size = self.schema.domain(self._by_pos).size
-        narrowed = constraint.mask(size) & owned.mask(size)
-        if not narrowed.any():
-            return None, True
-        masks = {
+        if predicate is None or predicate.is_trivial():
+            return [
+                Conjunction(self.schema, {self._by_pos: owned})
+                for owned in self._owned
+            ]
+        base_masks = {
             pos: predicate.predicate_at(pos).mask(self.schema.domain(pos).size)
             for pos in predicate.constrained_positions
         }
-        masks[self._by_pos] = narrowed
-        return conjunction_from_masks(self.schema, masks), False
+        constraint = base_masks.get(self._by_pos)
+        conjunctions: list[Conjunction | None] = []
+        for owned in self._owned:
+            owned_mask = owned.mask(size)
+            narrowed_mask = (
+                owned_mask if constraint is None else constraint & owned_mask
+            )
+            if not narrowed_mask.any():
+                conjunctions.append(None)
+                continue
+            masks = dict(base_masks)
+            masks[self._by_pos] = narrowed_mask
+            conjunctions.append(conjunction_from_masks(self.schema, masks))
+        return conjunctions
+
+    def live_shards(self, predicate: Conjunction | None) -> list[int]:
+        """Indices of the shards a predicate can touch.
+
+        The planner's routing stage calls this once per query, so it
+        only intersects the shard attribute's mask with each owned
+        range — no per-shard conjunctions are built.
+        """
+        if self._owned is None or predicate is None or predicate.is_trivial():
+            return list(range(self.num_shards))
+        constraint = predicate.predicate_at(self._by_pos)
+        if constraint.is_true:
+            return list(range(self.num_shards))
+        size = self.schema.domain(self._by_pos).size
+        mask = constraint.mask(size)
+        return [
+            index
+            for index, owned in enumerate(self._owned)
+            if (mask & owned.mask(size)).any()
+        ]
 
     # -- querying --------------------------------------------------------
     def count(self, predicate: Conjunction) -> MergedEstimate:
@@ -402,14 +429,13 @@ class ShardedSummary:
         return self.estimate(predicate)
 
     def estimate(self, predicate: Conjunction | None) -> MergedEstimate:
-        estimates = []
-        for index, shard in enumerate(self.shards):
-            narrowed, pruned = self._narrow(predicate, index)
-            if pruned:
-                continue
-            if narrowed is None:
-                narrowed = Conjunction(self.schema, {})
-            estimates.append(shard.engine.estimate(narrowed))
+        estimates = [
+            shard.engine.estimate(narrowed)
+            for shard, narrowed in zip(
+                self.shards, self.shard_conjunctions(predicate)
+            )
+            if narrowed is not None
+        ]
         return _merge(estimates, self.total)
 
     def estimate_batch(
@@ -492,9 +518,10 @@ class ShardedSummary:
         """Merged GROUP BY COUNT(*): the union of shard groups, with
         per-label expectations summed and variances added."""
         merged: dict[tuple, list[float]] = {}
-        for index, shard in enumerate(self.shards):
-            narrowed, pruned = self._narrow(predicate, index)
-            if pruned:
+        for shard, narrowed in zip(
+            self.shards, self.shard_conjunctions(predicate)
+        ):
+            if narrowed is None:
                 continue
             for labels, estimate in shard.group_by(attrs, narrowed).items():
                 cell = merged.setdefault(labels, [0.0, 0.0])
@@ -514,9 +541,10 @@ class ShardedSummary:
         """Merged ``E[SUM(w(attr))]`` — per-shard sums add by linearity."""
         pos = self.schema.position(attr)
         total = 0.0
-        for index, shard in enumerate(self.shards):
-            narrowed, pruned = self._narrow(predicate, index)
-            if pruned:
+        for shard, narrowed in zip(
+            self.shards, self.shard_conjunctions(predicate)
+        ):
+            if narrowed is None:
                 continue
             total += shard.engine.sum_estimate(pos, weights, narrowed)
         return total

@@ -3,10 +3,12 @@ and aggregate metrics.
 
 A *method* is anything :meth:`Explorer.attach` accepts — an
 :class:`~repro.api.Explorer` session, a :class:`~repro.api.Backend`, a
-relation, or a summary.  The harness opens a session per run, pushes
-the whole workload through the batched ``count_many`` path (one
-vectorized inference pass on model backends), and computes the Sec 6.2
-metrics.
+relation, or a summary.  The harness opens a session per run and pushes
+the whole workload through ``count_many`` — which plans every predicate
+through the shared query planner (:mod:`repro.plan`) and executes the
+batch via the same batched executor the Explorer and the CLI use (one
+vectorized inference pass on model backends, shard pruning decided once
+per query) — then computes the Sec 6.2 metrics.
 """
 
 from __future__ import annotations

@@ -1,9 +1,15 @@
 """SQL front-end: parser, AST, label resolution, and execution against
-exact / sample / summary backends."""
+exact / sample / summary backends.
+
+Planning (predicate normalization, backend routing, the physical
+operators) lives one package over in :mod:`repro.plan`; the
+:class:`SQLEngine` here is the stable per-backend façade on top of it.
+"""
 
 from repro.query.ast import Condition, CountQuery
 from repro.query.backends import ShardedBackend, SummaryBackend
-from repro.query.engine import CountBackend, GroupRow, QueryResult, SQLEngine
+from repro.query.engine import CountBackend, SQLEngine
+from repro.query.results import GroupRow, QueryResult
 from repro.query.linear import (
     LinearQuery,
     condition_mask,

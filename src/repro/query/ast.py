@@ -31,8 +31,21 @@ class Condition:
     def __init__(self, attribute: str, op: str, values: Sequence):
         if op not in COMPARISONS + ("in", "between"):
             raise QueryError(f"unsupported operator {op!r}")
-        if op == "between" and len(values) != 2:
-            raise QueryError("BETWEEN needs exactly two bounds")
+        if op == "between":
+            if len(values) != 2:
+                raise QueryError("BETWEEN needs exactly two bounds")
+            low, high = values
+            if (
+                isinstance(low, (int, float))
+                and isinstance(high, (int, float))
+                and not isinstance(low, bool)
+                and not isinstance(high, bool)
+                and low > high
+            ):
+                raise QueryError(
+                    f"reversed BETWEEN bounds on {attribute!r}: {low!r} > "
+                    f"{high!r}; write BETWEEN {high!r} AND {low!r}"
+                )
         if op in COMPARISONS and len(values) != 1:
             raise QueryError(f"operator {op!r} needs exactly one literal")
         if op == "in" and not values:
@@ -93,15 +106,10 @@ class CountQuery:
             raise QueryError(f"LIMIT must be positive, got {limit}")
         self.order = order
         self.limit = limit
-        seen = set()
-        for condition in self.conditions:
-            if condition.attribute in seen:
-                raise QueryError(
-                    f"attribute {condition.attribute!r} is constrained twice; "
-                    "the engine supports one condition per attribute "
-                    "(conjunctions of per-attribute predicates, Eq. 16)"
-                )
-            seen.add(condition.attribute)
+        # Multiple conditions on one attribute are allowed: the query
+        # planner's normalize stage intersects them into the single
+        # per-attribute predicate of Eq. 16 (``x >= 3 AND x <= 7``
+        # becomes the range [3, 7]; an empty intersection answers 0).
 
     @property
     def is_grouped(self) -> bool:

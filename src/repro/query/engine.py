@@ -1,10 +1,13 @@
-"""Query execution: one AST, many backends.
+"""Query execution: one AST, many backends — via the shared planner.
 
 A *backend* is anything that can answer conjunctive counting queries —
-the exact relation, a sampler, or an EntropyDB summary.  The engine
-resolves labels, dispatches, and post-processes GROUP BY results
-(ordering, LIMIT), so accuracy experiments run the *same* query text
-against every method.
+the exact relation, a sampler, or an EntropyDB summary.  Since the
+planner refactor, :class:`SQLEngine` is a thin façade over
+:class:`repro.plan.Planner`: parsing/validation, predicate
+normalization, backend routing, and the physical operators all live in
+:mod:`repro.plan` and are shared with the Explorer, the CLI, and the
+evaluation harness.  The engine remains the stable low-level surface
+tests and scripts use to run one query against one backend.
 """
 
 from __future__ import annotations
@@ -13,10 +16,18 @@ from typing import Protocol, Sequence, runtime_checkable
 
 from repro.data.schema import Schema
 from repro.errors import QueryError
+from repro.plan.canonical import canonicalize_conjunction
+from repro.plan.planner import Planner
 from repro.query.ast import CountQuery
-from repro.query.linear import conjunction_from_conditions
-from repro.query.parser import parse_query
+from repro.query.results import GroupRow, QueryResult
 from repro.stats.predicates import Conjunction
+
+__all__ = [
+    "CountBackend",
+    "GroupRow",
+    "QueryResult",
+    "SQLEngine",
+]
 
 
 @runtime_checkable
@@ -36,185 +47,62 @@ class CountBackend(Protocol):
         ...
 
 
-class GroupRow:
-    """One GROUP BY output row."""
-
-    __slots__ = ("labels", "count")
-
-    def __init__(self, labels: tuple, count: float):
-        self.labels = labels
-        self.count = count
-
-    def __iter__(self):
-        yield from self.labels
-        yield self.count
-
-    def __eq__(self, other):
-        if not isinstance(other, GroupRow):
-            return NotImplemented
-        return self.labels == other.labels and self.count == other.count
-
-    def __repr__(self):
-        return f"GroupRow({self.labels!r}, {self.count:g})"
-
-
-class QueryResult:
-    """Result of one execution: a scalar or a list of group rows.
-
-    For scalar counts answered by a model backend, ``estimate`` carries
-    the full :class:`~repro.core.inference.QueryEstimate`, so the error
-    bounds (``std``, ``ci95``) of Sec 7's Binomial extension travel with
-    the result.
-    """
-
-    __slots__ = ("query", "scalar", "rows", "estimate")
-
-    def __init__(
-        self,
-        query: CountQuery,
-        scalar: float | None,
-        rows: list[GroupRow] | None,
-        estimate=None,
-    ):
-        self.query = query
-        self.scalar = scalar
-        self.rows = rows
-        self.estimate = estimate
-
-    @property
-    def is_scalar(self) -> bool:
-        return self.scalar is not None
-
-    # -- error bounds (model backends only; None otherwise) -------------
-    @property
-    def std(self) -> float | None:
-        """Model standard deviation of a scalar count, if available."""
-        return self.estimate.std if self.estimate is not None else None
-
-    @property
-    def ci95(self) -> tuple[float, float] | None:
-        """Model 95% confidence interval of a scalar count, if available."""
-        return self.estimate.ci95 if self.estimate is not None else None
-
-    # -- conversions -----------------------------------------------------
-    def to_rows(self) -> list[tuple]:
-        """Uniform row view: ``[(label, ..., count), ...]``.
-
-        A scalar result becomes a single ``(count,)`` row.
-        """
-        if self.is_scalar:
-            return [(self.scalar,)]
-        return [tuple(row.labels) + (row.count,) for row in self.rows]
-
-    def to_dict(self) -> dict:
-        """Dict view of the result.
-
-        Scalar: ``{"count": x}`` plus ``std``/``ci95`` when the backend
-        provides error bounds.  Grouped: label(s) → count, with
-        single-attribute groups keyed by the bare label.
-        """
-        if self.is_scalar:
-            out: dict = {"count": self.scalar}
-            if self.estimate is not None:
-                out["std"] = self.estimate.std
-                out["ci95"] = self.estimate.ci95
-            return out
-        single = len(self.query.group_by) == 1
-        return {
-            (row.labels[0] if single else row.labels): row.count
-            for row in self.rows
-        }
-
-    def __repr__(self):
-        if self.is_scalar:
-            return f"QueryResult({self.scalar:g})"
-        return f"QueryResult({len(self.rows)} rows)"
-
-
 class SQLEngine:
     """Executes SQL text / :class:`CountQuery` trees against a backend."""
 
     def __init__(self, backend: CountBackend, table_name: str = "R"):
         self.backend = backend
         self.table_name = table_name
+        self.planner = Planner(backend, table_name=table_name)
 
     def parse(self, query: "CountQuery | str") -> CountQuery:
         """Parse SQL text (if needed) and validate it for this engine."""
-        if isinstance(query, str):
-            query = parse_query(query)
-        if query.table.lower() != self.table_name.lower():
-            raise QueryError(
-                f"unknown table {query.table!r}; this engine serves "
-                f"{self.table_name!r}"
-            )
-        for attr in query.group_by:
-            self.backend.schema.position(attr)  # raises on unknown attributes
-        return query
+        return self.planner.parse(query)
 
     def compile(self, query: CountQuery) -> Conjunction | None:
-        """Resolve the WHERE conditions into a dense-index conjunction."""
+        """Resolve the WHERE conditions into a dense-index conjunction.
+
+        Contradictory conditions raise here (legacy strict semantics);
+        :meth:`execute` instead short-circuits them to ``0`` through
+        the planner.
+        """
         if not query.conditions:
             return None
-        return conjunction_from_conditions(self.backend.schema, query.conditions)
+        predicate = self.planner.normalize(query)
+        if predicate.is_empty:
+            raise QueryError(
+                f"predicate is a contradiction: {predicate.empty_reason}"
+            )
+        if predicate.is_trivial:
+            return None
+        return predicate.to_conjunction()
+
+    def plan(self, query: "CountQuery | str"):
+        """Full :class:`~repro.plan.planner.QueryPlan` for a query."""
+        return self.planner.plan(query)
+
+    def explain(self, query: "CountQuery | str") -> str:
+        """Render the normalize → route → execute stages of a query."""
+        return self.planner.explain(query)
 
     def execute(self, query: "CountQuery | str") -> QueryResult:
-        """Parse (if needed), validate, and run a query against the backend."""
-        query = self.parse(query)
-        return self.execute_compiled(query, self.compile(query))
+        """Parse (if needed), plan, and run a query against the backend."""
+        return self.planner.execute(self.planner.plan(query))
 
     def execute_compiled(
         self, query: CountQuery, predicate: Conjunction | None
     ) -> QueryResult:
         """Run an already-validated query with a precompiled predicate.
 
-        The split lets the Explorer cache compiled predicates across
-        repeated interactive queries and skip re-resolution.
+        Kept for callers that cache compiled conjunctions themselves;
+        the predicate is re-canonicalized (cheap — mask algebra only)
+        so it flows through the same plan machinery.
         """
-        schema = self.backend.schema
-        if query.aggregate != "count":
-            return QueryResult(query, self._aggregate(query, predicate), None)
-        if not query.is_grouped:
-            conjunction = predicate or Conjunction(schema, {})
-            estimator = getattr(self.backend, "estimate", None)
-            if estimator is not None:
-                estimate = estimator(conjunction)
-                return QueryResult(
-                    query, float(self.backend.count(conjunction)), None, estimate
-                )
-            return QueryResult(query, float(self.backend.count(conjunction)), None)
-        counts = self.backend.group_counts(query.group_by, predicate)
-        rows = [GroupRow(labels, count) for labels, count in counts.items()]
-        if query.order == "desc":
-            rows.sort(key=lambda row: (-row.count, str(row.labels)))
-        elif query.order == "asc":
-            rows.sort(key=lambda row: (row.count, str(row.labels)))
-        else:
-            rows.sort(key=lambda row: str(row.labels))
-        if query.limit is not None:
-            rows = rows[: query.limit]
-        return QueryResult(query, None, rows)
-
-    def _aggregate(self, query: CountQuery, predicate) -> float:
-        """SUM/AVG dispatch: a weighted linear query plus, for AVG, the
-        matching COUNT in the denominator (ratio estimator)."""
-        from repro.query.linear import numeric_weights
-
-        schema = self.backend.schema
-        pos = schema.position(query.aggregate_attr)
-        weights = numeric_weights(schema.domain(pos))
-        sum_method = getattr(self.backend, "sum_values", None)
-        if sum_method is None or getattr(self.backend, "supports_sum", True) is False:
-            raise QueryError(
-                f"backend {self.backend!r} does not support SUM/AVG"
-            )
-        total = float(sum_method(pos, weights, predicate))
-        if query.aggregate == "sum":
-            return total
-        conjunction = predicate or Conjunction(schema, {})
-        count = float(self.backend.count(conjunction))
-        if count <= 0:
-            raise QueryError("AVG undefined: no rows match the predicate")
-        return total / count
+        canonical = canonicalize_conjunction(
+            predicate, schema=self.backend.schema
+        )
+        plan = self.planner.plan(query, predicate=canonical)
+        return self.planner.execute(plan)
 
     def count(self, sql: str) -> float:
         """Shortcut: execute and unwrap a scalar count."""

@@ -99,21 +99,37 @@ def _comparison_mask(domain: Domain, op: str, literal) -> np.ndarray:
     return mask
 
 
-def condition_mask(domain: Domain, condition: Condition) -> np.ndarray:
-    """Boolean value mask of one condition over a domain."""
+def condition_mask(
+    domain: Domain, condition: Condition, *, strict: bool = True
+) -> np.ndarray:
+    """Boolean value mask of one condition over a domain.
+
+    ``strict=True`` (the legacy behavior) raises :class:`QueryError`
+    when the condition selects no value; ``strict=False`` returns the
+    empty mask instead, letting the query planner treat unsatisfiable
+    conditions as contradictions that answer ``0`` without touching a
+    backend.  Type errors (comparing a number with a string label, ...)
+    raise in both modes.
+    """
     if condition.op == "=":
         index = _literal_matches(domain, condition.values[0])
-        if index is None:
-            raise QueryError(
-                f"value {condition.values[0]!r} is not in the active domain "
-                f"of {domain.name!r}"
-            )
         mask = np.zeros(domain.size, dtype=bool)
+        if index is None:
+            if strict:
+                raise QueryError(
+                    f"value {condition.values[0]!r} is not in the active "
+                    f"domain of {domain.name!r}"
+                )
+            return mask
         mask[index] = True
         return mask
     if condition.op == "!=":
+        # strict mode still rejects out-of-domain values (a typo check);
+        # lenient mode keeps every label, the correct NOT-EQUAL reading.
         mask = condition_mask(
-            domain, Condition(condition.attribute, "=", condition.values)
+            domain,
+            Condition(condition.attribute, "=", condition.values),
+            strict=strict,
         )
         return ~mask
     if condition.op == "in":
@@ -121,10 +137,12 @@ def condition_mask(domain: Domain, condition: Condition) -> np.ndarray:
         for literal in condition.values:
             index = _literal_matches(domain, literal)
             if index is None:
-                raise QueryError(
-                    f"value {literal!r} is not in the active domain of "
-                    f"{domain.name!r}"
-                )
+                if strict:
+                    raise QueryError(
+                        f"value {literal!r} is not in the active domain of "
+                        f"{domain.name!r}"
+                    )
+                continue
             mask[index] = True
         return mask
     if condition.op == "between":
@@ -132,14 +150,14 @@ def condition_mask(domain: Domain, condition: Condition) -> np.ndarray:
         lower = _comparison_mask(domain, ">=", low)
         upper = _comparison_mask(domain, "<=", high)
         mask = lower & upper
-        if not mask.any():
+        if strict and not mask.any():
             raise QueryError(
                 f"BETWEEN {low!r} AND {high!r} selects no value of "
                 f"{domain.name!r}"
             )
         return mask
     mask = _comparison_mask(domain, condition.op, condition.values[0])
-    if not mask.any():
+    if strict and not mask.any():
         raise QueryError(
             f"{condition!r} selects no value of {domain.name!r}"
         )
@@ -149,11 +167,24 @@ def condition_mask(domain: Domain, condition: Condition) -> np.ndarray:
 def conjunction_from_conditions(
     schema: Schema, conditions: Sequence[Condition]
 ) -> Conjunction:
-    """Resolve parsed conditions into a dense-index conjunction."""
-    masks = {}
+    """Resolve parsed conditions into a dense-index conjunction.
+
+    Multiple conditions on one attribute intersect (``x >= 3 AND
+    x <= 7`` equals ``x BETWEEN 3 AND 7``); an empty intersection
+    raises, matching the strict semantics of :func:`condition_mask`.
+    """
+    masks: dict[int, np.ndarray] = {}
     for condition in conditions:
         pos = schema.position(condition.attribute)
-        masks[pos] = condition_mask(schema.domain(pos), condition)
+        mask = condition_mask(schema.domain(pos), condition)
+        if pos in masks:
+            mask = masks[pos] & mask
+            if not mask.any():
+                raise QueryError(
+                    f"conditions on {condition.attribute!r} contradict each "
+                    "other; no value satisfies all of them"
+                )
+        masks[pos] = mask
     return conjunction_from_masks(schema, masks)
 
 

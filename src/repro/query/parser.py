@@ -36,7 +36,7 @@ _TOKEN = re.compile(
 
 _KEYWORDS = {
     "select", "from", "where", "and", "in", "between", "group", "by",
-    "order", "limit", "count", "sum", "avg", "as", "asc", "desc",
+    "order", "limit", "count", "sum", "avg", "as", "asc", "desc", "or",
 }
 
 
@@ -109,7 +109,16 @@ def parse_query(text: str) -> CountQuery:
     conditions = []
     if tokens.accept("keyword", "where"):
         conditions.append(_parse_condition(tokens))
-        while tokens.accept("keyword", "and"):
+        while True:
+            if tokens.peek() == ("keyword", "or"):
+                raise QueryError(
+                    "unsupported token 'OR' after "
+                    f"{conditions[-1]!r}: the engine answers conjunctive "
+                    "queries only (AND of per-attribute predicates, "
+                    "Eq. 16); split the query and add the counts instead"
+                )
+            if not tokens.accept("keyword", "and"):
+                break
             conditions.append(_parse_condition(tokens))
     group_by: list[str] = []
     if tokens.accept("keyword", "group"):
@@ -176,33 +185,44 @@ def _parse_select_list(tokens: _Tokens) -> tuple[list[str], str, str | None]:
         tokens.expect("punct", ",")
 
 
+def _expect_literal(tokens: _Tokens, context: str):
+    """Next token as a literal, with targeted messages for the classic
+    mistakes (unquoted strings, keywords in literal position)."""
+    kind, value = tokens.next()
+    if kind == "literal":
+        return value
+    if kind == "name":
+        raise QueryError(
+            f"expected a literal {context}, found bare word {value!r} — "
+            f"string literals must be quoted: '{value}'"
+        )
+    raise QueryError(f"expected a literal {context}, found {value!r}")
+
+
 def _parse_condition(tokens: _Tokens) -> Condition:
     attribute = tokens.expect("name")
     kind, value = tokens.next()
     if kind == "op":
         if value not in COMPARISONS:
             raise QueryError(f"unsupported comparison {value!r}")
-        literal_kind, literal = tokens.next()
-        if literal_kind != "literal":
-            raise QueryError(f"expected a literal after {value!r}")
+        literal = _expect_literal(tokens, f"after {value!r}")
         return Condition(attribute, value, [literal])
     if kind == "keyword" and value == "in":
         tokens.expect("punct", "(")
         literals = []
         while True:
-            literal_kind, literal = tokens.next()
-            if literal_kind != "literal":
-                raise QueryError("IN list entries must be literals")
-            literals.append(literal)
+            literals.append(
+                _expect_literal(tokens, f"in the IN list of {attribute!r}")
+            )
             if tokens.accept("punct", ")"):
                 break
             tokens.expect("punct", ",")
         return Condition(attribute, "in", literals)
     if kind == "keyword" and value == "between":
-        low_kind, low = tokens.next()
+        low = _expect_literal(tokens, f"as the BETWEEN lower bound of {attribute!r}")
         tokens.expect("keyword", "and")
-        high_kind, high = tokens.next()
-        if low_kind != "literal" or high_kind != "literal":
-            raise QueryError("BETWEEN bounds must be literals")
+        high = _expect_literal(tokens, f"as the BETWEEN upper bound of {attribute!r}")
         return Condition(attribute, "between", [low, high])
-    raise QueryError(f"expected a condition operator, found {value!r}")
+    raise QueryError(
+        f"expected a condition operator after {attribute!r}, found {value!r}"
+    )

@@ -152,6 +152,75 @@ class TestBuildAndQuery:
         value = float(capsys.readouterr().out.strip())
         assert value == int(value)
 
+    def test_batch_file(self, model_prefix, tmp_path, capsys):
+        queries = tmp_path / "queries.sql"
+        queries.write_text(
+            "-- repeated-equivalent workload\n"
+            "SELECT COUNT(*) FROM R WHERE distance >= 20\n"
+            "\n"
+            "SELECT COUNT(*) FROM R WHERE origin_state = 'CA'\n"
+            "SELECT origin_state, COUNT(*) AS cnt FROM R "
+            "GROUP BY origin_state ORDER BY cnt DESC LIMIT 2\n"
+        )
+        code = main(
+            ["query", "--model", str(model_prefix), "--file", str(queries)]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3  # one result line per query, in order
+        assert float(lines[0]) >= 0.0
+        assert float(lines[1]) >= 0.0
+        assert ";" in lines[2]  # grouped rows collapse onto one line
+
+    def test_batch_stdin(self, model_prefix, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("SELECT COUNT(*) FROM R\nSELECT COUNT(*) FROM R\n"),
+        )
+        code = main(["query", "--model", str(model_prefix), "--file", "-"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0] == lines[1]
+
+    def test_batch_empty_file_reports_error(self, model_prefix, tmp_path, capsys):
+        queries = tmp_path / "empty.sql"
+        queries.write_text("-- nothing here\n")
+        code = main(
+            ["query", "--model", str(model_prefix), "--file", str(queries)]
+        )
+        assert code == 1
+        assert "no queries" in capsys.readouterr().err
+
+    def test_sql_and_file_mutually_exclusive(self, model_prefix, capsys):
+        code = main(
+            [
+                "query",
+                "--model", str(model_prefix),
+                "--sql", "SELECT COUNT(*) FROM R",
+                "--file", "queries.sql",
+            ]
+        )
+        assert code == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_explain(self, model_prefix, capsys):
+        code = main(
+            [
+                "query", "--explain",
+                "--model", str(model_prefix),
+                "--sql",
+                "SELECT COUNT(*) FROM R WHERE distance >= 20 AND distance <= 40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalize:" in out
+        assert "route:" in out
+        assert "execute:" in out
+
     def test_info(self, model_prefix, capsys):
         assert main(["info", "--model", str(model_prefix)]) == 0
         out = capsys.readouterr().out

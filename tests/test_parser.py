@@ -81,9 +81,30 @@ class TestConditions:
         query = parse_query("SELECT COUNT(*) FROM R WHERE a = 'O''Hare'")
         assert query.conditions[0].values == ["O'Hare"]
 
-    def test_duplicate_attribute_rejected(self):
-        with pytest.raises(QueryError, match="twice"):
-            parse_query("SELECT COUNT(*) FROM R WHERE a = 1 AND a = 2")
+    def test_duplicate_attribute_accepted(self):
+        # The planner's normalize stage intersects per-attribute
+        # conditions (x >= 3 AND x <= 7 == BETWEEN 3 AND 7), so the
+        # parser keeps both conjuncts.
+        query = parse_query("SELECT COUNT(*) FROM R WHERE a >= 1 AND a <= 2")
+        assert [condition.attribute for condition in query.conditions] == [
+            "a", "a",
+        ]
+
+    def test_reversed_between_rejected(self):
+        with pytest.raises(QueryError, match="reversed BETWEEN"):
+            parse_query("SELECT COUNT(*) FROM R WHERE a BETWEEN 7 AND 3")
+
+    def test_unquoted_string_literal_named(self):
+        with pytest.raises(QueryError, match="quoted"):
+            parse_query("SELECT COUNT(*) FROM R WHERE state = CA")
+
+    def test_unquoted_string_in_list_named(self):
+        with pytest.raises(QueryError, match="'CA'"):
+            parse_query("SELECT COUNT(*) FROM R WHERE state IN (CA, NY)")
+
+    def test_or_rejected_with_clear_message(self):
+        with pytest.raises(QueryError, match="OR"):
+            parse_query("SELECT COUNT(*) FROM R WHERE a = 1 OR a = 2")
 
 
 class TestGroupOrderLimit:
