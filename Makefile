@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke lint install docs-check
+.PHONY: test bench-smoke serve-smoke lint install docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -11,6 +11,12 @@ test:
 # suite, including the run_many()-vs-sequential acceptance check.
 bench-smoke:
 	REPRO_SCALE=small $(PYTHON) -m pytest -q benchmarks/bench_query_latency.py
+
+# Serving-layer smoke: boot the server on a tiny summary, fire 50
+# concurrent requests through the real client, assert zero errors and
+# a warm cache (the CI serve-smoke job runs exactly this).
+serve-smoke:
+	REPRO_SCALE=small $(PYTHON) -m pytest -q -s benchmarks/bench_serve.py::test_serve_smoke
 
 # Lint: ruff when available (the CI lint job installs it; this offline
 # image may not have it — see [tool.ruff] in pyproject.toml for the
@@ -22,7 +28,7 @@ lint:
 		echo "ruff not installed; skipping (compileall/import smoke still run)"; \
 	fi
 	$(PYTHON) -m compileall -q src tests benchmarks examples
-	$(PYTHON) -W error::SyntaxWarning -c "import repro, repro.api, repro.plan, repro.cli, repro.experiments"
+	$(PYTHON) -W error::SyntaxWarning -c "import repro, repro.api, repro.plan, repro.serve, repro.cli, repro.experiments"
 
 # Documentation rot check: every ```python block in README.md and
 # docs/*.md must compile, every relative link must resolve.

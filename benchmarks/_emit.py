@@ -1,0 +1,112 @@
+"""Shared benchmark emitter: one ``BENCH_<name>.json`` per suite.
+
+Every acceptance benchmark (planner, sharding, serve) writes its
+numbers through a :class:`BenchReport`, so the repo accumulates a
+machine-readable perf trajectory in one schema::
+
+    {
+      "format_version": 1,
+      "name": "serve",
+      "scale": "small",
+      "created_at": 1753...,
+      "metrics": {"qps_coalesced": 4100.0, ...},
+      "thresholds": [
+        {"metric": "speedup", "op": ">=", "bound": 2.0,
+         "actual": 3.4, "passed": true}
+      ],
+      "passed": true
+    }
+
+Files land in the current working directory (the repo root under
+pytest); they are build artifacts, not sources — ``BENCH_*.json`` is
+gitignored.  A report is rewritten after every ``record()`` call, so a
+partially-run suite still leaves its completed metrics on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import operator
+import os
+import time
+from pathlib import Path
+
+FORMAT_VERSION = 1
+
+_OPS = {
+    ">=": operator.ge,
+    "<=": operator.le,
+    ">": operator.gt,
+    "<": operator.lt,
+    "==": operator.eq,
+}
+
+
+class BenchReport:
+    """Accumulates metrics and threshold checks for one benchmark suite.
+
+    Tests call :meth:`record` with their metrics and ``(metric, op,
+    bound)`` threshold triples; the merged document is rewritten to
+    ``BENCH_<name>.json`` on every call.  ``record`` returns the
+    failing checks so callers *may* assert on them, but benchmarks
+    should keep their own assertions — those carry better messages.
+    """
+
+    def __init__(self, name: str, out_dir=None):
+        self.name = name
+        self.out_dir = Path(out_dir) if out_dir is not None else Path.cwd()
+        self.metrics: dict = {}
+        self.checks: dict[tuple, dict] = {}
+
+    def record(self, metrics: dict, thresholds=()) -> list[dict]:
+        """Merge ``metrics``, evaluate ``thresholds``, rewrite the JSON."""
+        self.metrics.update(metrics)
+        failures = []
+        for metric, op, bound in thresholds:
+            if op not in _OPS:
+                raise ValueError(
+                    f"unknown threshold op {op!r}; choose from {sorted(_OPS)}"
+                )
+            actual = self.metrics[metric]
+            check = {
+                "metric": metric,
+                "op": op,
+                "bound": bound,
+                "actual": actual,
+                "passed": bool(_OPS[op](actual, bound)),
+            }
+            self.checks[(metric, op)] = check
+            if not check["passed"]:
+                failures.append(check)
+        self.write()
+        return failures
+
+    @property
+    def passed(self) -> bool:
+        return all(check["passed"] for check in self.checks.values())
+
+    @property
+    def path(self) -> Path:
+        return self.out_dir / f"BENCH_{self.name}.json"
+
+    def document(self) -> dict:
+        return {
+            "format_version": FORMAT_VERSION,
+            "name": self.name,
+            "scale": os.environ.get("REPRO_SCALE", "paper"),
+            "created_at": time.time(),
+            "metrics": self.metrics,
+            "thresholds": list(self.checks.values()),
+            "passed": self.passed,
+        }
+
+    def write(self) -> Path:
+        payload = json.dumps(self.document(), indent=2, sort_keys=True)
+        self.path.write_text(payload + "\n")
+        return self.path
+
+    def __repr__(self):
+        return (
+            f"BenchReport({self.name!r}, {len(self.metrics)} metrics, "
+            f"passed={self.passed})"
+        )

@@ -14,12 +14,18 @@ The planner refactor's performance claims:
   domain) answers ``0`` in the normalize stage: zero backend
   invocations, latency well under a real model query's.
 
+Numbers append to ``BENCH_planner.json`` through the shared emitter
+(:mod:`benchmarks._emit`) in the same schema as ``BENCH_serve.json``.
+
 Scale via ``REPRO_SCALE`` (``paper`` default, ``small`` for CI).
 """
 
 import time
 
+from benchmarks._emit import BenchReport
 from repro.api import Explorer
+
+REPORT = BenchReport("planner")
 
 #: Equivalence classes: every inner list spells one predicate several ways.
 VARIANT_CLASSES = [
@@ -92,6 +98,17 @@ def test_repeated_equivalent_workload_speedup(store):
         f"uncached {uncached_seconds*1e3:.1f} ms, cached "
         f"{cached_seconds*1e3:.1f} ms — {speedup:.2f}x, {hits} result hits"
     )
+    REPORT.record(
+        {
+            "workload_queries": len(workload),
+            "equivalence_classes": len(VARIANT_CLASSES),
+            "uncached_ms": round(uncached_seconds * 1e3, 2),
+            "cached_ms": round(cached_seconds * 1e3, 2),
+            "result_cache_hits": hits,
+            "speedup": round(speedup, 2),
+        },
+        thresholds=[("speedup", ">=", 1.5)],
+    )
     # Every query after the first of its class hits the canonical key.
     assert hits == len(workload) - len(VARIANT_CLASSES)
     assert speedup >= 1.5, (
@@ -134,4 +151,15 @@ def test_contradictions_short_circuit(store):
     # O(1) in model size: parse + normalize only.  Generous 2x bound on
     # a cached live query keeps the assertion robust on noisy machines;
     # the printed numbers show the real gap.
-    assert per_contradiction < max(per_live * 2.0, 2e-3)
+    allowed = max(per_live * 2.0, 2e-3)
+    REPORT.record(
+        {
+            "contradiction_us_per_query": round(per_contradiction * 1e6, 1),
+            "live_us_per_query": round(per_live * 1e6, 1),
+            "contradiction_ratio_vs_allowed": round(
+                per_contradiction / allowed, 4
+            ),
+        },
+        thresholds=[("contradiction_ratio_vs_allowed", "<", 1.0)],
+    )
+    assert per_contradiction < allowed

@@ -1,0 +1,172 @@
+"""Serving-layer acceptance: coalescing + shared cache vs naive serving.
+
+The serving subsystem's performance claim: on a **repeated-workload
+mix** — the dashboard shape: 8+ concurrent clients, few distinct
+questions, heavy on GROUP BY and SUM/AVG (the query shapes the model
+engine cannot memoize internally) — the server with request coalescing
+and the shared TTL result cache sustains **at least 2x** the
+throughput of the same server with both turned off, because
+
+* same-canonical-key requests inside one ~2 ms window are answered by
+  one execution instead of one per client,
+* distinct queries inside a window flush through the planner's batched
+  executor as one vectorized pass,
+* within the TTL, repeats across *all* clients and sessions are served
+  from the cache without touching the backend at all.
+
+Results append to ``BENCH_serve.json`` (p50/p95 latency, QPS, cache
+hit rate for both modes) via the shared emitter, giving the repo a
+perf trajectory.  ``test_serve_smoke`` is the CI gate: boot on a tiny
+summary, fire 50 concurrent requests, assert zero errors and a warm
+cache.
+
+Scale via ``REPRO_SCALE`` (``paper`` default, ``small`` for CI).
+"""
+
+import numpy as np
+
+from benchmarks._emit import BenchReport
+from repro.api import SummaryBuilder
+from repro.data.domain import Domain, integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.experiments.configs import active_scale
+from repro.serve import ServeConfig, ServerThread, SummaryServer, run_load
+
+REPORT = BenchReport("serve")
+
+CLIENTS = 8
+
+#: The repeated-workload mix: scalar counts (with syntactic variants
+#: that must share one canonical key), model-side GROUP BYs, and
+#: SUM/AVG aggregates — every shape the serving paper-pitch covers.
+WORKLOAD = [
+    "SELECT COUNT(*) FROM R WHERE origin_state = 'CA'",
+    "SELECT COUNT(*) FROM R WHERE fl_date BETWEEN 40 AND 90",
+    "SELECT COUNT(*) FROM R WHERE fl_date >= 40 AND fl_date <= 90",
+    "SELECT COUNT(*) FROM R GROUP BY origin_state",
+    "SELECT COUNT(*) FROM R WHERE fl_date >= 100 GROUP BY dest_state",
+    "SELECT SUM(distance) FROM R WHERE origin_state = 'CA'",
+    "SELECT AVG(distance) FROM R WHERE dest_state = 'NY'",
+    "SELECT COUNT(*) FROM R GROUP BY dest_state ORDER BY cnt DESC LIMIT 5",
+    "SELECT SUM(distance) FROM R WHERE dest_state = 'TX'",
+    "SELECT COUNT(*) FROM R WHERE origin_state = 'WA' AND fl_date >= 60",
+]
+
+
+def _drive(summary, config: ServeConfig, requests_per_client: int):
+    server = SummaryServer(summary, config=config)
+    with ServerThread(server):
+        return run_load(
+            server.host,
+            server.port,
+            WORKLOAD,
+            clients=CLIENTS,
+            requests_per_client=requests_per_client,
+        )
+
+
+def test_coalescing_throughput_speedup(store):
+    """Acceptance: coalescing + shared cache >= 2x naive serving."""
+    summary = store.flights_summary("Ent1&2&3", "coarse")
+    requests = 40 if active_scale().name == "small" else 80
+
+    naive = _drive(
+        summary,
+        ServeConfig(coalesce=False, cache_size=0),
+        requests,
+    )
+    coalesced = _drive(
+        summary,
+        ServeConfig(window_ms=2.0),
+        requests,
+    )
+
+    speedup = coalesced.qps / naive.qps
+    print(f"\ncoalescing off: {naive.describe()}")
+    print(f"coalescing on:  {coalesced.describe()}")
+    print(f"throughput speedup: {speedup:.2f}x")
+    REPORT.record(
+        {
+            "clients": CLIENTS,
+            "requests_per_client": requests,
+            "workload_queries": len(WORKLOAD),
+            "qps_coalesced": round(coalesced.qps, 1),
+            "qps_uncoalesced": round(naive.qps, 1),
+            "p50_ms_coalesced": round(coalesced.p50_ms, 3),
+            "p95_ms_coalesced": round(coalesced.p95_ms, 3),
+            "p50_ms_uncoalesced": round(naive.p50_ms, 3),
+            "p95_ms_uncoalesced": round(naive.p95_ms, 3),
+            "cache_hit_rate": round(coalesced.cache_hit_rate, 4),
+            "errors": coalesced.errors + naive.errors,
+            "speedup": round(speedup, 2),
+        },
+        thresholds=[
+            ("speedup", ">=", 2.0),
+            ("cache_hit_rate", ">", 0.0),
+            ("errors", "==", 0),
+        ],
+    )
+    assert naive.errors == 0 and coalesced.errors == 0
+    assert coalesced.cache_hit_rate > 0.5, (
+        f"repeated workload should mostly hit the shared cache, got "
+        f"{coalesced.cache_hit_rate:.0%}"
+    )
+    assert speedup >= 2.0, (
+        f"coalescing+cache speedup {speedup:.2f}x < 2x "
+        f"({coalesced.qps:.0f} vs {naive.qps:.0f} q/s)"
+    )
+
+
+def test_serve_smoke():
+    """CI gate: tiny summary, 50 concurrent requests, zero errors,
+    warm cache.  Independent of the experiment store so it boots in
+    seconds on a cold runner."""
+    schema = Schema(
+        [Domain("state", ["CA", "NY", "WA"]), integer_domain("hour", 4)]
+    )
+    rng = np.random.default_rng(3)
+    relation = Relation(
+        schema,
+        [rng.choice(3, size=400, p=[0.5, 0.3, 0.2]), rng.integers(0, 4, 400)],
+    )
+    summary = (
+        SummaryBuilder(relation)
+        .pairs(("state", "hour"))
+        .per_pair_budget(4)
+        .iterations(40)
+        .name("serve-smoke")
+        .fit()
+    )
+    workload = [
+        "SELECT COUNT(*) FROM R WHERE state = 'CA'",
+        "SELECT COUNT(*) FROM R WHERE hour BETWEEN 1 AND 2",
+        "SELECT COUNT(*) FROM R WHERE hour >= 1 AND hour <= 2",
+        "SELECT COUNT(*) FROM R GROUP BY state",
+        "SELECT SUM(hour) FROM R WHERE state = 'NY'",
+    ]
+    server = SummaryServer(summary, config=ServeConfig(window_ms=2.0))
+    with ServerThread(server):
+        report = run_load(
+            server.host,
+            server.port,
+            workload,
+            clients=5,
+            requests_per_client=10,
+        )
+    print(f"\nserve smoke: {report.describe()}")
+    REPORT.record(
+        {
+            "smoke_requests": report.requests,
+            "smoke_errors": report.errors,
+            "smoke_qps": round(report.qps, 1),
+            "smoke_cache_hit_rate": round(report.cache_hit_rate, 4),
+        },
+        thresholds=[
+            ("smoke_errors", "==", 0),
+            ("smoke_cache_hit_rate", ">", 0.0),
+        ],
+    )
+    assert report.requests == 50
+    assert report.errors == 0, f"{report.errors} errors during smoke load"
+    assert report.cache_hit_rate > 0.0

@@ -18,6 +18,9 @@ The acceptance bar for the sharding subsystem:
   are small enough that evaluating all of them usually costs *less*
   than one pass over the big unsharded polynomial.
 
+Numbers append to ``BENCH_sharding.json`` through the shared emitter
+(:mod:`benchmarks._emit`) in the same schema as ``BENCH_serve.json``.
+
 Scale via ``REPRO_SCALE`` (``paper`` default, ``small`` for CI).
 """
 
@@ -26,7 +29,10 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks._emit import BenchReport
 from repro.api import Explorer, SummaryBuilder
+
+REPORT = BenchReport("sharding")
 from repro.datasets import generate_flights
 from repro.experiments.configs import active_scale
 from repro.stats.predicates import Conjunction, RangePredicate
@@ -78,6 +84,15 @@ def test_sharded_build_speedup():
         f"({unsharded.polynomial.num_terms} terms) vs {NUM_SHARDS} shards "
         f"{sharded_time:.2f}s ({sharded.size_report()['num_terms']} terms "
         f"total) — {flat_time / sharded_time:.2f}x"
+    )
+    REPORT.record(
+        {
+            "num_shards": NUM_SHARDS,
+            "unsharded_build_s": round(flat_time, 3),
+            "sharded_build_s": round(sharded_time, 3),
+            "build_speedup": round(flat_time / sharded_time, 2),
+        },
+        thresholds=[("build_speedup", ">=", 2.0)],
     )
     assert sharded.total == relation.num_rows
     assert flat_time >= 2.0 * sharded_time, (
@@ -152,6 +167,15 @@ def test_sharded_estimates_match_unsharded():
         f"unsharded {flat_error:.4f} vs sharded {sharded_error:.4f} "
         f"({sharded_error / flat_error:.2f}x)"
     )
+    REPORT.record(
+        {
+            "accuracy_queries": len(predicates),
+            "mean_rel_error_unsharded": round(float(flat_error), 5),
+            "mean_rel_error_sharded": round(float(sharded_error), 5),
+            "error_ratio": round(float(sharded_error / flat_error), 3),
+        },
+        thresholds=[("error_ratio", "<=", 2.0)],
+    )
     assert sharded_error <= 2.0 * flat_error, (
         f"sharded mean error {sharded_error:.4f} exceeds 2x the "
         f"unsharded {flat_error:.4f}"
@@ -181,6 +205,15 @@ def test_sharded_batch_query_latency():
         f"\nbatch of {len(predicates)}: unsharded {flat_time * 1e3:.1f} ms vs "
         f"{NUM_SHARDS} shards {sharded_time * 1e3:.1f} ms "
         f"({flat_time / sharded_time:.2f}x)"
+    )
+    REPORT.record(
+        {
+            "batch_queries": len(predicates),
+            "batch_ms_unsharded": round(flat_time * 1e3, 2),
+            "batch_ms_sharded": round(sharded_time * 1e3, 2),
+            "batch_time_ratio": round(sharded_time / flat_time, 3),
+        },
+        thresholds=[("batch_time_ratio", "<=", 1.5)],
     )
     # The sharded pass does strictly more bookkeeping per query, so
     # allow a little noise; in practice the smaller per-shard

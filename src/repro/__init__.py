@@ -50,6 +50,14 @@ session-oriented:
    artifacts in a :class:`~repro.api.SummaryStore` and reopen them
    with ``Explorer.open(store, name)``.
 
+5. serve a stored model to many concurrent clients with
+   :mod:`repro.serve` (``python -m repro serve``): an asyncio
+   JSON-lines server with request coalescing (same-window queries
+   flush as one vectorized pass, same-canonical-key queries share one
+   execution), a process-wide TTL result cache keyed on the store
+   version, admission control with ``Retry-After`` backpressure, and
+   ``SIGHUP``/``reload`` hot version swaps.
+
 Every estimation method — the exact relation, uniform/stratified
 samples, single MaxEnt summaries, sharded summaries — implements the
 :class:`~repro.api.Backend` ABC, so the same query text runs against
@@ -115,7 +123,7 @@ from repro.stats import (
     build_statistic_set,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Backend",

@@ -28,6 +28,7 @@ Construction::
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Sequence
 
@@ -41,38 +42,59 @@ from repro.stats.predicates import Conjunction
 
 
 class _LRUCache:
-    """Tiny LRU map; ``maxsize=0`` disables caching entirely."""
+    """Tiny LRU map; ``maxsize=0`` disables caching entirely.
 
-    __slots__ = ("maxsize", "data", "hits", "misses")
+    Every operation is atomic under an internal lock: one Explorer may
+    be shared across threads (the serving layer multiplexes many
+    concurrent clients onto one session), and an unguarded
+    ``OrderedDict.move_to_end`` racing a ``popitem`` corrupts the map.
+    """
+
+    __slots__ = ("maxsize", "data", "hits", "misses", "_lock")
 
     def __init__(self, maxsize: int):
         self.maxsize = max(int(maxsize), 0)
         self.data: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
 
     def get(self, key):
-        try:
-            value = self.data[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self.data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self.data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self.data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key, value) -> None:
         if not self.maxsize:
             return
-        self.data[key] = value
-        self.data.move_to_end(key)
-        while len(self.data) > self.maxsize:
-            self.data.popitem(last=False)
+        with self._lock:
+            self.data[key] = value
+            self.data.move_to_end(key)
+            while len(self.data) > self.maxsize:
+                self.data.popitem(last=False)
 
     def clear(self) -> None:
-        self.data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.data.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+class _InFlight:
+    """One in-progress execution other threads can wait on."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
 
 
 class Explorer:
@@ -92,6 +114,11 @@ class Explorer:
         self._asts = _LRUCache(cache_size)
         self._predicates = _LRUCache(cache_size)
         self._results = _LRUCache(cache_size)
+        # Single-flight registry: concurrent threads asking the same
+        # canonical query share one execution instead of racing to
+        # recompute it (see execute()).
+        self._inflight: dict[tuple, _InFlight] = {}
+        self._inflight_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -290,6 +317,13 @@ class Explorer:
         one query (reordered conjuncts, ``BETWEEN`` vs ``>=``/``<=``)
         share entries.  A cache hit stops after the normalize stage —
         routing and execution only run on misses.
+
+        Thread-safe with *single-flight* semantics: when several
+        threads miss on the same canonical key at once, exactly one
+        runs the backend pass and the others block on its result — no
+        double-compute, no cache corruption.  (The serving layer
+        multiplexes concurrent clients onto one Explorer and relies on
+        this.)
         """
         query = self._normalize(query)
         canonical = self._canonical(query)
@@ -297,10 +331,39 @@ class Explorer:
         cached = self._results.get(key)
         if cached is not None:
             return cached
-        plan = self.planner.plan(query, predicate=canonical)
-        result = self.planner.execute(plan)
-        self._results.put(key, result)
-        return result
+        with self._inflight_lock:
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._inflight[key] = _InFlight()
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value
+        # Leadership won — but a previous leader may have completed
+        # (cache put + registry pop) between our cache miss and our
+        # registration.  Re-check before paying for the backend pass.
+        cached = self._results.get(key)
+        if cached is not None:
+            flight.value = cached
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+            return cached
+        try:
+            plan = self.planner.plan(query, predicate=canonical)
+            result = self.planner.execute(plan)
+            self._results.put(key, result)
+            flight.value = result
+            return result
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
 
     def run_many(
         self, queries: Sequence["CountQuery | Query | str"]

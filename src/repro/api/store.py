@@ -227,11 +227,28 @@ class SummaryStore:
         Sharded versions come back as
         :class:`~repro.core.sharding.ShardedSummary`.
         """
-        _, version_entry = self._resolve(name, version, tag)
+        _, summary = self.load_with_record(name, version=version, tag=tag)
+        return summary
+
+    def load_with_record(
+        self,
+        name: str,
+        version: int | None = None,
+        tag: str | None = None,
+    ) -> "tuple[SummaryRecord, EntropySummary | ShardedSummary]":
+        """Load a summary *and* its metadata record in one manifest read.
+
+        The serving layer's hot-reload path: the record pins the
+        version number the server keys its shared result cache on, and
+        resolving both together means a concurrent ``save`` cannot slip
+        a different version between the metadata and the model load.
+        """
+        entry, version_entry = self._resolve(name, version, tag)
+        record = self._record(name, entry, version_entry)
         prefix = self.root / version_entry["prefix"]
         if version_entry.get("kind") == "sharded":
-            return ShardedSummary.load(prefix)
-        return EntropySummary.load(prefix)
+            return record, ShardedSummary.load(prefix)
+        return record, EntropySummary.load(prefix)
 
     def record(
         self,

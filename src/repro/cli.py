@@ -21,6 +21,9 @@ versioned summary store (``--store`` + ``--name``).
         --sql "SELECT COUNT(*) FROM R WHERE distance BETWEEN 500 AND 900"
     python -m repro info --store models --name flights
     python -m repro store list --dir models
+    python -m repro serve --store models --name flights --port 9042
+    python -m repro ping --port 9042
+    python -m repro bench-serve --store models --name flights --clients 8
     python -m repro experiment fig5 --scale small
 """
 
@@ -121,6 +124,105 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="describe a saved model")
     add_model_source(info, "model path prefix")
+
+    def add_serve_tuning(command):
+        """The serving-layer knobs shared by serve and bench-serve."""
+        command.add_argument(
+            "--window-ms",
+            type=float,
+            default=2.0,
+            help="coalescing window in milliseconds (default 2.0)",
+        )
+        command.add_argument(
+            "--max-batch",
+            type=int,
+            default=64,
+            help="distinct queries that force an early flush (default 64)",
+        )
+        command.add_argument(
+            "--max-queue",
+            type=int,
+            default=64,
+            help="admitted-but-unfinished request bound (default 64)",
+        )
+        command.add_argument(
+            "--max-inflight",
+            type=int,
+            default=16,
+            help="per-client in-flight request bound (default 16)",
+        )
+        command.add_argument(
+            "--cache-size",
+            type=int,
+            default=2048,
+            help="shared result-cache entries (0 disables; default 2048)",
+        )
+        command.add_argument(
+            "--cache-ttl",
+            type=float,
+            default=60.0,
+            help="result time-to-live in seconds (default 60)",
+        )
+        command.add_argument(
+            "--no-coalesce",
+            action="store_true",
+            help="execute each request individually (baseline mode)",
+        )
+        command.add_argument(
+            "--rounded",
+            action="store_true",
+            help="round estimates the paper's way",
+        )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the concurrent query server over a saved model",
+    )
+    add_model_source(serve, "model path prefix (no hot reload; prefer --store)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=9042,
+        help="listening port (0 picks an ephemeral one; default 9042)",
+    )
+    add_serve_tuning(serve)
+
+    ping = commands.add_parser(
+        "ping", help="health-check a running query server"
+    )
+    ping.add_argument("--host", default="127.0.0.1")
+    ping.add_argument("--port", type=int, required=True)
+    ping.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="load-test the serving layer (in-process server + K clients)",
+    )
+    add_model_source(bench_serve, "model path prefix")
+    bench_serve.add_argument(
+        "--clients", type=int, default=8, help="concurrent clients (default 8)"
+    )
+    bench_serve.add_argument(
+        "--requests",
+        type=int,
+        default=50,
+        help="requests per client (default 50)",
+    )
+    bench_serve.add_argument(
+        "--queries",
+        help="file of workload SQL, one per line ('-' = stdin); "
+        "default: a mix derived from the model's schema",
+    )
+    add_serve_tuning(bench_serve)
+    bench_serve.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    bench_serve.add_argument(
+        "--out", help="also write the JSON report to this path"
+    )
 
     store = commands.add_parser(
         "store", help="inspect a versioned summary store"
@@ -339,6 +441,153 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _serve_config(args, *, host: str | None = None, port: int | None = None):
+    """Build a ServeConfig from the shared tuning flags (validation
+    errors name the flag at fault, see ServeConfig.validated)."""
+    from repro.serve import ServeConfig
+
+    return ServeConfig(
+        host=host if host is not None else args.host,
+        port=port if port is not None else args.port,
+        window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        max_inflight_per_client=args.max_inflight,
+        cache_size=args.cache_size,
+        cache_ttl=args.cache_ttl,
+        coalesce=not args.no_coalesce,
+        rounded=args.rounded,
+    ).validated()
+
+
+def _make_server(args, config):
+    """A SummaryServer from --model or --store/--name addressing.
+
+    Store addressing keeps the store attached, so ``SIGHUP`` and the
+    ``reload`` op can hot-swap versions; ``--model`` serves a fixed
+    in-memory summary.
+    """
+    from repro.serve import SummaryServer
+
+    if bool(args.model) == bool(args.store):
+        raise ReproError("give exactly one of --model PREFIX or --store DIR")
+    if args.model:
+        return SummaryServer(load_model(args.model), config=config)
+    if not args.name:
+        raise ReproError("--store needs --name")
+    return SummaryServer(
+        store=args.store,
+        name=args.name,
+        version=args.version,
+        tag=args.tag,
+        config=config,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    config = _serve_config(args)
+    server = _make_server(args, config)
+
+    async def run():
+        await server.start()
+        mode = (
+            f"coalescing {config.window_ms:g} ms"
+            if config.coalesce
+            else "no coalescing"
+        )
+        print(
+            f"serving {server.label} on {server.host}:{server.port} "
+            f"(version {server.version}, {mode}, "
+            f"max_queue={config.max_queue}); SIGHUP reloads, Ctrl-C stops",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def _cmd_ping(args) -> int:
+    import json
+    import time
+
+    from repro.serve import ServeClient
+
+    start = time.perf_counter()
+    with ServeClient(args.host, args.port) as client:
+        pong = client.ping()
+    latency_ms = (time.perf_counter() - start) * 1e3
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": True,
+                    "host": args.host,
+                    "port": args.port,
+                    "version": pong["version"],
+                    "latency_ms": round(latency_ms, 3),
+                }
+            )
+        )
+    else:
+        print(
+            f"pong from {args.host}:{args.port} in {latency_ms:.2f} ms "
+            f"(version {pong['version']})"
+        )
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    import json
+
+    from repro.serve import ServerThread, run_load
+    from repro.serve.loadgen import default_workload
+
+    if args.clients < 1:
+        raise ReproError(f"--clients must be >= 1, got {args.clients}")
+    if args.requests < 1:
+        raise ReproError(f"--requests must be >= 1, got {args.requests}")
+    config = _serve_config(args, host="127.0.0.1", port=0)
+    server = _make_server(args, config)
+    workload = (
+        _read_batch(args.queries)
+        if args.queries
+        else default_workload(server.schema)
+    )
+    with ServerThread(server) as running:
+        report = run_load(
+            running.host,
+            running.port,
+            workload,
+            clients=args.clients,
+            requests_per_client=args.requests,
+        )
+    document = {
+        "name": "bench-serve",
+        "summary": server.label,
+        "coalesce": config.coalesce,
+        "window_ms": config.window_ms,
+        "workload_queries": len(workload),
+        **report.to_metrics(),
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+        if args.out:
+            print(f"report written to {args.out}")
+    return 1 if report.errors else 0
+
+
 def _cmd_experiment(args) -> int:
     if args.scale:
         os.environ["REPRO_SCALE"] = args.scale
@@ -368,6 +617,9 @@ _COMMANDS = {
     "query": _cmd_query,
     "info": _cmd_info,
     "store": _cmd_store,
+    "serve": _cmd_serve,
+    "ping": _cmd_ping,
+    "bench-serve": _cmd_bench_serve,
     "experiment": _cmd_experiment,
 }
 

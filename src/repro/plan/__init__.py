@@ -21,7 +21,7 @@ from repro.plan.canonical import (
     canonicalize_conjunction,
 )
 from repro.plan.operators import execute_batch, pick_operator
-from repro.plan.planner import Planner, QueryPlan
+from repro.plan.planner import Planner, QueryPlan, make_cache_key
 from repro.plan.router import Route, route_query
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "canonicalize_conditions",
     "canonicalize_conjunction",
     "execute_batch",
+    "make_cache_key",
     "pick_operator",
     "route_query",
 ]

@@ -1,0 +1,49 @@
+"""The serving layer: summaries as a concurrent network service.
+
+Everything below this package answers queries for *one in-process
+caller*; this package multiplexes many concurrent clients onto those
+same shared structures:
+
+* :class:`SummaryServer` / :class:`ServeConfig` — asyncio JSON-lines
+  TCP server hosting named sessions over one backend, with hot reload
+  of store versions (``SIGHUP`` or the ``reload`` op);
+* :class:`Coalescer` — micro-batching with same-canonical-key dedup,
+  flushing through the planner's batched executor;
+* :class:`TTLCache` — the process-wide result cache keyed on
+  ``(store version, canonical predicate key)``;
+* :class:`AdmissionController` / :class:`ServerSaturated` —
+  backpressure with ``Retry-After`` hints;
+* :class:`ServeClient` / :class:`ServerBusy` — the synchronous client;
+* :func:`run_load` / :class:`LoadReport` — the closed-loop load
+  generator behind ``repro bench-serve``.
+
+See ``docs/serving.md`` for the lifecycle and tuning guide.
+"""
+
+from repro.serve.admission import AdmissionController, ServerSaturated
+from repro.serve.cache import TTLCache
+from repro.serve.client import ServeClient, ServeError, ServerBusy
+from repro.serve.coalescer import Coalescer
+from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.server import (
+    ServeConfig,
+    ServerThread,
+    SummaryServer,
+    result_payload,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Coalescer",
+    "LoadReport",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerBusy",
+    "ServerSaturated",
+    "ServerThread",
+    "SummaryServer",
+    "TTLCache",
+    "result_payload",
+    "run_load",
+]

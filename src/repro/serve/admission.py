@@ -1,0 +1,172 @@
+"""Admission control: bounded queues, per-client fairness, fast 503s.
+
+The serving layer's contract with interactive clients is *low latency
+or an honest no* — queuing a request the server cannot serve soon just
+converts overload into timeout storms.  Admission is decided before a
+request costs anything:
+
+* **global depth** — at most ``max_queue`` admitted-but-unfinished
+  requests across the whole server; past that, new work is rejected
+  with a 503-style error carrying a ``Retry-After`` hint sized to the
+  backlog;
+* **per-client in-flight limit** — one client pipelining hundreds of
+  requests cannot starve the rest; past ``max_inflight`` its own
+  requests bounce (its fault, its hint) while other clients keep
+  being admitted.
+
+The controller only counts; the coalescer and executor do the work.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ReproError
+
+
+class ServerSaturated(ReproError):
+    """Admission rejected a request; retry after ``retry_after`` seconds.
+
+    ``scope`` is ``"queue"`` (global backlog full) or ``"client"`` (the
+    caller exceeded its own in-flight allowance).
+    """
+
+    def __init__(self, message: str, retry_after: float, scope: str):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.scope = scope
+
+
+class AdmissionController:
+    """Counts in-flight work and rejects past the configured bounds.
+
+    ``flush_window`` (seconds) sizes the ``Retry-After`` hint: the
+    coalescer drains roughly one batch per window, so a full queue
+    clears in about ``depth × window / max_batch`` — the hint rounds
+    that up pessimistically (one window per queued request) so a
+    well-behaved client backs off enough to actually get in.
+    """
+
+    def __init__(
+        self,
+        max_queue: int = 64,
+        max_inflight_per_client: int = 16,
+        flush_window: float = 0.002,
+    ):
+        if max_queue < 1:
+            raise ReproError(f"max_queue must be >= 1, got {max_queue}")
+        if max_inflight_per_client < 1:
+            raise ReproError(
+                "max_inflight_per_client must be >= 1, "
+                f"got {max_inflight_per_client}"
+            )
+        self.max_queue = int(max_queue)
+        self.max_inflight_per_client = int(max_inflight_per_client)
+        self.flush_window = float(flush_window)
+        # EWMA of observed service time: the hint starts from the
+        # window (optimistic) and adapts as completions stream in, so
+        # a slow backend produces honest, larger Retry-After values.
+        self._service_ewma = self.flush_window
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._per_client: dict[str, int] = {}
+        self.admitted = 0
+        self.rejected_queue = 0
+        self.rejected_client = 0
+        self.peak_depth = 0
+
+    # -- hints ------------------------------------------------------------
+    def observe(self, seconds: float) -> None:
+        """Feed one completed request's service time into the hint."""
+        with self._lock:
+            self._service_ewma = 0.8 * self._service_ewma + 0.2 * max(
+                seconds, 0.0
+            )
+
+    def _retry_after(self, backlog: int) -> float:
+        """Seconds until the backlog plausibly drains (>= one window)."""
+        per_request = max(self.flush_window, self._service_ewma)
+        return round(max(per_request, backlog * per_request), 4)
+
+    # -- admission --------------------------------------------------------
+    def acquire(self, client: str) -> None:
+        """Admit one request for ``client`` or raise :class:`ServerSaturated`.
+
+        Every successful ``acquire`` must be paired with a ``release``
+        (use :meth:`held` for the context-manager form).
+        """
+        with self._lock:
+            if self._depth >= self.max_queue:
+                self.rejected_queue += 1
+                raise ServerSaturated(
+                    f"server saturated: {self._depth} requests queued "
+                    f"(max_queue={self.max_queue})",
+                    self._retry_after(self._depth),
+                    scope="queue",
+                )
+            inflight = self._per_client.get(client, 0)
+            if inflight >= self.max_inflight_per_client:
+                self.rejected_client += 1
+                raise ServerSaturated(
+                    f"client {client} has {inflight} requests in flight "
+                    f"(max_inflight_per_client="
+                    f"{self.max_inflight_per_client})",
+                    self._retry_after(inflight),
+                    scope="client",
+                )
+            self._depth += 1
+            self._per_client[client] = inflight + 1
+            self.admitted += 1
+            self.peak_depth = max(self.peak_depth, self._depth)
+
+    def release(self, client: str) -> None:
+        with self._lock:
+            self._depth -= 1
+            remaining = self._per_client.get(client, 1) - 1
+            if remaining <= 0:
+                self._per_client.pop(client, None)
+            else:
+                self._per_client[client] = remaining
+
+    class _Held:
+        __slots__ = ("controller", "client")
+
+        def __init__(self, controller, client):
+            self.controller = controller
+            self.client = client
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc_info):
+            self.controller.release(self.client)
+
+    def held(self, client: str) -> "_Held":
+        """``with admission.held(client):`` — acquire now, release on exit."""
+        self.acquire(client)
+        return self._Held(self, client)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "depth": self._depth,
+                "max_queue": self.max_queue,
+                "max_inflight_per_client": self.max_inflight_per_client,
+                "clients_in_flight": len(self._per_client),
+                "admitted": self.admitted,
+                "rejected_queue": self.rejected_queue,
+                "rejected_client": self.rejected_client,
+                "peak_depth": self.peak_depth,
+            }
+
+    def __repr__(self):
+        return (
+            f"AdmissionController(depth={self.depth}/{self.max_queue}, "
+            f"per_client<={self.max_inflight_per_client})"
+        )

@@ -1,0 +1,113 @@
+"""Process-wide TTL + LRU result cache for the serving layer.
+
+One cache is shared by every session the server hosts: entries key on
+``(store version, canonical predicate key)``, so
+
+* syntactic variants of one query from *different* clients share one
+  entry (the canonical key already collapses them, see
+  :mod:`repro.plan.canonical`);
+* a hot reload to a new store version naturally stops hitting the old
+  generation's entries — no invalidation sweep, the old keys just age
+  out of the LRU;
+* every entry expires after ``ttl`` seconds, bounding how stale an
+  answer can be if the underlying data is re-summarized in place.
+
+The cache is thread-safe (the server's executor threads and the event
+loop both touch it) and exposes hit/miss/evict/expire counters for the
+``stats`` endpoint and the load bench's hit-rate metric.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+
+class TTLCache:
+    """LRU-bounded map whose entries expire ``ttl`` seconds after
+    insertion.
+
+    ``maxsize=0`` disables storage (every ``get`` misses); ``ttl=None``
+    disables expiry (pure LRU).  ``clock`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 2048,
+        ttl: float | None = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.maxsize = max(int(maxsize), 0)
+        self.ttl = None if ttl is None else float(ttl)
+        self.clock = clock
+        self._data: OrderedDict[Hashable, tuple[float | None, object]] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def get(self, key: Hashable):
+        """The cached value, or ``None`` on miss/expiry."""
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            expires_at, value = entry
+            if expires_at is not None and self.clock() >= expires_at:
+                del self._data[key]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        if not self.maxsize:
+            return
+        expires_at = None if self.ttl is None else self.clock() + self.ttl
+        with self._lock:
+            self._data[key] = (expires_at, value)
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry; counters keep accumulating."""
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups since construction (0.0 when never queried)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self),
+            "maxsize": self.maxsize,
+            "ttl": self.ttl,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self):
+        return (
+            f"TTLCache(size={len(self)}/{self.maxsize}, ttl={self.ttl}, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )

@@ -1,0 +1,189 @@
+"""A small synchronous client for the JSON-lines serve protocol.
+
+Used by the test suite, the CLI (``repro ping`` / ``repro bench-serve``)
+and the load generator.  One client owns one TCP connection and sends
+one request at a time::
+
+    with ServeClient(port=9876) as client:
+        client.ping()
+        payload = client.query("SELECT COUNT(*) FROM R WHERE x >= 3")
+        print(payload["value"])
+
+A 503-style rejection raises :class:`ServerBusy` carrying the server's
+``Retry-After`` hint; ``query(..., retries=N)`` sleeps on the hint and
+retries — the honest-backpressure loop every well-behaved client of an
+admission-controlled service runs.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """The server answered ``ok: false`` (or the transport failed)."""
+
+    def __init__(self, message: str, status: int = 0, payload: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServerBusy(ServeError):
+    """Admission control said no; retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float, payload: dict):
+        super().__init__(message, status=503, payload=payload)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """One synchronous connection to a :class:`SummaryServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 30.0,
+        session: str = "default",
+    ):
+        if port <= 0:
+            raise ReproError(f"client needs a positive --port, got {port}")
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.session = session
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+
+    # -- connection --------------------------------------------------------
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except OSError as error:
+                raise ServeError(
+                    f"transport error: cannot connect to "
+                    f"{self.host}:{self.port}: {error}"
+                ) from error
+            self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- protocol ----------------------------------------------------------
+    def call(self, op: str, **fields) -> dict:
+        """Send one request, return the raw response envelope.
+
+        Raises :class:`ServerBusy` on 503 and :class:`ServeError` on
+        any other ``ok: false`` answer.
+        """
+        self.connect()
+        self._next_id += 1
+        request_id = self._next_id
+        request = {"id": request_id, "op": op, **fields}
+        try:
+            self._sock.sendall(json.dumps(request).encode() + b"\n")
+            while True:
+                line = self._file.readline()
+                if not line:
+                    raise ServeError(
+                        f"server {self.host}:{self.port} closed the connection"
+                    )
+                response = json.loads(line)
+                if response.get("id") in (request_id, None):
+                    break
+        except (OSError, ValueError) as error:
+            raise ServeError(
+                f"transport error talking to {self.host}:{self.port}: {error}"
+            ) from error
+        if response.get("ok"):
+            return response
+        status = int(response.get("status", 0))
+        message = response.get("error", "server error")
+        if status == 503:
+            raise ServerBusy(
+                message,
+                retry_after=float(response.get("retry_after", 0.01)),
+                payload=response,
+            )
+        raise ServeError(message, status=status, payload=response)
+
+    # -- convenience wrappers ----------------------------------------------
+    def query(
+        self, sql: str, *, session: str | None = None, retries: int = 0
+    ) -> dict:
+        """Run one SQL query; returns the result payload dict.
+
+        Scalars: ``{"kind": "scalar", "value": ..., "std", "ci95"}``.
+        Grouped: ``{"kind": "rows", "group_by": [...], "rows": [...]}``.
+        ``retries`` > 0 backs off on the server's ``Retry-After`` hint
+        when admission control rejects, with an exponential floor so a
+        hint that undershoots the true service time cannot make the
+        client spin through its retry budget.
+        """
+        attempts = max(int(retries), 0) + 1
+        for attempt in range(attempts):
+            try:
+                response = self.call(
+                    "query", sql=sql, session=session or self.session
+                )
+                return response["result"]
+            except ServerBusy as busy:
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(
+                    max(busy.retry_after, 0.001 * (1.6 ** min(attempt, 20)))
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def count(self, sql: str, **kwargs) -> float:
+        """Scalar shortcut: the ``value`` of a scalar query payload."""
+        payload = self.query(sql, **kwargs)
+        if payload.get("kind") != "scalar":
+            raise ServeError(f"query is not scalar: {sql!r}")
+        return float(payload["value"])
+
+    def ping(self) -> dict:
+        """Round-trip health check; returns ``{"version": ...}``."""
+        response = self.call("ping")
+        return {"version": response.get("version")}
+
+    def stats(self) -> dict:
+        return self.call("stats")["result"]
+
+    def describe(self) -> dict:
+        return self.call("describe")["result"]
+
+    def reload(self, version: int | None = None, tag: str | None = None) -> int:
+        """Ask the server to hot-swap a store version; returns it."""
+        fields: dict = {}
+        if version is not None:
+            fields["version"] = version
+        if tag is not None:
+            fields["tag"] = tag
+        return int(self.call("reload", **fields)["result"]["version"])
+
+    def __repr__(self):
+        state = "connected" if self._sock is not None else "disconnected"
+        return f"ServeClient({self.host}:{self.port}, {state})"

@@ -1,0 +1,172 @@
+"""Request coalescing: many concurrent clients, one vectorized pass.
+
+The paper's query path makes batching almost free — a batch of counting
+queries is one vectorized polynomial evaluation (PR 3's
+``execute_batch``), so N concurrent clients asking N questions should
+cost roughly one question.  The :class:`Coalescer` turns that into a
+serving-side mechanism:
+
+* requests arriving within a **window** (default ~2 ms) collect into
+  one batch;
+* requests carrying the same **key** (the plan's canonical cache key)
+  *dedup*: one execution answers all of them;
+* a batch also flushes early when it reaches ``max_batch`` distinct
+  keys, bounding worst-case queueing under load;
+* the flush runs ``run_batch`` (typically
+  ``Planner.execute_many`` via the server's thread executor) once for
+  the whole batch and fans results back to every waiter.
+
+The class is asyncio-native and generic: keys are any hashable, items
+are opaque, ``run_batch`` maps a list of unique items to a list of
+results.  Tests drive it with plain integers and a spy function.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Hashable, Sequence
+
+
+class Coalescer:
+    """Micro-batching queue with same-key dedup.
+
+    ``run_batch`` receives the **unique** items of a batch (first
+    submission wins per key) and must return one result per item, in
+    order.  It is awaited, so pass an async function; CPU-bound
+    executors should wrap their work in ``loop.run_in_executor``.
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[[list], Awaitable[Sequence]],
+        *,
+        window: float = 0.002,
+        max_batch: int = 64,
+    ):
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.run_batch = run_batch
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        # key -> (item, [futures waiting on it])
+        self._pending: dict[Hashable, tuple[object, list[asyncio.Future]]] = {}
+        self._timer: asyncio.TimerHandle | None = None
+        self._flush_tasks: set[asyncio.Task] = set()
+        self._closed = False
+        # -- counters (stats endpoint / bench) --
+        self.submitted = 0
+        self.coalesced = 0  # submissions answered by another's execution
+        self.flushes = 0
+        self.flushes_by_size = 0
+        self.flushes_by_window = 0
+        self.largest_batch = 0
+
+    # -- submission -------------------------------------------------------
+    async def submit(self, key: Hashable, item) -> object:
+        """Enqueue ``item`` under ``key``; resolves with its result.
+
+        Submissions sharing a key within one window share one
+        execution and therefore one result object.
+        """
+        if self._closed:
+            raise RuntimeError("coalescer is closed")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self.submitted += 1
+        entry = self._pending.get(key)
+        if entry is not None:
+            self.coalesced += 1
+            entry[1].append(future)
+        else:
+            self._pending[key] = (item, [future])
+            if len(self._pending) >= self.max_batch:
+                self.flushes_by_size += 1
+                self._flush_now(loop)
+            elif self._timer is None:
+                self._timer = loop.call_later(
+                    self.window, self._flush_on_window, loop
+                )
+        return await future
+
+    # -- flushing ---------------------------------------------------------
+    def _flush_on_window(self, loop) -> None:
+        self._timer = None
+        if self._pending:
+            self.flushes_by_window += 1
+            self._flush_now(loop)
+
+    def _flush_now(self, loop) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch = self._pending
+        self._pending = {}
+        self.flushes += 1
+        self.largest_batch = max(self.largest_batch, len(batch))
+        task = loop.create_task(self._run(batch))
+        self._flush_tasks.add(task)
+        task.add_done_callback(self._flush_tasks.discard)
+
+    async def _run(self, batch: dict) -> None:
+        items = [item for item, _ in batch.values()]
+        try:
+            results = await self.run_batch(items)
+        except BaseException as error:
+            for _, futures in batch.values():
+                for future in futures:
+                    if not future.cancelled():
+                        future.set_exception(error)
+            return
+        for (_, futures), result in zip(batch.values(), results):
+            for future in futures:
+                if future.cancelled():
+                    continue
+                # Per-item failures: run_batch may map a single bad
+                # item to an exception instance instead of poisoning
+                # the whole flush.
+                if isinstance(result, BaseException):
+                    future.set_exception(result)
+                else:
+                    future.set_result(result)
+
+    async def drain(self) -> None:
+        """Flush pending work and wait for every in-flight flush to
+        finish — waiters must hold answers before the loop goes away."""
+        if self._pending:
+            self._flush_now(asyncio.get_running_loop())
+        while self._flush_tasks:
+            await asyncio.gather(
+                *list(self._flush_tasks), return_exceptions=True
+            )
+
+    async def close(self) -> None:
+        """Flush pending work and reject future submissions."""
+        self._closed = True
+        await self.drain()
+
+    # -- introspection ----------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "window_ms": self.window * 1e3,
+            "max_batch": self.max_batch,
+            "pending": len(self._pending),
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "flushes": self.flushes,
+            "flushes_by_size": self.flushes_by_size,
+            "flushes_by_window": self.flushes_by_window,
+            "largest_batch": self.largest_batch,
+            "mean_batch": (
+                round((self.submitted - len(self._pending)) / self.flushes, 2)
+                if self.flushes
+                else 0.0
+            ),
+        }
+
+    def __repr__(self):
+        return (
+            f"Coalescer(window={self.window * 1e3:g}ms, "
+            f"max_batch={self.max_batch}, flushes={self.flushes})"
+        )

@@ -1,0 +1,586 @@
+"""The concurrent session server: summaries as a network service.
+
+The paper's pitch is *interactive* exploration — approximate answers in
+milliseconds so many analysts can probe a dataset without touching the
+base relation.  :class:`SummaryServer` is that claim as a process: an
+asyncio TCP server speaking newline-delimited JSON, hosting many named
+sessions over one shared backend loaded from a
+:class:`~repro.api.store.SummaryStore`, with
+
+* **request coalescing** — queries arriving within a ~2 ms window
+  flush through the planner's batched executor as *one* vectorized
+  pass, and same-canonical-key requests are answered by one execution
+  (:mod:`repro.serve.coalescer`);
+* a **shared result cache** — TTL + LRU keyed on ``(store version,
+  canonical predicate key)``, shared across sessions and clients
+  (:mod:`repro.serve.cache`);
+* **admission control** — bounded queue depth and per-client in-flight
+  limits with fast 503-style rejections carrying a ``Retry-After``
+  hint (:mod:`repro.serve.admission`);
+* **hot reload** — ``SIGHUP`` or the ``reload`` op swaps in another
+  store version without dropping in-flight requests (each request
+  pins the generation it started on).
+
+Protocol — one JSON object per line, each answered by one JSON line::
+
+    {"id": 1, "op": "query", "sql": "SELECT COUNT(*) FROM R", "session": "a"}
+    {"id": 1, "ok": true, "status": 200, "result": {"kind": "scalar", ...},
+     "cached": false, "version": 3}
+
+Ops: ``query`` (the only admitted/coalesced one), ``ping``, ``stats``,
+``describe``, ``reload`` (optional ``version``/``tag``).  Errors come
+back with ``ok: false`` and an HTTP-flavored ``status`` — 400 for bad
+requests, 503 with ``retry_after`` when saturated, 500 otherwise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.api.explorer import Explorer
+from repro.api.store import SummaryStore
+from repro.errors import QueryError, ReproError
+from repro.query.results import QueryResult
+from repro.serve.admission import AdmissionController, ServerSaturated
+from repro.serve.cache import TTLCache
+from repro.serve.coalescer import Coalescer
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of one server (CLI flag in parentheses)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; bound port on server.port after start()
+    #: Coalescing window (--window-ms): how long the first request of a
+    #: batch waits for company.  Latency floor under light load.
+    window_ms: float = 2.0
+    #: Distinct canonical keys that force an early flush (--max-batch).
+    max_batch: int = 64
+    #: Global admitted-but-unfinished bound (--max-queue).
+    max_queue: int = 64
+    #: Per-client pipelining bound (--max-inflight).
+    max_inflight_per_client: int = 16
+    #: Shared result-cache entries (--cache-size); 0 disables.
+    cache_size: int = 2048
+    #: Result time-to-live in seconds (--cache-ttl); None = no expiry.
+    cache_ttl: float | None = 60.0
+    #: Micro-batching on/off (--no-coalesce turns it off).
+    coalesce: bool = True
+    #: Paper-style rounding of model estimates (--rounded).
+    rounded: bool = False
+
+    def validated(self) -> "ServeConfig":
+        """Range-check every knob; errors name the CLI flag at fault."""
+        checks = [
+            (self.window_ms >= 0, "window_ms (--window-ms) must be >= 0"),
+            (self.max_batch >= 1, "max_batch (--max-batch) must be >= 1"),
+            (self.max_queue >= 1, "max_queue (--max-queue) must be >= 1"),
+            (
+                self.max_inflight_per_client >= 1,
+                "max_inflight_per_client (--max-inflight) must be >= 1",
+            ),
+            (self.cache_size >= 0, "cache_size (--cache-size) must be >= 0"),
+            (
+                self.cache_ttl is None or self.cache_ttl > 0,
+                "cache_ttl (--cache-ttl) must be > 0",
+            ),
+            (1 <= self.port or self.port == 0, "port (--port) must be >= 0"),
+        ]
+        for ok, message in checks:
+            if not ok:
+                raise ReproError(message)
+        return self
+
+
+class _Generation:
+    """One loaded store version: a shared backend plus named sessions.
+
+    Sessions are :class:`Explorer` instances over the *same* backend
+    object — each gets its own AST/predicate caches (now thread-safe),
+    while results share the server-wide TTL cache keyed on this
+    generation's version.  Requests capture the generation they start
+    on, so a hot reload never yanks a backend out from under an
+    in-flight query.
+    """
+
+    __slots__ = ("version", "label", "explorer", "_sessions", "_lock")
+
+    def __init__(self, version: int, explorer: Explorer, label: str):
+        self.version = version
+        self.label = label
+        self.explorer = explorer
+        self._sessions: dict[str, Explorer] = {"default": explorer}
+        self._lock = threading.Lock()
+
+    def session(self, name: str) -> Explorer:
+        with self._lock:
+            explorer = self._sessions.get(name)
+            if explorer is None:
+                explorer = Explorer.attach(
+                    self.explorer.backend,
+                    table_name=self.explorer.table_name,
+                )
+                self._sessions[name] = explorer
+            return explorer
+
+    @property
+    def session_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+
+def _plain(value):
+    """Numpy scalars → Python scalars for JSON."""
+    return value.item() if hasattr(value, "item") else value
+
+
+def result_payload(result: QueryResult) -> dict:
+    """JSON-ready view of one :class:`QueryResult` (wire format)."""
+    if result.is_scalar:
+        payload: dict = {"kind": "scalar", "value": float(result.scalar)}
+        if result.estimate is not None:
+            payload["std"] = float(result.std)
+            low, high = result.ci95
+            payload["ci95"] = [float(low), float(high)]
+        return payload
+    return {
+        "kind": "rows",
+        "group_by": list(result.query.group_by),
+        "rows": [
+            [*(_plain(label) for label in row.labels), float(row.count)]
+            for row in result.rows
+        ],
+    }
+
+
+class SummaryServer:
+    """Serves one summary (or shard set) to many concurrent clients.
+
+    Construct from a store for the full feature set (versioned cache
+    keys, hot reload)::
+
+        server = SummaryServer(store="models", name="flights")
+
+    or from an in-memory summary/backend for tests and embedding::
+
+        server = SummaryServer(summary)
+
+    then ``asyncio.run(server.serve_forever())``, or drive it from a
+    background thread with :class:`ServerThread`.
+    """
+
+    def __init__(
+        self,
+        source=None,
+        *,
+        store=None,
+        name: str | None = None,
+        version: int | None = None,
+        tag: str | None = None,
+        config: ServeConfig | None = None,
+    ):
+        self.config = (config or ServeConfig()).validated()
+        if (source is None) == (store is None):
+            raise ReproError(
+                "serve exactly one thing: an in-memory summary/backend, "
+                "or a store (--store) plus a summary name (--name)"
+            )
+        if store is not None and name is None:
+            raise ReproError("a store server needs a summary name (--name)")
+        self._store = (
+            store
+            if store is None or isinstance(store, SummaryStore)
+            else SummaryStore(store)
+        )
+        self._name = name
+        if self._store is not None:
+            self._generation = self._load_generation(version=version, tag=tag)
+        else:
+            explorer = Explorer.attach(source, rounded=self.config.rounded)
+            self._generation = _Generation(
+                0, explorer, label=repr(explorer.backend)
+            )
+        self.cache = TTLCache(
+            maxsize=self.config.cache_size, ttl=self.config.cache_ttl
+        )
+        self.admission = AdmissionController(
+            max_queue=self.config.max_queue,
+            max_inflight_per_client=self.config.max_inflight_per_client,
+            flush_window=max(self.config.window_ms, 0.5) / 1e3,
+        )
+        self.coalescer: Coalescer | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self.host = self.config.host
+        self.port = self.config.port
+        self.requests = 0
+        self.errors = 0
+        self.reloads = 0
+        self._started_at: float | None = None
+
+    # -- generations / hot reload -----------------------------------------
+    def _load_generation(
+        self, version: int | None = None, tag: str | None = None
+    ) -> _Generation:
+        record, summary = self._store.load_with_record(
+            self._name, version=version, tag=tag
+        )
+        explorer = Explorer.attach(summary, rounded=self.config.rounded)
+        return _Generation(record.version, explorer, label=record.describe())
+
+    @property
+    def version(self) -> int:
+        return self._generation.version
+
+    @property
+    def schema(self):
+        """Schema of the currently served generation's backend."""
+        return self._generation.explorer.schema
+
+    @property
+    def label(self) -> str:
+        """Human-readable description of what is being served."""
+        return self._generation.label
+
+    def reload(self, version: int | None = None, tag: str | None = None) -> int:
+        """Swap in another store version (latest by default); returns it.
+
+        In-flight requests finish on the generation they started with;
+        the shared cache needs no sweep because its keys carry the
+        version.  Blocking — call via an executor from async code.
+        """
+        if self._store is None:
+            raise ReproError(
+                "hot reload needs a store-backed server "
+                "(start with --store/--name, not an in-memory summary)"
+            )
+        generation = self._load_generation(version=version, tag=tag)
+        self._generation = generation  # atomic swap
+        self.reloads += 1
+        return generation.version
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and start the coalescer."""
+        if self.config.coalesce:
+            self.coalescer = Coalescer(
+                self._run_batch,
+                window=self.config.window_ms / 1e3,
+                max_batch=self.config.max_batch,
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        if self.coalescer is not None:
+            await self.coalescer.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled; installs a ``SIGHUP`` → reload handler
+        when the platform and thread allow it."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        sighup = getattr(signal, "SIGHUP", None)  # absent on Windows
+        if sighup is not None:
+            try:
+                loop.add_signal_handler(
+                    sighup,
+                    lambda: loop.create_task(self._reload_in_executor()),
+                )
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass  # event loop without signal support, or non-main thread
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    async def _reload_in_executor(
+        self, version: int | None = None, tag: str | None = None
+    ) -> int:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, lambda: self.reload(version=version, tag=tag)
+        )
+
+    # -- connection handling ------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        peer = writer.get_extra_info("peername")
+        client = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else str(peer)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._serve_request(writer, write_lock, client, line)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass  # connection teardown racing server shutdown
+
+    async def _serve_request(
+        self, writer, write_lock: asyncio.Lock, client: str, line: bytes
+    ) -> None:
+        request_id = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise QueryError("request must be a JSON object")
+            request_id = request.get("id")
+            response = await self._dispatch(client, request)
+        except ServerSaturated as busy:
+            self.errors += 1
+            response = {
+                "ok": False,
+                "status": 503,
+                "error": str(busy),
+                "scope": busy.scope,
+                "retry_after": busy.retry_after,
+            }
+        except (QueryError, ReproError, json.JSONDecodeError) as error:
+            self.errors += 1
+            response = {"ok": False, "status": 400, "error": str(error)}
+        except Exception as error:  # pragma: no cover - defensive
+            self.errors += 1
+            response = {
+                "ok": False,
+                "status": 500,
+                "error": f"{type(error).__name__}: {error}",
+            }
+        response["id"] = request_id
+        payload = json.dumps(response, default=str).encode() + b"\n"
+        async with write_lock:
+            writer.write(payload)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; nothing to do
+
+    async def _dispatch(self, client: str, request: dict) -> dict:
+        op = request.get("op", "query")
+        if op == "query":
+            self.admission.acquire(client)
+            began = time.perf_counter()
+            try:
+                self.requests += 1
+                return await self._query(request)
+            finally:
+                self.admission.release(client)
+                # Feeds the Retry-After hint's service-time EWMA.
+                self.admission.observe(time.perf_counter() - began)
+        if op == "ping":
+            return {
+                "ok": True,
+                "status": 200,
+                "result": "pong",
+                "version": self.version,
+            }
+        if op == "stats":
+            return {"ok": True, "status": 200, "result": self.stats()}
+        if op == "describe":
+            generation = self._generation
+            return {
+                "ok": True,
+                "status": 200,
+                "result": generation.explorer.describe(),
+                "version": generation.version,
+            }
+        if op == "reload":
+            version = await self._reload_in_executor(
+                version=request.get("version"), tag=request.get("tag")
+            )
+            return {"ok": True, "status": 200, "result": {"version": version}}
+        raise QueryError(
+            f"unknown op {op!r}; expected query, ping, stats, describe, "
+            "or reload"
+        )
+
+    # -- the query path ------------------------------------------------------
+    async def _query(self, request: dict) -> dict:
+        sql = request.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise QueryError("query op needs a non-empty 'sql' string")
+        session_name = str(request.get("session", "default"))
+        generation = self._generation  # pin: reloads must not drop us
+        explorer = generation.session(session_name)
+        plan = explorer.plan(sql)  # parse + normalize (session-cached)
+        key = (generation.version, plan.cache_key)
+        payload = self.cache.get(key)
+        cached = payload is not None
+        if not cached:
+            if self.coalescer is not None:
+                # Resolves with the JSON-ready payload: serialization
+                # and the cache put happen once per unique key in the
+                # flush, not once per coalesced waiter.
+                payload = await self.coalescer.submit(key, (generation, plan))
+            else:
+                loop = asyncio.get_running_loop()
+                result = await loop.run_in_executor(
+                    None, generation.explorer.planner.execute, plan
+                )
+                payload = result_payload(result)
+                self.cache.put(key, payload)
+        return {
+            "ok": True,
+            "status": 200,
+            "result": payload,
+            "cached": cached,
+            "session": session_name,
+            "version": generation.version,
+        }
+
+    async def _run_batch(self, items: list) -> list:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._execute_items, items)
+
+    def _execute_items(self, items: list) -> list:
+        """One coalesced flush: group by generation, run each group
+        through the planner's batched executor.  A failing query maps
+        to its exception instead of poisoning the flush.  Returns
+        JSON-ready payloads — each unique result is serialized and
+        cached exactly once here, however many waiters coalesced on it.
+        """
+        payloads: list = [None] * len(items)
+        groups: dict[int, list[int]] = {}
+        for index, (generation, _) in enumerate(items):
+            groups.setdefault(id(generation), []).append(index)
+        for indices in groups.values():
+            generation = items[indices[0]][0]
+            plans = [items[index][1] for index in indices]
+            try:
+                outputs = generation.explorer.planner.execute_many(plans)
+            except Exception:
+                # Retry singly so only the offending plan(s) fail.
+                outputs = []
+                for plan in plans:
+                    try:
+                        outputs.append(generation.explorer.planner.execute(plan))
+                    except Exception as error:
+                        outputs.append(error)
+            for index, output in zip(indices, outputs):
+                if isinstance(output, BaseException):
+                    payloads[index] = output
+                    continue
+                payload = result_payload(output)
+                self.cache.put(
+                    (generation.version, items[index][1].cache_key), payload
+                )
+                payloads[index] = payload
+        return payloads
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> dict:
+        generation = self._generation
+        return {
+            "version": generation.version,
+            "summary": generation.label,
+            "sessions": generation.session_names,
+            "requests": self.requests,
+            "errors": self.errors,
+            "reloads": self.reloads,
+            "uptime_s": (
+                round(time.monotonic() - self._started_at, 3)
+                if self._started_at is not None
+                else None
+            ),
+            "coalesce": self.config.coalesce,
+            "cache": self.cache.stats(),
+            "admission": self.admission.stats(),
+            "coalescer": (
+                self.coalescer.stats() if self.coalescer is not None else None
+            ),
+        }
+
+    def __repr__(self):
+        return (
+            f"SummaryServer({self._generation.label!r}, "
+            f"{self.host}:{self.port}, coalesce={self.config.coalesce})"
+        )
+
+
+class ServerThread:
+    """Run a :class:`SummaryServer` on a daemon thread.
+
+    The synchronous harness for tests, benchmarks, and the load
+    generator::
+
+        with ServerThread(server) as running:
+            client = ServeClient(port=running.port)
+
+    ``__enter__`` blocks until the socket is bound (so ``server.port``
+    is real) and re-raises any startup failure in the caller's thread.
+    """
+
+    def __init__(self, server: SummaryServer):
+        self.server = server
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True
+        )
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._error: BaseException | None = None
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as error:  # surface in __enter__/stop
+            self._error = error
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop()
+
+    def start(self) -> SummaryServer:
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ReproError("server did not start within 30s")
+        if self._error is not None:
+            raise self._error
+        return self.server
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> SummaryServer:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

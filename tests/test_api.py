@@ -398,3 +398,121 @@ class TestBackendABC:
             "supports_sum": True,
             "is_exact": True,
         }
+
+
+# ----------------------------------------------------------------------
+# Thread safety: one Explorer shared across threads
+# ----------------------------------------------------------------------
+
+class _SlowSpyBackend(Backend):
+    """Counts backend invocations; sleeps to widen race windows."""
+
+    is_exact = True
+
+    def __init__(self, relation, delay=0.002):
+        from repro.baselines.exact import ExactBackend as _Exact
+
+        self.inner = _Exact(relation)
+        self.schema = relation.schema
+        self.name = "slow-spy"
+        self.delay = delay
+        self.calls = 0
+        self._lock = __import__("threading").Lock()
+
+    def _tick(self):
+        import time
+
+        with self._lock:
+            self.calls += 1
+        time.sleep(self.delay)
+
+    def count(self, predicate):
+        self._tick()
+        return self.inner.count(predicate)
+
+    def group_counts(self, attrs, predicate):
+        self._tick()
+        return self.inner.group_counts(attrs, predicate)
+
+
+class TestExplorerThreadSafety:
+    """Regression: PR 4 made the per-session LRU caches lock-guarded
+    and gave execute() single-flight semantics.  Before that, hammering
+    one Explorer from threads corrupted the OrderedDicts (KeyError on
+    move_to_end) and recomputed one query once per thread."""
+
+    QUERIES = [
+        "SELECT COUNT(*) FROM R WHERE state = 'CA'",
+        "SELECT COUNT(*) FROM R WHERE state = 'NY' AND hour >= 1",
+        "SELECT COUNT(*) FROM R WHERE hour BETWEEN 1 AND 2",
+        "SELECT COUNT(*) FROM R GROUP BY state",
+    ]
+
+    def test_eight_threads_no_corruption_no_double_compute(self, relation):
+        import threading
+
+        backend = _SlowSpyBackend(relation)
+        explorer = Explorer.attach(backend)
+        expected = {
+            sql: Explorer.attach(ExactBackend(relation)).execute(sql).to_dict()
+            for sql in self.QUERIES
+        }
+
+        barrier = threading.Barrier(8)
+        errors: list[BaseException] = []
+
+        def hammer(seed):
+            try:
+                barrier.wait()
+                for index in range(40):
+                    sql = self.QUERIES[(seed + index) % len(self.QUERIES)]
+                    result = explorer.execute(sql)
+                    assert result.to_dict() == expected[sql]
+            except BaseException as error:  # propagated to the main thread
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[0]
+        # Single-flight: each of the 4 distinct queries ran exactly once
+        # (all 8 threads start together on the same first-query window,
+        # so without single-flight this is reliably > 4).
+        assert backend.calls == len(self.QUERIES)
+        info = explorer.cache_info()
+        assert info["results"]["size"] == len(self.QUERIES)
+
+    def test_concurrent_distinct_queries_all_correct(self, relation):
+        import threading
+
+        backend = _SlowSpyBackend(relation, delay=0.0005)
+        explorer = Explorer.attach(backend, cache_size=2)  # force evictions
+        reference = Explorer.attach(ExactBackend(relation))
+        queries = [
+            f"SELECT COUNT(*) FROM R WHERE hour >= {h} AND state = '{s}'"
+            for h in range(4)
+            for s in ("CA", "NY", "WA")
+        ]
+        expected = {sql: reference.execute(sql).scalar for sql in queries}
+        errors: list[BaseException] = []
+
+        def hammer(offset):
+            try:
+                for index in range(3 * len(queries)):
+                    sql = queries[(offset * 5 + index) % len(queries)]
+                    assert explorer.execute(sql).scalar == expected[sql]
+            except BaseException as error:
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[0]

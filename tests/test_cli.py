@@ -238,3 +238,92 @@ class TestBuildAndQuery:
         )
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_bench_serve_json_report(self, model_prefix, capsys):
+        code = main(
+            [
+                "bench-serve",
+                "--model", str(model_prefix),
+                "--clients", "2",
+                "--requests", "10",
+                "--window-ms", "1.0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert report["requests"] == 20
+        assert report["errors"] == 0
+        assert report["qps"] > 0
+        assert report["coalesce"] is True
+
+    def test_bench_serve_writes_report_file(self, model_prefix, tmp_path, capsys):
+        out = tmp_path / "BENCH_cli.json"
+        code = main(
+            [
+                "bench-serve",
+                "--model", str(model_prefix),
+                "--clients", "2",
+                "--requests", "5",
+                "--no-coalesce",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["coalesce"] is False
+        assert report["requests"] == 10
+        assert "report written" in capsys.readouterr().out
+
+    def test_bench_serve_validates_flags(self, model_prefix, capsys):
+        code = main(
+            ["bench-serve", "--model", str(model_prefix), "--clients", "0"]
+        )
+        assert code == 1
+        assert "--clients" in capsys.readouterr().err
+
+        code = main(
+            ["bench-serve", "--model", str(model_prefix), "--max-queue", "0"]
+        )
+        assert code == 1
+        assert "--max-queue" in capsys.readouterr().err
+
+    def test_serve_source_flag_errors(self, tmp_path, capsys):
+        code = main(["bench-serve", "--store", str(tmp_path / "models")])
+        assert code == 1
+        assert "--name" in capsys.readouterr().err
+
+        code = main(["bench-serve"])
+        assert code == 1
+        assert "--model" in capsys.readouterr().err
+
+    def test_ping_unreachable_server(self, capsys):
+        # Port 1 on localhost: reliably refused, no server there.
+        code = main(["ping", "--port", "1"])
+        assert code == 1
+        assert "transport error" in capsys.readouterr().err
+
+    def test_ping_running_server(self, model_prefix, capsys):
+        from repro.core.sharding import load_model
+        from repro.serve import ServeConfig, ServerThread, SummaryServer
+
+        server = SummaryServer(
+            load_model(str(model_prefix)), config=ServeConfig()
+        )
+        with ServerThread(server):
+            code = main(
+                ["ping", "--port", str(server.port), "--json"]
+            )
+        assert code == 0
+        import json
+
+        pong = json.loads(capsys.readouterr().out)
+        assert pong["ok"] is True
+        assert pong["version"] == 0
+        assert pong["latency_ms"] > 0

@@ -1,0 +1,757 @@
+"""Tests for the serving layer: cache, admission, coalescer, server.
+
+The unit pieces (TTL cache, admission controller, coalescer) are
+exercised in isolation with fake clocks and spy executors; the server
+tests run a real :class:`SummaryServer` on an ephemeral localhost port
+and talk to it through the synchronous :class:`ServeClient` — the same
+path production clients use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import Backend, Explorer, SummaryBuilder, SummaryStore
+from repro.baselines.exact import ExactBackend
+from repro.data.domain import Domain, integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import ReproError
+from repro.serve import (
+    AdmissionController,
+    Coalescer,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    ServerBusy,
+    ServerSaturated,
+    ServerThread,
+    SummaryServer,
+    TTLCache,
+    run_load,
+)
+from repro.serve.loadgen import default_workload
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+
+def _relation(rows: int = 300, seed: int = 3) -> Relation:
+    schema = Schema(
+        [Domain("state", ["CA", "NY", "WA"]), integer_domain("hour", 4)]
+    )
+    rng = np.random.default_rng(seed)
+    return Relation(
+        schema,
+        [rng.choice(3, size=rows, p=[0.5, 0.3, 0.2]), rng.integers(0, 4, rows)],
+    )
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return _relation()
+
+
+@pytest.fixture(scope="module")
+def summary(relation):
+    return (
+        SummaryBuilder(relation)
+        .pairs(("state", "hour"))
+        .per_pair_budget(4)
+        .iterations(50)
+        .name("serve-test")
+        .fit()
+    )
+
+
+class SpyBackend(Backend):
+    """Exact answers, call counting, and an optional artificial delay."""
+
+    is_exact = True
+
+    def __init__(self, relation, delay: float = 0.0):
+        self.inner = ExactBackend(relation)
+        self.schema = relation.schema
+        self.name = "spy"
+        self.delay = delay
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def _tick(self):
+        with self._lock:
+            self.calls += 1
+        if self.delay:
+            time.sleep(self.delay)
+
+    def count(self, predicate):
+        self._tick()
+        return self.inner.count(predicate)
+
+    def group_counts(self, attrs, predicate):
+        self._tick()
+        return self.inner.group_counts(attrs, predicate)
+
+
+# ----------------------------------------------------------------------
+# TTLCache
+# ----------------------------------------------------------------------
+
+class TestTTLCache:
+    def test_put_get_and_counters(self):
+        cache = TTLCache(maxsize=4, ttl=None)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        cache = TTLCache(maxsize=2, ttl=None)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.evictions == 1
+
+    def test_ttl_expiry_with_fake_clock(self):
+        now = [100.0]
+        cache = TTLCache(maxsize=8, ttl=5.0, clock=lambda: now[0])
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        now[0] += 4.99
+        assert cache.get("k") == "v"
+        now[0] += 0.02
+        assert cache.get("k") is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_disabled(self):
+        cache = TTLCache(maxsize=0)
+        cache.put("k", "v")
+        assert cache.get("k") is None
+
+    def test_stats_shape(self):
+        stats = TTLCache(maxsize=3, ttl=9.0).stats()
+        assert stats["maxsize"] == 3
+        assert stats["ttl"] == 9.0
+        assert set(stats) >= {"hits", "misses", "evictions", "expirations"}
+
+
+# ----------------------------------------------------------------------
+# AdmissionController
+# ----------------------------------------------------------------------
+
+class TestAdmission:
+    def test_acquire_release_depth(self):
+        admission = AdmissionController(max_queue=2, max_inflight_per_client=2)
+        admission.acquire("a")
+        admission.acquire("b")
+        assert admission.depth == 2
+        admission.release("a")
+        assert admission.depth == 1
+        admission.release("b")
+        assert admission.depth == 0
+        assert admission.peak_depth == 2
+
+    def test_queue_rejection_carries_retry_after(self):
+        admission = AdmissionController(
+            max_queue=1, max_inflight_per_client=5, flush_window=0.01
+        )
+        admission.acquire("a")
+        with pytest.raises(ServerSaturated) as caught:
+            admission.acquire("b")
+        assert caught.value.scope == "queue"
+        assert caught.value.retry_after >= 0.01
+        assert admission.rejected_queue == 1
+        admission.release("a")
+        admission.acquire("b")  # capacity is back
+
+    def test_per_client_limit_is_fair(self):
+        admission = AdmissionController(max_queue=10, max_inflight_per_client=1)
+        admission.acquire("greedy")
+        with pytest.raises(ServerSaturated) as caught:
+            admission.acquire("greedy")
+        assert caught.value.scope == "client"
+        # Other clients keep being admitted.
+        admission.acquire("polite")
+        assert admission.rejected_client == 1
+
+    def test_held_context_manager(self):
+        admission = AdmissionController(max_queue=1, max_inflight_per_client=1)
+        with admission.held("a"):
+            assert admission.depth == 1
+        assert admission.depth == 0
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="max_queue"):
+            AdmissionController(max_queue=0)
+        with pytest.raises(ReproError, match="max_inflight_per_client"):
+            AdmissionController(max_inflight_per_client=0)
+
+
+# ----------------------------------------------------------------------
+# Coalescer
+# ----------------------------------------------------------------------
+
+class TestCoalescer:
+    @staticmethod
+    def _spy():
+        batches = []
+
+        async def run_batch(items):
+            batches.append(list(items))
+            return [item * 2 for item in items]
+
+        return batches, run_batch
+
+    def test_flushes_by_window(self):
+        batches, run_batch = self._spy()
+
+        async def scenario():
+            coalescer = Coalescer(run_batch, window=0.02, max_batch=100)
+            return await asyncio.gather(
+                coalescer.submit("a", 1),
+                coalescer.submit("b", 2),
+                coalescer.submit("c", 3),
+            )
+
+        assert asyncio.run(scenario()) == [2, 4, 6]
+        # One window, one flush, one batched execution of all three.
+        assert len(batches) == 1
+        assert sorted(batches[0]) == [1, 2, 3]
+
+    def test_same_key_requests_share_one_execution(self):
+        batches, run_batch = self._spy()
+
+        async def scenario():
+            coalescer = Coalescer(run_batch, window=0.02, max_batch=100)
+            results = await asyncio.gather(
+                *(coalescer.submit("hot", 21) for _ in range(5))
+            )
+            return coalescer, results
+
+        coalescer, results = asyncio.run(scenario())
+        assert results == [42] * 5
+        assert len(batches) == 1
+        assert batches[0] == [21]  # deduped: one item executed
+        assert coalescer.coalesced == 4
+        assert coalescer.submitted == 5
+
+    def test_flushes_by_size(self):
+        batches, run_batch = self._spy()
+
+        async def scenario():
+            coalescer = Coalescer(run_batch, window=5.0, max_batch=2)
+            results = await asyncio.gather(
+                coalescer.submit("a", 1),
+                coalescer.submit("b", 2),
+            )
+            return coalescer, results
+
+        coalescer, results = asyncio.run(scenario())
+        # The window is 5 seconds — only the size trigger can have
+        # flushed this fast.
+        assert results == [2, 4]
+        assert coalescer.flushes_by_size == 1
+        assert coalescer.flushes_by_window == 0
+
+    def test_per_item_exceptions_do_not_poison_the_flush(self):
+        async def run_batch(items):
+            return [
+                ValueError("bad item") if item == "bad" else item
+                for item in items
+            ]
+
+        async def scenario():
+            coalescer = Coalescer(run_batch, window=0.01, max_batch=10)
+            good = asyncio.create_task(coalescer.submit("g", "fine"))
+            bad = asyncio.create_task(coalescer.submit("b", "bad"))
+            results = await asyncio.gather(good, bad, return_exceptions=True)
+            return results
+
+        good_result, bad_result = asyncio.run(scenario())
+        assert good_result == "fine"
+        assert isinstance(bad_result, ValueError)
+
+    def test_run_batch_failure_fails_all_waiters(self):
+        async def run_batch(items):
+            raise RuntimeError("executor died")
+
+        async def scenario():
+            coalescer = Coalescer(run_batch, window=0.01, max_batch=10)
+            return await asyncio.gather(
+                coalescer.submit("a", 1),
+                coalescer.submit("b", 2),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(scenario())
+        assert all(isinstance(result, RuntimeError) for result in results)
+
+    def test_validation(self):
+        async def run_batch(items):  # pragma: no cover - never runs
+            return items
+
+        with pytest.raises(ValueError, match="window"):
+            Coalescer(run_batch, window=-1)
+        with pytest.raises(ValueError, match="max_batch"):
+            Coalescer(run_batch, max_batch=0)
+
+
+# ----------------------------------------------------------------------
+# Server round-trips over a real socket
+# ----------------------------------------------------------------------
+
+class TestServerRoundTrip:
+    @pytest.fixture(scope="class")
+    def running(self, summary):
+        server = SummaryServer(
+            summary, config=ServeConfig(window_ms=1.0, cache_ttl=None)
+        )
+        with ServerThread(server) as running:
+            yield running
+
+    def test_ping(self, running):
+        with ServeClient(port=running.port) as client:
+            assert client.ping() == {"version": 0}
+
+    def test_scalar_query_with_error_bounds(self, running, summary):
+        expected = Explorer.attach(summary).sql(
+            "SELECT COUNT(*) FROM R WHERE state = 'CA'"
+        )
+        with ServeClient(port=running.port) as client:
+            payload = client.query("SELECT COUNT(*) FROM R WHERE state = 'CA'")
+        assert payload["kind"] == "scalar"
+        assert payload["value"] == pytest.approx(expected.scalar)
+        assert payload["std"] == pytest.approx(expected.std)
+        assert payload["ci95"] == pytest.approx(list(expected.ci95))
+
+    def test_grouped_query(self, running, summary):
+        expected = Explorer.attach(summary).sql(
+            "SELECT COUNT(*) FROM R GROUP BY state"
+        )
+        with ServeClient(port=running.port) as client:
+            payload = client.query("SELECT COUNT(*) FROM R GROUP BY state")
+        assert payload["kind"] == "rows"
+        assert payload["group_by"] == ["state"]
+        assert payload["rows"] == [
+            [row.labels[0], pytest.approx(row.count)] for row in expected.rows
+        ]
+
+    def test_syntactic_variants_share_the_cache(self, running):
+        with ServeClient(port=running.port) as client:
+            first = client.call(
+                "query", sql="SELECT COUNT(*) FROM R WHERE hour BETWEEN 1 AND 2"
+            )
+            second = client.call(
+                "query",
+                sql="SELECT COUNT(*) FROM R WHERE hour >= 1 AND hour <= 2",
+            )
+        assert second["result"]["value"] == first["result"]["value"]
+        # The canonical key collapses the two spellings server-side.
+        assert second["cached"] is True
+
+    def test_named_sessions(self, running):
+        with ServeClient(port=running.port, session="analyst-7") as client:
+            client.query("SELECT COUNT(*) FROM R", session="analyst-7")
+            stats = client.stats()
+        assert "analyst-7" in stats["sessions"]
+        assert "default" in stats["sessions"]
+
+    def test_bad_sql_is_a_400_not_a_dropped_connection(self, running):
+        with ServeClient(port=running.port) as client:
+            with pytest.raises(ServeError) as caught:
+                client.query("SELECT COUNT(*) FROM nowhere")
+            assert caught.value.status == 400
+            # The connection survives the error.
+            assert client.ping() == {"version": 0}
+
+    def test_unknown_op_rejected(self, running):
+        with ServeClient(port=running.port) as client:
+            with pytest.raises(ServeError, match="unknown op"):
+                client.call("frobnicate")
+
+    def test_invalid_json_line(self, running):
+        with socket.create_connection(("127.0.0.1", running.port), 5) as raw:
+            raw.sendall(b"this is not json\n")
+            response = json.loads(raw.makefile("rb").readline())
+        assert response["ok"] is False
+        assert response["status"] == 400
+        assert response["id"] is None
+
+    def test_reload_without_store_is_a_clean_error(self, running):
+        with ServeClient(port=running.port) as client:
+            with pytest.raises(ServeError, match="store"):
+                client.reload()
+
+    def test_stats_shape(self, running):
+        with ServeClient(port=running.port) as client:
+            stats = client.stats()
+        assert stats["version"] == 0
+        assert set(stats) >= {
+            "cache", "admission", "coalescer", "requests", "errors", "reloads",
+        }
+        assert stats["coalescer"]["window_ms"] == 1.0
+
+
+class TestCoalescedServing:
+    def test_same_key_concurrent_clients_cost_one_execution(self, relation):
+        """The tentpole behavior: N clients asking one question inside
+        one window -> one backend execution (spy call count)."""
+        backend = SpyBackend(relation)
+        server = SummaryServer(
+            backend,
+            # Wide window so all threads land in one batch; cache off so
+            # coalescing (not the cache) must do the dedup.
+            config=ServeConfig(window_ms=250.0, cache_size=0),
+        )
+        clients = 6
+        values = []
+        errors = []
+        barrier = threading.Barrier(clients)
+
+        def ask():
+            try:
+                with ServeClient(port=server.port) as client:
+                    barrier.wait()
+                    values.append(
+                        client.count("SELECT COUNT(*) FROM R WHERE state = 'CA'")
+                    )
+            except BaseException as error:
+                errors.append(error)
+
+        with ServerThread(server):
+            threads = [threading.Thread(target=ask) for _ in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors[0]
+        assert len(set(values)) == 1
+        assert backend.calls == 1
+        assert server.coalescer.coalesced == clients - 1
+
+    def test_distinct_queries_one_vectorized_flush(self, relation):
+        backend = SpyBackend(relation)
+        server = SummaryServer(
+            backend, config=ServeConfig(window_ms=250.0, cache_size=0)
+        )
+        queries = [
+            "SELECT COUNT(*) FROM R WHERE hour = 0",
+            "SELECT COUNT(*) FROM R WHERE hour = 1",
+            "SELECT COUNT(*) FROM R WHERE hour = 2",
+        ]
+        barrier = threading.Barrier(len(queries))
+        errors = []
+
+        def ask(sql):
+            try:
+                with ServeClient(port=server.port) as client:
+                    barrier.wait()
+                    client.query(sql)
+            except BaseException as error:
+                errors.append(error)
+
+        with ServerThread(server):
+            threads = [
+                threading.Thread(target=ask, args=(sql,)) for sql in queries
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors[0]
+        # One flush; the spy backend's default count_many loops, so
+        # calls == distinct queries, but the flush count proves they
+        # travelled as one batch.
+        assert server.coalescer.flushes == 1
+        assert server.coalescer.largest_batch == len(queries)
+
+
+class TestAdmissionOverTheWire:
+    def test_saturated_queue_rejects_with_retry_after(self, relation):
+        backend = SpyBackend(relation, delay=0.3)
+        server = SummaryServer(
+            backend,
+            config=ServeConfig(
+                window_ms=0.0,
+                coalesce=False,
+                cache_size=0,
+                max_queue=1,
+                max_inflight_per_client=5,
+            ),
+        )
+        with ServerThread(server):
+            with socket.create_connection(
+                ("127.0.0.1", server.port), 5
+            ) as occupier:
+                occupier.sendall(
+                    b'{"id": 1, "op": "query", '
+                    b'"sql": "SELECT COUNT(*) FROM R"}\n'
+                )
+                deadline = time.monotonic() + 2.0
+                while (
+                    server.admission.depth == 0
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.005)
+                assert server.admission.depth == 1
+                with ServeClient(port=server.port) as other:
+                    with pytest.raises(ServerBusy) as caught:
+                        other.query("SELECT COUNT(*) FROM R WHERE hour = 1")
+                assert caught.value.retry_after > 0
+                assert caught.value.payload["scope"] == "queue"
+                # The occupier still gets its (slow) answer.
+                response = json.loads(occupier.makefile("rb").readline())
+                assert response["ok"] is True
+
+    def test_per_client_pipelining_limit(self, relation):
+        backend = SpyBackend(relation, delay=0.3)
+        server = SummaryServer(
+            backend,
+            config=ServeConfig(
+                window_ms=0.0,
+                coalesce=False,
+                cache_size=0,
+                max_queue=10,
+                max_inflight_per_client=1,
+            ),
+        )
+        with ServerThread(server):
+            with socket.create_connection(
+                ("127.0.0.1", server.port), 5
+            ) as raw:
+                raw.sendall(
+                    b'{"id": 1, "op": "query", '
+                    b'"sql": "SELECT COUNT(*) FROM R"}\n'
+                    b'{"id": 2, "op": "query", '
+                    b'"sql": "SELECT COUNT(*) FROM R WHERE hour = 1"}\n'
+                )
+                reader = raw.makefile("rb")
+                responses = [
+                    json.loads(reader.readline()) for _ in range(2)
+                ]
+        rejected = [r for r in responses if not r["ok"]]
+        accepted = [r for r in responses if r["ok"]]
+        assert len(rejected) == 1 and len(accepted) == 1
+        assert rejected[0]["status"] == 503
+        assert rejected[0]["scope"] == "client"
+        assert rejected[0]["retry_after"] > 0
+
+    def test_client_retries_on_retry_after_and_succeeds(self, relation):
+        backend = SpyBackend(relation, delay=0.1)
+        server = SummaryServer(
+            backend,
+            config=ServeConfig(
+                window_ms=0.0, coalesce=False, cache_size=0, max_queue=1
+            ),
+        )
+        errors = []
+
+        def hammer(index):
+            try:
+                with ServeClient(port=server.port) as client:
+                    client.query(
+                        f"SELECT COUNT(*) FROM R WHERE hour = {index % 4}",
+                        retries=50,
+                    )
+            except BaseException as error:
+                errors.append(error)
+
+        with ServerThread(server):
+            threads = [
+                threading.Thread(target=hammer, args=(index,))
+                for index in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors[0]
+        # With max_queue=1 and 4 concurrent clients, someone had to be
+        # turned away at least once — and everyone still finished.
+        assert server.admission.rejected_queue > 0
+
+
+class TestTTLOverTheWire:
+    def test_result_expires_after_ttl(self, summary):
+        server = SummaryServer(
+            summary, config=ServeConfig(window_ms=0.5, cache_ttl=0.08)
+        )
+        sql = "SELECT COUNT(*) FROM R WHERE state = 'NY'"
+        with ServerThread(server):
+            with ServeClient(port=server.port) as client:
+                first = client.call("query", sql=sql)
+                second = client.call("query", sql=sql)
+                time.sleep(0.2)
+                third = client.call("query", sql=sql)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert third["cached"] is False  # TTL expired server-side
+        assert server.cache.expirations >= 1
+
+
+# ----------------------------------------------------------------------
+# Hot reload
+# ----------------------------------------------------------------------
+
+class TestHotReload:
+    @pytest.fixture()
+    def versioned_store(self, tmp_path):
+        store = SummaryStore(tmp_path / "models")
+
+        def build(rows, seed):
+            return (
+                SummaryBuilder(_relation(rows=rows, seed=seed))
+                .pairs(("state", "hour"))
+                .per_pair_budget(4)
+                .iterations(40)
+                .name("demo")
+                .fit()
+            )
+
+        store.save(build(300, 3), "demo")  # v1: 300 rows
+        store.save(build(500, 4), "demo")  # v2: 500 rows
+        return store
+
+    def test_reload_switches_versions(self, versioned_store):
+        server = SummaryServer(
+            store=versioned_store,
+            name="demo",
+            version=1,
+            config=ServeConfig(window_ms=0.5),
+        )
+        with ServerThread(server):
+            with ServeClient(port=server.port) as client:
+                assert client.ping() == {"version": 1}
+                before = client.count("SELECT COUNT(*) FROM R")
+                assert client.reload() == 2
+                assert client.ping() == {"version": 2}
+                after = client.count("SELECT COUNT(*) FROM R")
+        assert before == pytest.approx(300, abs=1)
+        assert after == pytest.approx(500, abs=1)
+        assert server.reloads == 1
+
+    def test_reload_can_pin_an_older_version(self, versioned_store):
+        server = SummaryServer(
+            store=versioned_store, name="demo", config=ServeConfig()
+        )
+        assert server.version == 2  # latest by default
+        with ServerThread(server):
+            with ServeClient(port=server.port) as client:
+                assert client.reload(version=1) == 1
+                assert client.count("SELECT COUNT(*) FROM R") == pytest.approx(
+                    300, abs=1
+                )
+
+    def test_reload_does_not_drop_in_flight_requests(self, versioned_store):
+        server = SummaryServer(
+            store=versioned_store,
+            name="demo",
+            version=1,
+            config=ServeConfig(window_ms=1.0, cache_size=0),
+        )
+        stop = threading.Event()
+        errors = []
+        answered = [0]
+
+        def chatter(index):
+            try:
+                with ServeClient(port=server.port) as client:
+                    step = 0
+                    while not stop.is_set():
+                        value = client.count(
+                            "SELECT COUNT(*) FROM R WHERE "
+                            f"hour = {(index + step) % 4}"
+                        )
+                        assert value >= 0
+                        answered[0] += 1
+                        step += 1
+            except BaseException as error:
+                errors.append(error)
+
+        with ServerThread(server):
+            threads = [
+                threading.Thread(target=chatter, args=(index,))
+                for index in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.15)
+            with ServeClient(port=server.port) as admin:
+                admin.reload()          # v1 -> v2 under live traffic
+                admin.reload(version=1)  # and back
+            time.sleep(0.15)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert not errors, errors[0]
+        assert answered[0] > 0
+        assert server.reloads == 2
+
+
+# ----------------------------------------------------------------------
+# ServeConfig validation and the load generator
+# ----------------------------------------------------------------------
+
+class TestServeConfig:
+    @pytest.mark.parametrize(
+        "overrides, flag",
+        [
+            ({"window_ms": -1.0}, "--window-ms"),
+            ({"max_batch": 0}, "--max-batch"),
+            ({"max_queue": 0}, "--max-queue"),
+            ({"max_inflight_per_client": 0}, "--max-inflight"),
+            ({"cache_size": -1}, "--cache-size"),
+            ({"cache_ttl": 0.0}, "--cache-ttl"),
+        ],
+    )
+    def test_validation_names_the_flag(self, overrides, flag):
+        from dataclasses import replace
+
+        with pytest.raises(ReproError) as caught:
+            replace(ServeConfig(), **overrides).validated()
+        assert flag in str(caught.value)
+
+    def test_server_needs_exactly_one_source(self, summary, tmp_path):
+        with pytest.raises(ReproError, match="exactly one"):
+            SummaryServer()
+        with pytest.raises(ReproError, match="--name"):
+            SummaryServer(store=tmp_path / "models")
+
+
+class TestLoadGenerator:
+    def test_default_workload_is_parseable(self, summary):
+        explorer = Explorer.attach(summary)
+        workload = default_workload(summary.schema)
+        assert len(workload) >= 5
+        for sql in workload:
+            explorer.plan(sql)  # raises on anything malformed
+
+    def test_run_load_reports(self, summary):
+        server = SummaryServer(summary, config=ServeConfig(window_ms=1.0))
+        with ServerThread(server):
+            report = run_load(
+                server.host,
+                server.port,
+                default_workload(summary.schema),
+                clients=4,
+                requests_per_client=20,
+            )
+        assert report.requests == 80
+        assert report.errors == 0
+        assert report.qps > 0
+        assert report.p95_ms >= report.p50_ms
+        assert report.cache_hit_rate > 0  # repeated workload must hit
+        metrics = report.to_metrics()
+        assert set(metrics) >= {"qps", "p50_ms", "p95_ms", "cache_hit_rate"}
