@@ -2,15 +2,36 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke serve-smoke lint install docs-check
+.PHONY: test bench-smoke bench-all check-bench serve-smoke lint install docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Quick benchmark pass at the small scale: the interactive-latency
 # suite, including the run_many()-vs-sequential acceptance check.
+# Median-of-3 via the check_bench runner, so one noisy wall-clock
+# comparison on a shared runner cannot fail the job on its own.
 bench-smoke:
-	REPRO_SCALE=small $(PYTHON) -m pytest -q benchmarks/bench_query_latency.py
+	REPRO_SCALE=small $(PYTHON) tools/check_bench.py run --repeat 3 \
+		--out-dir benchmarks/results/smoke -- -q benchmarks/bench_query_latency.py
+
+#: The acceptance suites that emit BENCH_<name>.json reports.
+BENCH_SUITES = benchmarks/bench_planner.py benchmarks/bench_sharding.py \
+	benchmarks/bench_serve.py benchmarks/bench_ingest.py
+
+# Run every report-emitting acceptance suite 3x (reports land in
+# benchmarks/results/perf/runN/); passes on a majority of runs.
+bench-all:
+	REPRO_SCALE=small $(PYTHON) tools/check_bench.py run --repeat 3 \
+		--out-dir benchmarks/results/perf -- -q $(BENCH_SUITES)
+
+# The CI perf-regression gate: bench-all, then compare the per-metric
+# medians against the checked-in baselines (speedups may regress <=20%,
+# error metrics may not grow).  `python tools/check_bench.py update`
+# rewrites the baselines from fresh runs when a change legitimately
+# moves the numbers.
+check-bench: bench-all
+	$(PYTHON) tools/check_bench.py compare --runs-root benchmarks/results/perf
 
 # Serving-layer smoke: boot the server on a tiny summary, fire 50
 # concurrent requests through the real client, assert zero errors and

@@ -54,7 +54,11 @@ class BenchReport:
 
     def __init__(self, name: str, out_dir=None):
         self.name = name
-        self.out_dir = Path(out_dir) if out_dir is not None else Path.cwd()
+        if out_dir is None:
+            # The perf-regression harness (tools/check_bench.py run)
+            # redirects each repeat's reports into its own directory.
+            out_dir = os.environ.get("REPRO_BENCH_DIR") or Path.cwd()
+        self.out_dir = Path(out_dir)
         self.metrics: dict = {}
         self.checks: dict[tuple, dict] = {}
 
@@ -102,6 +106,7 @@ class BenchReport:
 
     def write(self) -> Path:
         payload = json.dumps(self.document(), indent=2, sort_keys=True)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
         self.path.write_text(payload + "\n")
         return self.path
 

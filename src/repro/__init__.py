@@ -58,6 +58,15 @@ session-oriented:
    version, admission control with ``Retry-After`` backpressure, and
    ``SIGHUP``/``reload`` hot version swaps.
 
+6. keep the served model fresh with :mod:`repro.ingest`
+   (``python -m repro ingest``): appended rows route to the shards
+   whose value ranges they touch, only those shards delta-refit (each
+   solver warm-started from its previous solution, bucket structure
+   reused — ~1/N of a rebuild), the refreshed shard set publishes to
+   the store as a child version with lineage metadata, and a server
+   started with ``--watch`` hot-reloads it without dropping requests.
+   Unseen labels widen the domains instead of forcing a rebuild.
+
 Every estimation method — the exact relation, uniform/stratified
 samples, single MaxEnt summaries, sharded summaries — implements the
 :class:`~repro.api.Backend` ABC, so the same query text runs against
@@ -108,6 +117,7 @@ from repro.data import (
 from repro.errors import (
     BudgetError,
     DomainError,
+    IngestError,
     QueryError,
     ReproError,
     SchemaError,
@@ -123,7 +133,7 @@ from repro.stats import (
     build_statistic_set,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Backend",
@@ -137,6 +147,7 @@ __all__ = [
     "EquiWidthBinner",
     "Explorer",
     "InferenceEngine",
+    "IngestError",
     "MergedEstimate",
     "MirrorDescentSolver",
     "ModelParameters",

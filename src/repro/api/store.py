@@ -59,6 +59,17 @@ class SummaryRecord:
     #: shard count of a sharded version; 0 for a plain summary.
     shards: int = 0
     shard_by: str | None = None
+    #: Ingest provenance of a delta-refreshed version
+    #: (``parent_version``, ``rows_appended``, ``shards_refit``, ...);
+    #: ``None`` for versions built from scratch.
+    lineage: dict | None = None
+
+    @property
+    def parent_version(self) -> int | None:
+        """Version this one was delta-refreshed from, if any."""
+        if self.lineage is None:
+            return None
+        return self.lineage.get("parent_version")
 
     def describe(self) -> str:
         tag = f" tag={self.tag}" if self.tag else ""
@@ -66,9 +77,18 @@ class SummaryRecord:
         if self.shards:
             by = f" by {self.shard_by}" if self.shard_by else ""
             sharding = f", {self.shards} shards{by}"
+        ancestry = ""
+        if self.lineage is not None:
+            parent = self.parent_version
+            appended = self.lineage.get("rows_appended")
+            ancestry = (
+                f" (from v{parent}, +{appended} rows)"
+                if parent is not None
+                else f" (+{appended} rows)"
+            )
         return (
             f"{self.name}@v{self.version}{tag}: n={self.total}, "
-            f"stats={self.num_statistics}{sharding}"
+            f"stats={self.num_statistics}{sharding}{ancestry}"
         )
 
 
@@ -143,6 +163,7 @@ class SummaryStore:
             prefix=version_entry["prefix"],
             shards=version_entry.get("shards", 0),
             shard_by=version_entry.get("shard_by"),
+            lineage=version_entry.get("lineage"),
         )
 
     # -- public API ------------------------------------------------------
@@ -151,6 +172,7 @@ class SummaryStore:
         summary: "EntropySummary | ShardedSummary",
         name: str | None = None,
         tag: str | None = None,
+        lineage: dict | None = None,
     ) -> SummaryRecord:
         """Persist a summary as the next version of ``name``.
 
@@ -158,7 +180,11 @@ class SummaryStore:
         and monotonically numbered per name; ``tag`` is free-form (e.g.
         ``"baseline"``, ``"budget-3000"``) and may repeat across
         versions.  A :class:`~repro.core.sharding.ShardedSummary`
-        persists its whole shard set as the one version.
+        persists its whole shard set as the one version.  ``lineage``
+        (JSON-safe) records ingest provenance — the delta-refresh
+        pipeline writes ``parent_version``/``rows_appended``/
+        ``shards_refit`` so a version's ancestry survives in the
+        manifest.
         """
         name = name if name is not None else summary.name
         if not name:
@@ -187,6 +213,8 @@ class SummaryStore:
                 version_entry["kind"] = "sharded"
                 version_entry["shards"] = summary.num_shards
                 version_entry["shard_by"] = summary.shard_by
+            if lineage is not None:
+                version_entry["lineage"] = lineage
             entry["versions"].append(version_entry)
             self._write_manifest(document)
         return self._record(name, entry, version_entry)

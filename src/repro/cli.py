@@ -20,8 +20,10 @@ versioned summary store (``--store`` + ``--name``).
     python -m repro query --store models --name flights --explain \\
         --sql "SELECT COUNT(*) FROM R WHERE distance BETWEEN 500 AND 900"
     python -m repro info --store models --name flights
+    python -m repro ingest --store models --name flights \\
+        --data data/flights --batch data/new_rows --write-data data/flights
     python -m repro store list --dir models
-    python -m repro serve --store models --name flights --port 9042
+    python -m repro serve --store models --name flights --port 9042 --watch 2
     python -m repro ping --port 9042
     python -m repro bench-serve --store models --name flights --clients 8
     python -m repro experiment fig5 --scale small
@@ -125,6 +127,41 @@ def build_arg_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("info", help="describe a saved model")
     add_model_source(info, "model path prefix")
 
+    ingest = commands.add_parser(
+        "ingest",
+        help="append a batch of rows and delta-refresh a stored summary",
+    )
+    ingest.add_argument("--store", required=True, help="summary store directory")
+    ingest.add_argument("--name", required=True, help="summary name inside the store")
+    ingest.add_argument(
+        "--data",
+        required=True,
+        help="base relation prefix — the data the stored summary was fitted "
+        "from (plus every batch already ingested)",
+    )
+    ingest.add_argument(
+        "--batch",
+        required=True,
+        help="relation prefix of the rows to append (labels are re-indexed; "
+        "unseen labels grow the domains)",
+    )
+    ingest.add_argument(
+        "--version", type=int, help="refresh from this version (default: latest)"
+    )
+    ingest.add_argument("--tag", help="store tag for the published version")
+    ingest.add_argument(
+        "--iterations",
+        type=int,
+        default=30,
+        help="solver sweep cap for the delta refits (warm starts usually "
+        "converge well inside it; default 30)",
+    )
+    ingest.add_argument(
+        "--write-data",
+        help="also save the combined relation to this prefix, so the next "
+        "ingest can pass it as --data",
+    )
+
     def add_serve_tuning(command):
         """The serving-layer knobs shared by serve and bench-serve."""
         command.add_argument(
@@ -186,6 +223,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=9042,
         help="listening port (0 picks an ephemeral one; default 9042)",
     )
+    serve.add_argument(
+        "--watch",
+        type=float,
+        metavar="SECONDS",
+        help="poll the store at this interval and hot-reload when a newer "
+        "version appears (e.g. one published by `repro ingest`); "
+        "the interval is the serving-staleness bound",
+    )
     add_serve_tuning(serve)
 
     ping = commands.add_parser(
@@ -243,7 +288,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
             "compression", "latency", "solver", "variance", "strategy",
         ],
     )
-    experiment.add_argument("--scale", choices=["paper", "small"], default=None)
+    experiment.add_argument(
+        "--scale", choices=["paper", "medium", "small"], default=None
+    )
     return parser
 
 
@@ -403,6 +450,35 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    from repro.ingest import IngestPipeline
+
+    if args.iterations < 1:
+        raise ReproError(f"--iterations must be >= 1, got {args.iterations}")
+    relation = load_relation(args.data)
+    batch = load_relation(args.batch)
+    pipeline = IngestPipeline.from_store(
+        SummaryStore(args.store),
+        args.name,
+        relation,
+        version=args.version,
+        max_iterations=args.iterations,
+    )
+    report = pipeline.append(batch, tag=args.tag)
+    print(report.describe())
+    if report.record is not None:
+        print(f"  stored as {report.record.describe()} in {args.store}")
+        print(
+            "  live servers watching this store (repro serve --watch) "
+            "pick the new version up automatically"
+        )
+    if args.write_data:
+        combined = pipeline.relation
+        save_relation(combined, args.write_data)
+        print(f"  combined relation ({combined.num_rows} rows) saved to {args.write_data}")
+    return 0
+
+
 def _cmd_store(args) -> int:
     store = SummaryStore(args.dir)
     records = store.list()
@@ -457,6 +533,7 @@ def _serve_config(args, *, host: str | None = None, port: int | None = None):
         cache_ttl=args.cache_ttl,
         coalesce=not args.no_coalesce,
         rounded=args.rounded,
+        watch_interval=getattr(args, "watch", None),
     ).validated()
 
 
@@ -616,6 +693,7 @@ _COMMANDS = {
     "build": _cmd_build,
     "query": _cmd_query,
     "info": _cmd_info,
+    "ingest": _cmd_ingest,
     "store": _cmd_store,
     "serve": _cmd_serve,
     "ping": _cmd_ping,
@@ -632,6 +710,15 @@ def main(argv=None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited; the Unix-polite
+        # response is silence.  Detach stdout so the interpreter's exit
+        # flush does not raise a second time.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

@@ -333,6 +333,19 @@ class ShardedSummary:
         return len(self.shards)
 
     @property
+    def by_position(self) -> int | None:
+        """Schema position of the shard attribute (``None`` = round-robin)."""
+        return self._by_pos
+
+    @property
+    def owned_ranges(self) -> list[tuple[int, int]] | None:
+        """Inclusive domain-index range each shard owns (``None`` =
+        round-robin)."""
+        if self._owned is None:
+            return None
+        return [(owned.low, owned.high) for owned in self._owned]
+
+    @property
     def num_statistics(self) -> int:
         """Statistic count across all shards."""
         return sum(shard.num_statistics for shard in self.shards)
@@ -357,6 +370,55 @@ class ShardedSummary:
             report["term_bytes"] += shard_report["term_bytes"]
             report["total_bytes"] += shard_report["total_bytes"]
         return report
+
+    # -- ingest routing / surgery ----------------------------------------
+    def route_indices(self, values: np.ndarray) -> np.ndarray:
+        """Owning shard of each shard-attribute domain index.
+
+        Only meaningful for attribute-partitioned summaries.  Indices
+        beyond the top owned range (domain growth: an append introduced
+        a new value) route to the shard owning the highest range — its
+        range is widened by the ingest layer after the refit.
+        """
+        if self._owned is None:
+            raise ReproError(
+                "route_indices needs an attribute-partitioned summary; "
+                "round-robin appends are balanced by the ingest pipeline"
+            )
+        values = np.asarray(values, dtype=np.int64)
+        # Ranges are contiguous and sorted: cutting at each range's high
+        # bound buckets every index, with everything above the top range
+        # falling into the last shard.
+        highs = np.asarray([owned.high for owned in self._owned[:-1]])
+        return np.searchsorted(highs, values, side="left")
+
+    def with_shards(
+        self,
+        replacements: Mapping[int, EntropySummary],
+        ranges: Sequence[tuple[int, int]] | None = None,
+    ) -> "ShardedSummary":
+        """New summary with some shards swapped out, the rest shared.
+
+        The ingest layer's publish step: delta-refit shard models
+        replace their predecessors, untouched shard objects are reused
+        as-is (they are immutable after fitting).  ``ranges`` overrides
+        the owned ranges — required when domain growth widened the top
+        shard's range — and defaults to the current ones.
+        """
+        for index in replacements:
+            if not 0 <= index < self.num_shards:
+                raise ReproError(
+                    f"no shard {index} in a {self.num_shards}-shard summary"
+                )
+        shards = [
+            replacements.get(index, shard)
+            for index, shard in enumerate(self.shards)
+        ]
+        if ranges is None:
+            ranges = self.owned_ranges
+        return ShardedSummary(
+            shards, name=self.name, shard_by=self.shard_by, ranges=ranges
+        )
 
     # -- shard routing ---------------------------------------------------
     def shard_conjunctions(

@@ -49,16 +49,20 @@ class SolverReport:
         self.converged = False
         self.error_trace: list[float] = []
         self.seconds = 0.0
+        #: True when the solve started from a previous solution instead
+        #: of the uniform model (the ingest layer's delta refits).
+        self.warm_started = False
 
     @property
     def final_error(self) -> float:
         return self.error_trace[-1] if self.error_trace else float("inf")
 
     def __repr__(self):
+        warm = ", warm_started=True" if self.warm_started else ""
         return (
             f"SolverReport(iterations={self.iterations}, "
             f"converged={self.converged}, final_error={self.final_error:.3g}, "
-            f"seconds={self.seconds:.2f})"
+            f"seconds={self.seconds:.2f}{warm})"
         )
 
 
@@ -129,6 +133,7 @@ class MirrorDescentSolver:
     ) -> tuple[ModelParameters, SolverReport]:
         """Fit the model; returns the parameters and a report."""
         poly = self.polynomial
+        warm_started = params is not None
         if params is None:
             params = initial_parameters(poly)
         else:
@@ -136,6 +141,7 @@ class MirrorDescentSolver:
             check_parameter_shapes(poly, params)
 
         report = SolverReport()
+        report.warm_started = warm_started
         start = time.perf_counter()
         for iteration in range(self.max_iterations):
             self._sweep_one_dim(params)

@@ -22,6 +22,7 @@ from repro.core.variables import ModelParameters
 from repro.data.relation import Relation
 from repro.data.schema import Schema
 from repro.data.serialize import decode_schema, encode_schema
+from repro.errors import ReproError
 from repro.stats.predicates import Conjunction, RangePredicate
 from repro.stats.statistic import Statistic, StatisticSet
 
@@ -106,14 +107,172 @@ class EntropySummary:
         max_iterations: int = 30,
         threshold: float = 1e-6,
         name: str = "summary",
+        warm_start: ModelParameters | None = None,
     ) -> "EntropySummary":
-        """Fit a summary from an already-assembled statistic set."""
+        """Fit a summary from an already-assembled statistic set.
+
+        ``warm_start`` seeds the solver with a previous solution instead
+        of the uniform model — the ingest layer's delta refits converge
+        in a fraction of the sweeps when the data changed a little.
+        """
         polynomial = CompressedPolynomial(statistic_set)
         solver = MirrorDescentSolver(
             polynomial, max_iterations=max_iterations, threshold=threshold
         )
-        params, report = solver.solve()
+        params, report = solver.solve(params=warm_start)
         return cls(statistic_set, polynomial, params, report, name)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the ingest layer's primitives)
+    # ------------------------------------------------------------------
+    def refit(
+        self,
+        relation: Relation,
+        max_iterations: int = 30,
+        threshold: float = 1e-6,
+        warm_start: bool = True,
+    ) -> "EntropySummary":
+        """Delta refit: same statistic *structure*, new data.
+
+        Re-measures this summary's multi-dimensional statistics (and the
+        complete 1D marginals) on ``relation``, then re-solves — by
+        default **warm-starting** from the current fitted parameters, so
+        an append that changed the data a little converges in a couple
+        of Mirror Descent sweeps instead of a full cold solve.  The
+        expensive statistic *selection* (correlation ranking, bucket
+        heuristics) is skipped entirely: the bucket boundaries are
+        reused as-is.
+
+        ``relation.schema`` may be the summary's schema or a pure
+        *widening* of it (same attributes, each domain's old labels kept
+        as a prefix) — the domain-growth path of an append that
+        introduced a previously unseen value.  Warm-start parameters for
+        new domain values start at 0 (the exact solution while their
+        count was 0).
+        """
+        schema = relation.schema
+        if schema != self.schema:
+            require_widened_schema(self.schema, schema)
+        multi_dim = []
+        for statistic in self.statistic_set.multi_dim:
+            predicate = Conjunction(
+                schema,
+                {pos: statistic.range_at(pos) for pos in statistic.positions},
+            )
+            multi_dim.append(
+                Statistic(
+                    predicate,
+                    float(relation.count_where(predicate.attribute_masks())),
+                )
+            )
+        statistic_set = StatisticSet.from_relation(relation, multi_dim)
+        seed = (
+            pad_parameters(self.params, self.schema, schema)
+            if warm_start
+            else None
+        )
+        return EntropySummary.from_statistics(
+            statistic_set,
+            max_iterations=max_iterations,
+            threshold=threshold,
+            name=self.name,
+            warm_start=seed,
+        )
+
+    def refit_appended(
+        self,
+        batch: Relation,
+        max_iterations: int = 30,
+        threshold: float = 1e-6,
+        warm_start: bool = True,
+    ) -> "EntropySummary":
+        """Delta refit for an *append*: statistics update additively.
+
+        Counting queries over disjoint row bags add, so the refreshed
+        statistic values are ``old value + count over the batch`` and
+        the marginals are ``old marginals (zero-padded under domain
+        growth) + batch marginals`` — the measurement pass touches only
+        the appended rows, O(batch) instead of O(shard).  Exactly
+        equivalent to ``refit(base ⊎ batch)``; the solve itself is the
+        same warm-started delta solve.
+        """
+        schema = batch.schema
+        if schema != self.schema:
+            require_widened_schema(self.schema, schema)
+        one_dim = []
+        for pos, counts in enumerate(self.statistic_set.one_dim):
+            padded = np.zeros(schema.domain(pos).size)
+            padded[: len(counts)] = counts
+            one_dim.append(padded + batch.marginal(pos))
+        multi_dim = []
+        for statistic in self.statistic_set.multi_dim:
+            predicate = Conjunction(
+                schema,
+                {pos: statistic.range_at(pos) for pos in statistic.positions},
+            )
+            multi_dim.append(
+                Statistic(
+                    predicate,
+                    statistic.value
+                    + batch.count_where(predicate.attribute_masks()),
+                )
+            )
+        statistic_set = StatisticSet(
+            schema,
+            self.statistic_set.total + batch.num_rows,
+            one_dim,
+            multi_dim,
+        )
+        seed = (
+            pad_parameters(self.params, self.schema, schema)
+            if warm_start
+            else None
+        )
+        return EntropySummary.from_statistics(
+            statistic_set,
+            max_iterations=max_iterations,
+            threshold=threshold,
+            name=self.name,
+            warm_start=seed,
+        )
+
+    def migrated(self, schema: Schema) -> "EntropySummary":
+        """Re-anchor this summary on a widened schema without re-solving.
+
+        Used when *another* shard's append grew a domain: this shard's
+        data did not change, so the old solution — padded with 0 for the
+        new values (a ZERO statistic's exact fitted value) — answers
+        every query identically.  Returns ``self`` when the schema is
+        already current.
+        """
+        if schema == self.schema:
+            return self
+        require_widened_schema(self.schema, schema)
+        one_dim = [
+            list(counts) + [0.0] * (schema.domain(pos).size - len(counts))
+            for pos, counts in enumerate(self.statistic_set.one_dim)
+        ]
+        multi_dim = [
+            Statistic(
+                Conjunction(
+                    schema,
+                    {
+                        pos: statistic.range_at(pos)
+                        for pos in statistic.positions
+                    },
+                ),
+                statistic.value,
+            )
+            for statistic in self.statistic_set.multi_dim
+        ]
+        statistic_set = StatisticSet(
+            schema, self.statistic_set.total, one_dim, multi_dim
+        )
+        polynomial = CompressedPolynomial(statistic_set)
+        params = pad_parameters(self.params, self.schema, schema)
+        return EntropySummary(
+            statistic_set, polynomial, params, self.report, self.name
+        )
 
     # ------------------------------------------------------------------
     # Querying
@@ -240,6 +399,51 @@ class EntropySummary:
             f"stats={self.statistic_set.num_statistics}, "
             f"terms={self.polynomial.num_terms})"
         )
+
+
+# ----------------------------------------------------------------------
+# Schema widening (domain growth during ingest)
+# ----------------------------------------------------------------------
+
+def require_widened_schema(old: Schema, new: Schema) -> None:
+    """Raise unless ``new`` is ``old`` with zero or more labels appended
+    to each domain (same attributes, same order, old labels kept as a
+    prefix) — the only schema change the delta-refresh path supports."""
+    if old.attribute_names != new.attribute_names:
+        raise ReproError(
+            "delta refresh cannot change the attribute set: summary has "
+            f"{old.attribute_names}, relation has {new.attribute_names}"
+        )
+    for pos, (old_domain, new_domain) in enumerate(
+        zip(old.domains, new.domains)
+    ):
+        if (
+            new_domain.size < old_domain.size
+            or new_domain.labels[: old_domain.size] != old_domain.labels
+        ):
+            raise ReproError(
+                f"attribute {old.attribute_names[pos]!r}: delta refresh "
+                "only supports appending new domain values; existing "
+                "labels must keep their indices"
+            )
+
+
+def pad_parameters(
+    params: ModelParameters, old: Schema, new: Schema
+) -> ModelParameters:
+    """Warm-start seed for a widened schema: each attribute's alpha
+    array is extended with zeros for the new domain values (the exact
+    fitted value while their observed count was 0); deltas are carried
+    over unchanged."""
+    if new == old:
+        return params.copy()
+    alphas = []
+    for pos, alpha in enumerate(params.alphas):
+        grown = new.domain(pos).size - alpha.shape[0]
+        alphas.append(
+            np.concatenate([alpha, np.zeros(grown)]) if grown else alpha.copy()
+        )
+    return ModelParameters(alphas, params.deltas.copy())
 
 
 # ----------------------------------------------------------------------

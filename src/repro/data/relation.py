@@ -146,6 +146,29 @@ class Relation:
             self.schema, [column[row_indices] for column in self._columns]
         )
 
+    @classmethod
+    def concat(cls, relations: Sequence["Relation"]) -> "Relation":
+        """Row-wise concatenation of same-schema relations (bag union).
+
+        The ingest layer's append primitive: base rows followed by the
+        batch rows, in order.
+        """
+        if not relations:
+            raise SchemaError("concat needs at least one relation")
+        schema = relations[0].schema
+        for relation in relations[1:]:
+            if relation.schema != schema:
+                raise SchemaError("concat needs relations over one schema")
+        return cls(
+            schema,
+            [
+                np.concatenate(
+                    [relation._columns[pos] for relation in relations]
+                )
+                for pos in range(schema.num_attributes)
+            ],
+        )
+
     def marginal(self, attr) -> np.ndarray:
         """1D value counts for an attribute (length = domain size)."""
         pos = self.schema.position(attr)

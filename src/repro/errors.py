@@ -36,3 +36,8 @@ class QueryError(ReproError):
 
 class BudgetError(ReproError):
     """A statistic-selection budget is invalid or cannot be met."""
+
+
+class IngestError(ReproError):
+    """An append batch cannot be applied to a summary (schema mismatch,
+    stale base relation, malformed rows, ...)."""

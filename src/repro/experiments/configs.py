@@ -7,6 +7,9 @@ Scale presets
     The paper's statistic budgets (B = 3000 split as in Fig. 4, Fig. 2
     budgets 500/1000/2000, 1% samples, 30 solver iterations) on
     generated datasets scaled to laptop size.
+``medium``
+    Halfway point used by the nightly benchmark run: big enough for
+    stable perf numbers, small enough for a scheduled CI runner.
 ``small``
     Everything shrunk ~4x for CI and quick runs.
 
@@ -80,6 +83,22 @@ PAPER = Scale(
     solver_iterations=30,
 )
 
+MEDIUM = Scale(
+    name="medium",
+    flights_rows=100_000,
+    particles_rows_per_snapshot=50_000,
+    budget_two_pairs=400,
+    budget_three_pairs=180,
+    fig2_budgets=(300, 600, 1200),
+    particles_pair_budget=75,
+    particles_sample_rows=5000,
+    num_heavy=70,
+    num_light=70,
+    num_null=140,
+    sample_fraction=0.01,
+    solver_iterations=20,
+)
+
 SMALL = Scale(
     name="small",
     flights_rows=50_000,
@@ -96,7 +115,7 @@ SMALL = Scale(
     solver_iterations=15,
 )
 
-_SCALES = {"paper": PAPER, "small": SMALL}
+_SCALES = {"paper": PAPER, "medium": MEDIUM, "small": SMALL}
 
 
 def active_scale() -> Scale:

@@ -1,0 +1,437 @@
+"""The append pipeline: route → delta-refit → publish.
+
+One :class:`IngestPipeline` owns the mutable ingest state of one
+summary: the per-shard base relations, the current fitted model, and
+(optionally) the :class:`~repro.api.store.SummaryStore` it publishes
+refreshed versions to.  Each :meth:`append`:
+
+1. **routes** the batch rows to shards — attribute-partitioned
+   summaries send each row to the shard owning its value range
+   (domain growth widens the top shard's range), round-robin summaries
+   continue the original cycle so appends keep shard sizes balanced
+   within one row;
+2. **delta-refits only the touched shards** — each shard's solver is
+   warm-started from its previous solution and reuses its bucket
+   structure (no statistic re-selection), so an append touching 1 of N
+   shards costs roughly 1/N of a full rebuild (see
+   ``benchmarks/bench_ingest.py``); untouched shards are reused as-is
+   (or exactly migrated when another shard grew a domain);
+3. **publishes** the refreshed shard set to the store as a new child
+   version carrying lineage metadata — ``parent_version``,
+   ``rows_appended``, ``shards_refit``, ``domain_growth`` — which the
+   serve layer's :class:`~repro.serve.watcher.StoreWatcher` picks up to
+   hot-reload live sessions.
+
+An empty batch is a no-op version-wise: nothing is refit, nothing is
+published.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sharding import ShardedSummary
+from repro.core.summary import EntropySummary
+from repro.data.relation import Relation
+from repro.errors import IngestError
+from repro.ingest.batch import AppendBatch
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one :meth:`IngestPipeline.append` did."""
+
+    summary: "EntropySummary | ShardedSummary"
+    rows_appended: int
+    shards_refit: tuple[int, ...]
+    domain_growth: bool
+    seconds: float
+    #: Store record of the published version; ``None`` when the append
+    #: was a no-op or the pipeline has no store attached.
+    record: object | None = None
+    lineage: dict | None = field(default=None)
+
+    @property
+    def published_version(self) -> int | None:
+        return None if self.record is None else self.record.version
+
+    def describe(self) -> str:
+        if self.rows_appended == 0:
+            return "ingest: empty batch, nothing to do"
+        shards = (
+            ", ".join(str(index) for index in self.shards_refit) or "-"
+        )
+        growth = ", domains grew" if self.domain_growth else ""
+        published = (
+            f", published v{self.published_version}"
+            if self.record is not None
+            else ""
+        )
+        return (
+            f"ingest: +{self.rows_appended} rows, refit shard(s) "
+            f"[{shards}] in {self.seconds:.2f}s{growth}{published}"
+        )
+
+
+class IngestPipeline:
+    """Incremental maintenance of one summary over an append-mostly feed.
+
+    Parameters
+    ----------
+    summary:
+        The currently fitted :class:`EntropySummary` or
+        :class:`ShardedSummary`.
+    relation:
+        The exact relation the summary was fitted from (row counts are
+        verified; a mismatch raises :class:`IngestError` instead of
+        silently drifting the statistics).
+    store / name:
+        When given, every non-empty append publishes the refreshed
+        summary to the store under ``name`` with lineage metadata.
+    max_iterations / threshold:
+        Solver knobs for the delta refits (the warm start usually
+        converges well inside the cap).
+    """
+
+    def __init__(
+        self,
+        summary: "EntropySummary | ShardedSummary",
+        relation: Relation,
+        *,
+        store=None,
+        name: str | None = None,
+        max_iterations: int = 30,
+        threshold: float = 1e-6,
+    ):
+        if relation.schema != summary.schema:
+            raise IngestError(
+                "base relation schema does not match the summary's "
+                f"({relation.schema!r} vs {summary.schema!r})"
+            )
+        if relation.num_rows != summary.total:
+            raise IngestError(
+                f"base relation has {relation.num_rows} rows but the summary "
+                f"was fitted over {summary.total}; pass the relation the "
+                "summary was built from (plus every batch already ingested)"
+            )
+        self.summary = summary
+        self.store = store
+        self.name = name if name is not None else summary.name
+        self.max_iterations = max_iterations
+        self.threshold = threshold
+        self.parent_version: int | None = None
+        if store is not None and store.has(self.name):
+            # Claim the latest stored version as lineage parent only if
+            # it plausibly *is* the supplied summary — a caller holding
+            # an older version (or a fresh unsaved fit) must not have
+            # its children mislabeled as refreshed from the latest.
+            # from_store() pins the loaded record's version exactly.
+            latest = store.record(self.name)
+            shards = (
+                summary.num_shards
+                if isinstance(summary, ShardedSummary)
+                else 0
+            )
+            if (
+                latest.total == summary.total
+                and latest.num_statistics == summary.num_statistics
+                and latest.shards == shards
+            ):
+                self.parent_version = latest.version
+        self._shard_relations = self._split(relation)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        name: str,
+        relation: Relation,
+        *,
+        version: int | None = None,
+        tag: str | None = None,
+        max_iterations: int = 30,
+        threshold: float = 1e-6,
+    ) -> "IngestPipeline":
+        """Pipeline over a stored summary (latest version by default)."""
+        record, summary = store.load_with_record(name, version=version, tag=tag)
+        pipeline = cls(
+            summary,
+            relation,
+            store=store,
+            name=name,
+            max_iterations=max_iterations,
+            threshold=threshold,
+        )
+        pipeline.parent_version = record.version
+        return pipeline
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        return self.summary.schema
+
+    @property
+    def relation(self) -> Relation:
+        """The full base relation, in an order :meth:`_split` inverts.
+
+        Round-robin shard sets interleave (shard ``i``'s rows occupy
+        global positions ``i, i+n, i+2n, ...`` — the same assignment
+        ``partition_relation`` uses), so saving this relation and
+        re-opening a pipeline on it (the ``repro ingest --write-data``
+        round trip) reconstructs each shard's rows *exactly*.  Ranged
+        shard sets concatenate; their split is by value, not position.
+        """
+        relations = self._shard_relations
+        if len(relations) == 1:
+            return relations[0]
+        if (
+            isinstance(self.summary, ShardedSummary)
+            and self.summary.owned_ranges is None
+        ):
+            total = sum(rel.num_rows for rel in relations)
+            count = len(relations)
+            columns = []
+            for pos in range(self.schema.num_attributes):
+                column = np.empty(total, dtype=np.int64)
+                for index, rel in enumerate(relations):
+                    column[index::count] = rel.column(pos)
+                columns.append(column)
+            return Relation(self.schema, columns)
+        columns = [
+            np.concatenate([rel.column(pos) for rel in relations])
+            for pos in range(self.schema.num_attributes)
+        ]
+        return Relation(self.schema, columns)
+
+    @property
+    def total(self) -> int:
+        return self.summary.total
+
+    # ------------------------------------------------------------------
+    def _split(self, relation: Relation) -> list[Relation]:
+        """Reconstruct the per-shard base relations of the summary."""
+        summary = self.summary
+        if isinstance(summary, EntropySummary):
+            return [relation]
+        if summary.owned_ranges is not None:
+            pos = summary.by_position
+            column = relation.column(pos)
+            shards = []
+            for low, high in summary.owned_ranges:
+                keep = (column >= low) & (column <= high)
+                shards.append(relation.sample_rows(np.flatnonzero(keep)))
+        else:
+            rows = np.arange(relation.num_rows)
+            shards = [
+                relation.sample_rows(rows[start :: summary.num_shards])
+                for start in range(summary.num_shards)
+            ]
+        round_robin = summary.owned_ranges is None
+        for index, (shard_relation, shard) in enumerate(
+            zip(shards, summary.shards)
+        ):
+            if shard_relation.num_rows != shard.total:
+                raise IngestError(
+                    f"shard {index}: base relation yields "
+                    f"{shard_relation.num_rows} rows but the shard model was "
+                    f"fitted over {shard.total}; the relation does not match "
+                    "the summary"
+                )
+            if round_robin:
+                # Positional splitting yields the right row *counts* for
+                # any row order — only the marginals can tell a reordered
+                # relation (whose rows would land in the wrong shards)
+                # from the one the shards were actually fitted on.
+                for pos, counts in enumerate(shard.statistic_set.one_dim):
+                    observed = shard_relation.marginal(pos).astype(float)
+                    if not np.array_equal(observed, np.asarray(counts)):
+                        raise IngestError(
+                            f"shard {index}: base relation rows do not match "
+                            "the shard model (marginals differ on attribute "
+                            f"{relation.schema.attribute_names[pos]!r}); "
+                            "round-robin ingest needs the relation in its "
+                            "original row order — e.g. the one written by "
+                            "`repro ingest --write-data`"
+                        )
+        return shards
+
+    def _normalize(self, batch) -> AppendBatch:
+        if isinstance(batch, AppendBatch):
+            return batch
+        if isinstance(batch, Relation):
+            return AppendBatch.from_relation(self.schema, batch)
+        return AppendBatch.from_rows(self.schema, batch)
+
+    @staticmethod
+    def _rebased(relation: Relation, schema) -> Relation:
+        """The same rows under a widened schema (indices are unchanged
+        by widening, so the columns carry over)."""
+        if relation.schema == schema:
+            return relation
+        return Relation(
+            schema,
+            [
+                relation.column(pos)
+                for pos in range(schema.num_attributes)
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    def route(self, batch: AppendBatch) -> list[np.ndarray]:
+        """Row indices of ``batch`` destined for each shard.
+
+        Attribute-partitioned summaries route by owned value range
+        (indices beyond the top range — domain growth — go to the top
+        shard, whose range is widened by :meth:`append`).  Round-robin
+        summaries *continue the cycle*: the batch row at global
+        position ``N + k`` goes to shard ``(N + k) % n``, exactly the
+        assignment ``partition_relation`` gave the original rows — so
+        shard sizes stay balanced within one row and the
+        :attr:`relation` round trip stays exact.
+        """
+        summary = self.summary
+        if isinstance(summary, EntropySummary):
+            return [np.arange(batch.num_rows)]
+        if summary.owned_ranges is not None:
+            assignment = summary.route_indices(
+                batch.relation.column(summary.by_position)
+            )
+        else:
+            assignment = (
+                self.total + np.arange(batch.num_rows)
+            ) % summary.num_shards
+        return [
+            np.flatnonzero(assignment == index)
+            for index in range(summary.num_shards)
+        ]
+
+    def append(self, batch, *, tag: str | None = None) -> IngestReport:
+        """Apply one append batch; returns what happened.
+
+        ``batch`` may be an :class:`AppendBatch`, a
+        :class:`~repro.data.relation.Relation` (re-indexed by label), or
+        an iterable of label rows.  Empty batches change nothing and
+        publish nothing.
+        """
+        started = time.perf_counter()
+        batch = self._normalize(batch)
+        if batch.num_rows == 0:
+            return IngestReport(
+                summary=self.summary,
+                rows_appended=0,
+                shards_refit=(),
+                domain_growth=False,
+                seconds=time.perf_counter() - started,
+            )
+        schema = batch.schema  # widened when the batch grew a domain
+        grew = batch.grows_domains
+        routed = self.route(batch)
+
+        summary = self.summary
+        if isinstance(summary, EntropySummary):
+            base = self._rebased(self._shard_relations[0], schema)
+            combined = Relation.concat([base, batch.relation])
+            refreshed: EntropySummary | ShardedSummary = summary.refit_appended(
+                batch.relation,
+                max_iterations=self.max_iterations,
+                threshold=self.threshold,
+            )
+            self._shard_relations = [combined]
+            refit_ids: tuple[int, ...] = (0,)
+        else:
+            replacements: dict[int, EntropySummary] = {}
+            new_relations = list(self._shard_relations)
+            touched = []
+            for index, rows in enumerate(routed):
+                base = self._rebased(new_relations[index], schema)
+                if rows.size == 0:
+                    new_relations[index] = base
+                    if grew:
+                        # Another shard grew a domain: re-anchor this
+                        # one on the widened schema without re-solving
+                        # (exact — new values carry parameter 0).
+                        replacements[index] = summary.shards[index].migrated(
+                            schema
+                        )
+                    continue
+                shard_batch = batch.relation.sample_rows(rows)
+                # Statistics update additively over the batch rows only
+                # — O(batch), not O(shard) — see refit_appended.
+                replacements[index] = summary.shards[index].refit_appended(
+                    shard_batch,
+                    max_iterations=self.max_iterations,
+                    threshold=self.threshold,
+                )
+                new_relations[index] = Relation.concat([base, shard_batch])
+                touched.append(index)
+            ranges = summary.owned_ranges
+            if ranges is not None and grew:
+                # The top shard owns everything above the old ranges.
+                pos = summary.by_position
+                top = schema.domain(pos).size - 1
+                low, high = ranges[-1]
+                ranges = [*ranges[:-1], (low, max(high, top))]
+            refreshed = summary.with_shards(replacements, ranges=ranges)
+            self._shard_relations = new_relations
+            refit_ids = tuple(touched)
+
+        self.summary = refreshed
+        lineage = {
+            "parent_version": self.parent_version,
+            "rows_appended": batch.num_rows,
+            "shards_refit": list(refit_ids),
+            "domain_growth": grew,
+        }
+        if batch.new_labels:
+            lineage["new_labels"] = {
+                attr: [str(label) for label in labels]
+                for attr, labels in batch.new_labels.items()
+            }
+        record = None
+        if self.store is not None:
+            record = self.store.save(
+                refreshed, self.name, tag=tag, lineage=lineage
+            )
+            self.parent_version = record.version
+        return IngestReport(
+            summary=refreshed,
+            rows_appended=batch.num_rows,
+            shards_refit=refit_ids,
+            domain_growth=grew,
+            seconds=time.perf_counter() - started,
+            record=record,
+            lineage=lineage,
+        )
+
+    def __repr__(self):
+        target = (
+            f", publishes {self.name!r}" if self.store is not None else ""
+        )
+        return (
+            f"IngestPipeline({self.summary!r}, n={self.total}{target})"
+        )
+
+
+def delta_refresh(
+    summary: "EntropySummary | ShardedSummary",
+    relation: Relation,
+    batch,
+    *,
+    max_iterations: int = 30,
+    threshold: float = 1e-6,
+) -> IngestReport:
+    """One-shot append without a pipeline (no store publishing)."""
+    pipeline = IngestPipeline(
+        summary,
+        relation,
+        max_iterations=max_iterations,
+        threshold=threshold,
+    )
+    return pipeline.append(batch)
+
+
+__all__ = ["AppendBatch", "IngestPipeline", "IngestReport", "delta_refresh"]

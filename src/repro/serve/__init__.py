@@ -14,6 +14,8 @@ same shared structures:
 * :class:`AdmissionController` / :class:`ServerSaturated` —
   backpressure with ``Retry-After`` hints;
 * :class:`ServeClient` / :class:`ServerBusy` — the synchronous client;
+* :class:`StoreWatcher` — auto hot-reload when the ingest pipeline
+  publishes a newer store version (``repro serve --watch``);
 * :func:`run_load` / :class:`LoadReport` — the closed-loop load
   generator behind ``repro bench-serve``.
 
@@ -31,6 +33,7 @@ from repro.serve.server import (
     SummaryServer,
     result_payload,
 )
+from repro.serve.watcher import StoreWatcher
 
 __all__ = [
     "AdmissionController",
@@ -42,6 +45,7 @@ __all__ = [
     "ServerBusy",
     "ServerSaturated",
     "ServerThread",
+    "StoreWatcher",
     "SummaryServer",
     "TTLCache",
     "result_payload",

@@ -49,6 +49,7 @@ from repro.query.results import QueryResult
 from repro.serve.admission import AdmissionController, ServerSaturated
 from repro.serve.cache import TTLCache
 from repro.serve.coalescer import Coalescer
+from repro.serve.watcher import StoreWatcher
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,11 @@ class ServeConfig:
     coalesce: bool = True
     #: Paper-style rounding of model estimates (--rounded).
     rounded: bool = False
+    #: Store-watcher poll interval in seconds (--watch); None disables.
+    #: When set on a store-backed server, newly published versions
+    #: (e.g. from ``repro ingest``) are hot-reloaded automatically —
+    #: the interval is the serving-staleness bound.
+    watch_interval: float | None = None
 
     def validated(self) -> "ServeConfig":
         """Range-check every knob; errors name the CLI flag at fault."""
@@ -89,6 +95,10 @@ class ServeConfig:
             (
                 self.cache_ttl is None or self.cache_ttl > 0,
                 "cache_ttl (--cache-ttl) must be > 0",
+            ),
+            (
+                self.watch_interval is None or self.watch_interval > 0,
+                "watch_interval (--watch) must be > 0",
             ),
             (1 <= self.port or self.port == 0, "port (--port) must be >= 0"),
         ]
@@ -214,6 +224,12 @@ class SummaryServer:
             max_inflight_per_client=self.config.max_inflight_per_client,
             flush_window=max(self.config.window_ms, 0.5) / 1e3,
         )
+        if self.config.watch_interval is not None and self._store is None:
+            raise ReproError(
+                "watching for new versions (--watch) needs a store-backed "
+                "server (start with --store/--name, not an in-memory summary)"
+            )
+        self.watcher: StoreWatcher | None = None
         self.coalescer: Coalescer | None = None
         self._server: asyncio.base_events.Server | None = None
         self.host = self.config.host
@@ -232,6 +248,16 @@ class SummaryServer:
         )
         explorer = Explorer.attach(summary, rounded=self.config.rounded)
         return _Generation(record.version, explorer, label=record.describe())
+
+    @property
+    def store(self) -> SummaryStore | None:
+        """The attached summary store (``None`` for in-memory servers)."""
+        return self._store
+
+    @property
+    def name(self) -> str | None:
+        """The served summary name inside the store, if store-backed."""
+        return self._name
 
     @property
     def version(self) -> int:
@@ -279,8 +305,14 @@ class SummaryServer:
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         self._started_at = time.monotonic()
+        if self.config.watch_interval is not None:
+            self.watcher = StoreWatcher(self, self.config.watch_interval)
+            self.watcher.start()
 
     async def stop(self) -> None:
+        if self.watcher is not None:
+            await self.watcher.stop()
+            self.watcher = None
         if self.coalescer is not None:
             await self.coalescer.close()
         if self._server is not None:
@@ -515,6 +547,9 @@ class SummaryServer:
             "admission": self.admission.stats(),
             "coalescer": (
                 self.coalescer.stats() if self.coalescer is not None else None
+            ),
+            "watcher": (
+                self.watcher.stats() if self.watcher is not None else None
             ),
         }
 

@@ -1,0 +1,116 @@
+"""The :class:`StoreWatcher`: staleness as a tunable, not a redeploy.
+
+The ingest pipeline publishes refreshed summary versions to the
+:class:`~repro.api.store.SummaryStore`; the watcher closes the loop on
+the serving side.  It periodically reads the store manifest (a cheap
+single-file read, run in an executor so the event loop never blocks)
+and, when a **newer** version of the served name appears, triggers the
+server's existing hot-reload path — in-flight requests stay pinned to
+the generation they started on, and the versioned result cache needs no
+sweep.
+
+The poll interval *is* the staleness bound: a server watching every
+``t`` seconds serves data at most ``t + refit`` seconds behind the
+ingest feed.  Enable with ``repro serve --watch SECONDS`` or
+``ServeConfig(watch_interval=...)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.errors import ReproError
+
+
+class StoreWatcher:
+    """Auto-reload a :class:`~repro.serve.server.SummaryServer` when its
+    store gains a newer version of the served summary name."""
+
+    def __init__(self, server, interval: float):
+        if interval <= 0:
+            raise ReproError(
+                f"watch_interval (--watch) must be > 0, got {interval}"
+            )
+        self.server = server
+        self.interval = float(interval)
+        self.checks = 0
+        self.reloads = 0
+        self.errors = 0
+        self.last_seen: int | None = None
+        self.last_check_at: float | None = None
+        #: Highest version this watcher has acted on.  Reloads trigger
+        #: only when the store moves *beyond* it — so an operator who
+        #: rolls back with ``reload(version=...)`` stays rolled back
+        #: until a genuinely new version is published, instead of the
+        #: watcher flapping the server straight back to the bad one.
+        self._high_water = int(server.version)
+        self._task: asyncio.Task | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Begin polling on the running event loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-store-watcher"
+            )
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    # -- polling -----------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval)
+            await self.check_once()
+
+    async def check_once(self) -> bool:
+        """One manifest poll; returns True when a reload was triggered.
+
+        Any failure — a store error (name deleted mid-poll), a
+        transient filesystem hiccup reading the manifest, a
+        half-written model file failing to load — is counted and
+        swallowed: the watcher must outlive transient trouble and keep
+        polling, or the server silently serves stale data forever.
+        """
+        loop = asyncio.get_running_loop()
+        self.checks += 1
+        self.last_check_at = time.monotonic()
+        try:
+            latest = await loop.run_in_executor(None, self._latest_version)
+            self.last_seen = latest
+            if latest > self._high_water:
+                await self.server._reload_in_executor()
+                self.reloads += 1
+                self._high_water = latest
+                return True
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            self.errors += 1
+        return False
+
+    def _latest_version(self) -> int:
+        return self.server.store.latest_version(self.server.name)
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "interval_s": self.interval,
+            "checks": self.checks,
+            "reloads": self.reloads,
+            "errors": self.errors,
+            "last_seen_version": self.last_seen,
+        }
+
+    def __repr__(self):
+        return (
+            f"StoreWatcher(every {self.interval:g}s, checks={self.checks}, "
+            f"reloads={self.reloads})"
+        )

@@ -1,0 +1,251 @@
+"""Tests for the perf-regression gate (``tools/check_bench.py``).
+
+The acceptance bar from the CI satellite: the gate must exit non-zero
+on a synthetically regressed report and stay green on faithful ones,
+with per-metric tolerance bands — speedups may regress at most 20%,
+error metrics may not grow above their baseline ceiling.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import check_bench  # noqa: E402  (tools/ is not a package)
+
+
+def _write_report(
+    directory: Path,
+    name: str,
+    metrics: dict,
+    *,
+    scale: str = "small",
+    passed: bool = True,
+) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{name}.json").write_text(
+        json.dumps(
+            {
+                "format_version": 1,
+                "name": name,
+                "scale": scale,
+                "metrics": metrics,
+                "passed": passed,
+            }
+        )
+    )
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    baseline = tmp_path / "baselines"
+    runs = tmp_path / "runs"
+    return baseline, runs
+
+
+def _compare(baseline: Path, runs: Path, *names: str) -> int:
+    return check_bench.main(
+        [
+            "compare",
+            "--baseline-dir", str(baseline),
+            "--runs-root", str(runs),
+            *names,
+        ]
+    )
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "metric, expected",
+        [
+            ("ingest_speedup", "higher"),
+            ("build_speedup", "higher"),
+            ("cache_hit_rate", "higher"),
+            ("mean_rel_error_delta", "lower"),
+            ("smoke_errors", "lower"),
+            ("batch_time_ratio", "lower"),
+            ("qps_coalesced", "info"),  # absolute throughput: not portable
+            ("p50_ms_coalesced", "info"),
+            ("rebuild_s", "info"),
+            ("num_shards", "info"),
+        ],
+    )
+    def test_classes(self, metric, expected):
+        assert check_bench.classify(metric) == expected
+
+
+class TestCompare:
+    def test_green_on_faithful_report(self, dirs):
+        baseline, runs = dirs
+        _write_report(baseline, "ingest", {"ingest_speedup": 3.5, "error_ratio": 1.2})
+        _write_report(runs / "run1", "ingest", {"ingest_speedup": 3.4, "error_ratio": 1.1})
+        assert _compare(baseline, runs) == 0
+
+    def test_speedup_may_regress_20_percent(self, dirs):
+        baseline, runs = dirs
+        _write_report(baseline, "ingest", {"ingest_speedup": 4.0})
+        _write_report(runs / "run1", "ingest", {"ingest_speedup": 3.21})
+        assert _compare(baseline, runs) == 0
+
+    def test_regressed_speedup_fails(self, dirs, capsys):
+        baseline, runs = dirs
+        _write_report(baseline, "ingest", {"ingest_speedup": 4.0})
+        _write_report(runs / "run1", "ingest", {"ingest_speedup": 3.1})
+        assert _compare(baseline, runs) == 1
+        assert "ingest_speedup regressed" in capsys.readouterr().err
+
+    def test_error_metric_may_not_grow(self, dirs, capsys):
+        baseline, runs = dirs
+        _write_report(baseline, "sharding", {"mean_rel_error_sharded": 0.10})
+        _write_report(runs / "run1", "sharding", {"mean_rel_error_sharded": 0.101})
+        assert _compare(baseline, runs) == 1
+        assert "grew" in capsys.readouterr().err
+
+    def test_partial_first_run_does_not_hide_metrics(self, dirs):
+        """A run that died mid-suite leaves a partial report; the
+        surviving runs must still supply every gated metric's median
+        instead of tripping a false 'metric missing' failure."""
+        baseline, runs = dirs
+        _write_report(baseline, "ingest", {"ingest_speedup": 4.0, "error_ratio": 1.2})
+        _write_report(runs / "run1", "ingest", {"warm_final_error": 0.01}, passed=False)
+        _write_report(runs / "run2", "ingest", {"ingest_speedup": 4.1, "error_ratio": 1.1})
+        _write_report(runs / "run3", "ingest", {"ingest_speedup": 3.9, "error_ratio": 1.0})
+        assert _compare(baseline, runs) == 0
+
+    def test_median_of_three_runs_absorbs_one_outlier(self, dirs):
+        baseline, runs = dirs
+        _write_report(baseline, "ingest", {"ingest_speedup": 4.0})
+        _write_report(runs / "run1", "ingest", {"ingest_speedup": 4.1})
+        _write_report(runs / "run2", "ingest", {"ingest_speedup": 1.0})  # noisy
+        _write_report(runs / "run3", "ingest", {"ingest_speedup": 3.9})
+        assert _compare(baseline, runs) == 0
+
+    def test_internal_thresholds_must_pass_majority(self, dirs, capsys):
+        baseline, runs = dirs
+        _write_report(baseline, "ingest", {"ingest_speedup": 4.0})
+        _write_report(runs / "run1", "ingest", {"ingest_speedup": 4.0}, passed=False)
+        _write_report(runs / "run2", "ingest", {"ingest_speedup": 4.0}, passed=False)
+        _write_report(runs / "run3", "ingest", {"ingest_speedup": 4.0})
+        assert _compare(baseline, runs) == 1
+        assert "internal thresholds" in capsys.readouterr().err
+
+    def test_missing_report_fails(self, dirs, capsys):
+        baseline, runs = dirs
+        _write_report(baseline, "ingest", {"ingest_speedup": 4.0})
+        (runs / "run1").mkdir(parents=True)
+        assert _compare(baseline, runs) == 1
+        assert "no BENCH_ingest.json" in capsys.readouterr().err
+
+    def test_missing_metric_fails(self, dirs, capsys):
+        baseline, runs = dirs
+        _write_report(baseline, "ingest", {"ingest_speedup": 4.0})
+        _write_report(runs / "run1", "ingest", {"error_ratio": 1.0})
+        assert _compare(baseline, runs) == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_scale_mismatch_fails(self, dirs, capsys):
+        baseline, runs = dirs
+        _write_report(baseline, "ingest", {"ingest_speedup": 4.0}, scale="small")
+        _write_report(runs / "run1", "ingest", {"ingest_speedup": 4.0}, scale="paper")
+        assert _compare(baseline, runs) == 1
+        assert "not comparable" in capsys.readouterr().err
+
+    def test_info_metrics_never_gate(self, dirs):
+        baseline, runs = dirs
+        _write_report(baseline, "serve", {"qps_coalesced": 5000.0, "speedup": 3.0})
+        # Throughput collapsed (slow runner) but the ratio held.
+        _write_report(runs / "run1", "serve", {"qps_coalesced": 500.0, "speedup": 2.9})
+        assert _compare(baseline, runs) == 0
+
+    def test_unknown_requested_name_fails(self, dirs, capsys):
+        baseline, runs = dirs
+        _write_report(baseline, "ingest", {"ingest_speedup": 4.0})
+        assert _compare(baseline, runs, "nonexistent") == 1
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_empty_baseline_dir_fails(self, dirs, capsys):
+        baseline, runs = dirs
+        baseline.mkdir()
+        _write_report(runs / "run1", "ingest", {"ingest_speedup": 4.0})
+        assert _compare(baseline, runs) == 1
+
+
+class TestUpdate:
+    def test_update_pads_gated_metrics(self, dirs):
+        baseline, runs = dirs
+        _write_report(
+            runs / "run1",
+            "ingest",
+            {"ingest_speedup": 4.0, "error_ratio": 1.0, "rebuild_s": 2.0},
+        )
+        code = check_bench.main(
+            [
+                "update",
+                "--baseline-dir", str(baseline),
+                "--runs-root", str(runs),
+            ]
+        )
+        assert code == 0
+        document = json.loads((baseline / "BENCH_ingest.json").read_text())
+        metrics = document["metrics"]
+        assert metrics["ingest_speedup"] == pytest.approx(4.0 * 0.85)
+        assert metrics["error_ratio"] == pytest.approx(1.25)
+        assert metrics["rebuild_s"] == 2.0  # informational: stored as-is
+        # A fresh report identical to the measurements passes the gate.
+        assert _compare(baseline, runs) == 0
+
+    def test_update_with_no_reports_fails(self, dirs, capsys):
+        baseline, runs = dirs
+        runs.mkdir()
+        code = check_bench.main(
+            ["update", "--baseline-dir", str(baseline), "--runs-root", str(runs)]
+        )
+        assert code == 1
+
+
+class TestRun:
+    def _run(self, tmp_path, body: str, repeat: int = 1) -> int:
+        test_file = tmp_path / "test_tiny.py"
+        test_file.write_text(body)
+        return check_bench.main(
+            [
+                "run",
+                "--repeat", str(repeat),
+                "--out-dir", str(tmp_path / "out"),
+                "--",
+                "-q", str(test_file), "-p", "no:cacheprovider",
+            ]
+        )
+
+    def test_passing_suite(self, tmp_path):
+        assert self._run(tmp_path, "def test_ok():\n    assert True\n") == 0
+
+    def test_failing_suite(self, tmp_path):
+        assert self._run(tmp_path, "def test_no():\n    assert False\n") == 1
+
+    def test_run_scrubs_stale_reports(self, tmp_path):
+        """A report left by a previous invocation must not survive into
+        a new run — a crashed suite has to show up as 'no report', not
+        be gated against last time's numbers."""
+        run_dir = tmp_path / "out" / "run1"
+        _write_report(run_dir, "stale", {"speedup": 9.9})
+        assert self._run(tmp_path, "def test_ok():\n    assert True\n") == 0
+        assert not (run_dir / "BENCH_stale.json").exists()
+
+    def test_run_requires_pytest_args(self):
+        with pytest.raises(SystemExit, match="pytest arguments"):
+            check_bench.main(["run", "--repeat", "1"])
+
+    def test_bench_dir_redirect(self, tmp_path, monkeypatch):
+        """REPRO_BENCH_DIR steers the emitter into the run directory."""
+        from benchmarks._emit import BenchReport
+
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "redirect"))
+        report = BenchReport("redirect-check")
+        report.record({"x": 1.0})
+        assert (tmp_path / "redirect" / "BENCH_redirect-check.json").exists()

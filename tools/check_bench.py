@@ -1,0 +1,378 @@
+"""Perf-regression gate over the ``BENCH_*.json`` reports.
+
+Three subcommands — the same entry points CI and local developers use
+(``make bench-all`` / ``make check-bench``):
+
+``run``
+    Execute a pytest benchmark suite ``--repeat`` times (default 3),
+    redirecting each repeat's ``BENCH_*.json`` into its own
+    ``<out-dir>/runN/`` directory via ``REPRO_BENCH_DIR``.  Exits zero
+    when a **majority** of repeats pass — wall-clock comparisons on
+    noisy shared runners get median-of-3 robustness instead of
+    ``continue-on-error``.
+
+``compare``
+    Gate fresh reports against the checked-in baselines in
+    ``benchmarks/baselines/``.  Metrics are taken as the **median
+    across run directories**, then checked with per-class tolerance
+    bands:
+
+    * *higher-is-better* metrics (name contains ``speedup`` or
+      ``hit_rate``) may regress at most 20% below baseline;
+    * *lower-is-better* metrics (name contains ``error``/``err`` or
+      ends in ``_ratio``) may **not grow** above baseline;
+    * everything else (timings, counts, configuration echoes) is
+      informational.
+
+    Each run's own ``passed`` flag (the suite's internal thresholds)
+    must also hold for a majority of runs, and the report scale must
+    match the baseline scale.
+
+``update``
+    Rewrite the baselines from fresh run medians, with headroom baked
+    in (speedup-class values stored at 85% of measured, error-class at
+    125%), so day-to-day machine noise does not trip the gate while a
+    real regression still does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+
+#: Fraction a higher-is-better metric may fall below its baseline.
+SPEEDUP_BAND = 0.20
+#: Headroom factors ``update`` bakes into the stored baselines.
+SPEEDUP_HEADROOM = 0.85
+ERROR_HEADROOM = 1.25
+
+# Only machine-portable metrics gate: speedups and hit rates are
+# ratios of two measurements on the same box, error metrics are data
+# properties.  Absolute throughput/latency (qps, *_ms, *_s) varies with
+# the runner and stays informational.
+_HIGHER_MARKERS = ("speedup", "hit_rate")
+_LOWER_MARKERS = ("error", "err")
+
+
+def classify(metric: str) -> str:
+    """``higher`` / ``lower`` / ``info`` gating class of one metric."""
+    name = metric.lower()
+    if any(marker in name for marker in _HIGHER_MARKERS):
+        return "higher"
+    if any(marker in name for marker in _LOWER_MARKERS):
+        return "lower"
+    if name.endswith("_ratio"):
+        return "lower"
+    return "info"
+
+
+def _load_report(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"check_bench: cannot read {path}: {error}")
+
+
+def _run_dirs(args) -> list[Path]:
+    if args.runs:
+        return [Path(item) for item in args.runs]
+    root = Path(args.runs_root)
+    dirs = sorted(path for path in root.glob("run*") if path.is_dir())
+    if dirs:
+        return dirs
+    return [root]
+
+
+def _median_reports(name: str, run_dirs: list[Path]) -> tuple[dict, list[dict]]:
+    """Median metrics (and the raw reports) of one suite across runs."""
+    reports = []
+    for run_dir in run_dirs:
+        path = run_dir / f"BENCH_{name}.json"
+        if path.exists():
+            reports.append(_load_report(path))
+    if not reports:
+        return {}, []
+    # Union of keys across runs: a run that died mid-suite leaves a
+    # partial report, and the surviving runs must still supply every
+    # metric's median (that is the point of running more than once).
+    keys: set = set()
+    for report in reports:
+        keys.update(report.get("metrics", {}))
+    merged: dict = {}
+    for key in keys:
+        values = [
+            report["metrics"][key]
+            for report in reports
+            if key in report.get("metrics", {})
+            and isinstance(report["metrics"][key], (int, float))
+        ]
+        if values:
+            merged[key] = statistics.median(values)
+    return merged, reports
+
+
+# ----------------------------------------------------------------------
+# run
+# ----------------------------------------------------------------------
+
+def cmd_run(args) -> int:
+    if args.repeat < 1:
+        raise SystemExit("check_bench run: --repeat must be >= 1")
+    out_dir = Path(args.out_dir)
+    passes = 0
+    for index in range(1, args.repeat + 1):
+        run_dir = out_dir / f"run{index}"
+        run_dir.mkdir(parents=True, exist_ok=True)
+        # Drop reports from a previous invocation: a suite that crashes
+        # before writing must show up as "no report produced", not be
+        # silently gated against last time's numbers.
+        for stale in run_dir.glob("BENCH_*.json"):
+            stale.unlink()
+        env = dict(os.environ, REPRO_BENCH_DIR=str(run_dir))
+        command = [sys.executable, "-m", "pytest", *args.pytest_args]
+        print(
+            f"check_bench: run {index}/{args.repeat}: {' '.join(command)} "
+            f"(reports -> {run_dir})",
+            flush=True,
+        )
+        result = subprocess.run(command, env=env)
+        if result.returncode == 0:
+            passes += 1
+        else:
+            print(
+                f"check_bench: run {index} failed (exit {result.returncode})",
+                flush=True,
+            )
+    majority = passes * 2 > args.repeat
+    print(
+        f"check_bench: {passes}/{args.repeat} runs passed "
+        f"({'majority reached' if majority else 'majority NOT reached'})"
+    )
+    return 0 if majority else 1
+
+
+# ----------------------------------------------------------------------
+# compare
+# ----------------------------------------------------------------------
+
+def _check_suite(
+    name: str, baseline: dict, run_dirs: list[Path]
+) -> list[str]:
+    """Violations of one suite's baselines; empty list = green."""
+    current, reports = _median_reports(name, run_dirs)
+    if not reports:
+        return [
+            f"{name}: no BENCH_{name}.json produced in "
+            f"{', '.join(str(d) for d in run_dirs)}"
+        ]
+    violations = []
+    scale = baseline.get("scale")
+    mismatched = {
+        report.get("scale") for report in reports
+    } - {scale}
+    if scale is not None and mismatched:
+        violations.append(
+            f"{name}: reports ran at scale {sorted(mismatched)}, "
+            f"baseline is {scale!r} — not comparable"
+        )
+    own_passes = sum(1 for report in reports if report.get("passed"))
+    if own_passes * 2 <= len(reports):
+        violations.append(
+            f"{name}: internal thresholds failed in "
+            f"{len(reports) - own_passes}/{len(reports)} runs"
+        )
+    for metric, bound in sorted(baseline.get("metrics", {}).items()):
+        if not isinstance(bound, (int, float)):
+            continue
+        kind = classify(metric)
+        if kind == "info":
+            continue
+        actual = current.get(metric)
+        if actual is None:
+            violations.append(f"{name}: metric {metric!r} missing from reports")
+            continue
+        if kind == "higher":
+            floor = bound * (1.0 - SPEEDUP_BAND)
+            if actual < floor:
+                violations.append(
+                    f"{name}: {metric} regressed to {actual:g} "
+                    f"(baseline {bound:g}, floor {floor:g})"
+                )
+        else:
+            if actual > bound:
+                violations.append(
+                    f"{name}: {metric} grew to {actual:g} "
+                    f"(baseline ceiling {bound:g})"
+                )
+    return violations
+
+
+def cmd_compare(args) -> int:
+    baseline_dir = Path(args.baseline_dir)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if args.names:
+        wanted = set(args.names)
+        baselines = [
+            path
+            for path in baselines
+            if path.stem.removeprefix("BENCH_") in wanted
+        ]
+        missing = wanted - {
+            path.stem.removeprefix("BENCH_") for path in baselines
+        }
+        if missing:
+            print(
+                f"check_bench: no baseline for {sorted(missing)} in "
+                f"{baseline_dir}",
+                file=sys.stderr,
+            )
+            return 1
+    if not baselines:
+        print(
+            f"check_bench: no baselines found in {baseline_dir}",
+            file=sys.stderr,
+        )
+        return 1
+    run_dirs = _run_dirs(args)
+    all_violations = []
+    for path in baselines:
+        name = path.stem.removeprefix("BENCH_")
+        baseline = _load_report(path)
+        violations = _check_suite(name, baseline, run_dirs)
+        status = "OK" if not violations else "FAIL"
+        print(f"check_bench: {name}: {status}")
+        all_violations.extend(violations)
+    if all_violations:
+        print("\ncheck_bench: perf regression gate FAILED:", file=sys.stderr)
+        for violation in all_violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    print(f"check_bench: all {len(baselines)} suites within tolerance")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# update
+# ----------------------------------------------------------------------
+
+def cmd_update(args) -> int:
+    baseline_dir = Path(args.baseline_dir)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    run_dirs = _run_dirs(args)
+    names = set()
+    for run_dir in run_dirs:
+        for path in run_dir.glob("BENCH_*.json"):
+            names.add(path.stem.removeprefix("BENCH_"))
+    if args.names:
+        names &= set(args.names)
+    if not names:
+        print("check_bench: no reports found to update from", file=sys.stderr)
+        return 1
+    for name in sorted(names):
+        current, reports = _median_reports(name, run_dirs)
+        padded = {}
+        for metric, value in sorted(current.items()):
+            kind = classify(metric)
+            if kind == "higher":
+                padded[metric] = round(value * SPEEDUP_HEADROOM, 4)
+            elif kind == "lower":
+                padded[metric] = round(value * ERROR_HEADROOM, 5)
+            else:
+                padded[metric] = value
+        document = {
+            "format_version": reports[0].get("format_version", 1),
+            "name": name,
+            "scale": reports[0].get("scale"),
+            "source": (
+                "tools/check_bench.py update — medians with headroom "
+                f"(higher-is-better x{SPEEDUP_HEADROOM}, "
+                f"lower-is-better x{ERROR_HEADROOM})"
+            ),
+            "metrics": padded,
+        }
+        path = baseline_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"check_bench: wrote {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="check_bench",
+        description="run benchmark suites median-of-N and gate BENCH_*.json "
+        "reports against checked-in baselines",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="run a pytest suite N times, pass on majority"
+    )
+    run.add_argument("--repeat", type=int, default=3)
+    run.add_argument(
+        "--out-dir",
+        default="benchmarks/results/perf",
+        help="reports of run N land in <out-dir>/runN/",
+    )
+    run.add_argument(
+        "pytest_args",
+        nargs=argparse.REMAINDER,
+        help="arguments after -- go to pytest verbatim",
+    )
+
+    def add_compare_args(command):
+        command.add_argument(
+            "--baseline-dir", default=str(DEFAULT_BASELINE_DIR)
+        )
+        command.add_argument(
+            "--runs",
+            nargs="+",
+            help="explicit report directories (default: --runs-root run*/)",
+        )
+        command.add_argument(
+            "--runs-root",
+            default="benchmarks/results/perf",
+            help="directory whose run*/ subdirectories hold the reports "
+            "(falls back to the directory itself)",
+        )
+        command.add_argument(
+            "names", nargs="*", help="suite names to gate (default: all)"
+        )
+
+    compare = commands.add_parser(
+        "compare", help="gate fresh reports against the baselines"
+    )
+    add_compare_args(compare)
+
+    update = commands.add_parser(
+        "update", help="rewrite baselines from fresh run medians + headroom"
+    )
+    add_compare_args(update)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.command == "run":
+        # argparse.REMAINDER keeps a leading "--" separator; drop it.
+        if args.pytest_args and args.pytest_args[0] == "--":
+            args.pytest_args = args.pytest_args[1:]
+        if not args.pytest_args:
+            raise SystemExit("check_bench run: give pytest arguments after --")
+        return cmd_run(args)
+    if args.command == "compare":
+        return cmd_compare(args)
+    return cmd_update(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
