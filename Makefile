@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke bench-all check-bench serve-smoke lint install docs-check
+.PHONY: test bench-smoke bench-all check-bench serve-smoke lint install docs-check analyze
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -55,6 +55,22 @@ lint:
 # docs/*.md must compile, every relative link must resolve.
 docs-check:
 	$(PYTHON) tools/check_docs.py
+
+# Repo-specific static analysis (docs/analysis.md has the rule
+# catalogue).  Three passes, in cost order:
+#   1. repro-analyze over src/ (always available — stdlib only), with
+#      the JSON report written for the CI artifact;
+#   2. the serve/ingest suites re-run under the lock-order watchdog;
+#   3. mypy over plan/ + api/ when installed (the CI analyze job
+#      installs it; this offline image may not have it).
+analyze:
+	$(PYTHON) -m tools.analyze src --out analyze_report.json
+	REPRO_LOCKORDER=1 $(PYTHON) -m pytest -q tests/test_serve.py tests/test_ingest.py
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/plan src/repro/api; \
+	else \
+		echo "mypy not installed; skipping (the CI analyze job runs it)"; \
+	fi
 
 # Editable install.  This offline image lacks `wheel`, so PEP 660
 # editable builds fail; setup.py develop reads the same pyproject

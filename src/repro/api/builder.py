@@ -28,7 +28,6 @@ fitted in parallel worker processes.
 from __future__ import annotations
 
 import math
-from typing import Sequence
 
 from repro.core.sharding import ShardedSummary, partition_relation
 from repro.core.summary import EntropySummary

@@ -85,6 +85,17 @@ class _LRUCache:
             self.hits = 0
             self.misses = 0
 
+    def stats(self) -> dict:
+        """Size/hit/miss snapshot taken under the lock — reading the
+        fields piecemeal from another thread can tear (a size from
+        after an insert with hit counts from before it)."""
+        with self._lock:
+            return {
+                "size": len(self.data),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
 
 class _InFlight:
     """One in-progress execution other threads can wait on."""
@@ -227,21 +238,9 @@ class Explorer:
 
     def cache_info(self) -> dict:
         return {
-            "asts": {
-                "size": len(self._asts.data),
-                "hits": self._asts.hits,
-                "misses": self._asts.misses,
-            },
-            "predicates": {
-                "size": len(self._predicates.data),
-                "hits": self._predicates.hits,
-                "misses": self._predicates.misses,
-            },
-            "results": {
-                "size": len(self._results.data),
-                "hits": self._results.hits,
-                "misses": self._results.misses,
-            },
+            "asts": self._asts.stats(),
+            "predicates": self._predicates.stats(),
+            "results": self._results.stats(),
         }
 
     def clear_cache(self) -> None:

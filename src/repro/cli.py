@@ -411,7 +411,9 @@ def _read_batch(source: str) -> list[str]:
             with open(source, "r", encoding="utf-8") as handle:
                 text = handle.read()
         except OSError as error:
-            raise ReproError(f"cannot read query file {source!r}: {error}")
+            raise ReproError(
+                f"cannot read query file {source!r}: {error}"
+            ) from error
     queries = []
     for line in text.splitlines():
         line = line.strip()

@@ -27,6 +27,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.data.schema import Schema
+from repro.errors import QueryError, ReproError
 from repro.query.ast import Condition
 from repro.query.linear import condition_mask
 from repro.stats.predicates import (
@@ -104,7 +105,7 @@ class CanonicalPredicate:
         short-circuit them before execution.
         """
         if self.is_empty:
-            raise ValueError(
+            raise QueryError(
                 "a contradictory predicate has no executable conjunction; "
                 f"short-circuit it ({self.empty_reason or 'empty selection'})"
             )
@@ -201,7 +202,7 @@ def canonicalize_conjunction(predicate: Conjunction | None, schema=None):
     """
     if predicate is None:
         if schema is None:
-            raise ValueError("need a schema to canonicalize None")
+            raise ReproError("need a schema to canonicalize None")
         return CanonicalPredicate(schema)
     if predicate.is_trivial():
         return CanonicalPredicate(predicate.schema)

@@ -83,8 +83,12 @@ class AdmissionController:
                 seconds, 0.0
             )
 
-    def _retry_after(self, backlog: int) -> float:
-        """Seconds until the backlog plausibly drains (>= one window)."""
+    def _retry_after(self, backlog: int) -> float:  # repro: holds[_lock]
+        """Seconds until the backlog plausibly drains (>= one window).
+
+        Both callers sit inside :meth:`acquire`'s ``with self._lock``
+        block — the EWMA read here is guarded by that caller-held lock.
+        """
         per_request = max(self.flush_window, self._service_ewma)
         return round(max(per_request, backlog * per_request), 4)
 

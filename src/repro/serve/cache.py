@@ -90,20 +90,34 @@ class TTLCache:
 
     @property
     def hit_rate(self) -> float:
-        """Hits / lookups since construction (0.0 when never queried)."""
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
+        """Hits / lookups since construction (0.0 when never queried).
+
+        Snapshotted under the lock: reading ``hits`` and ``misses``
+        separately while executor threads count lookups can observe a
+        torn pair (hits from after a lookup, misses from before it) and
+        report a rate above 1.0.
+        """
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        lookups = hits + misses
+        return hits / lookups if lookups else 0.0
 
     def stats(self) -> dict:
+        """Counter snapshot — one consistent view taken under the lock."""
+        with self._lock:
+            size = len(self._data)
+            hits, misses = self.hits, self.misses
+            evictions, expirations = self.evictions, self.expirations
+        lookups = hits + misses
         return {
-            "size": len(self),
+            "size": size,
             "maxsize": self.maxsize,
             "ttl": self.ttl,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "expirations": self.expirations,
-            "hit_rate": round(self.hit_rate, 4),
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "expirations": expirations,
+            "hit_rate": round(hits / lookups if lookups else 0.0, 4),
         }
 
     def __repr__(self):

@@ -26,6 +26,8 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable, Hashable, Sequence
 
+from repro.errors import ReproError
+
 
 class Coalescer:
     """Micro-batching queue with same-key dedup.
@@ -44,9 +46,9 @@ class Coalescer:
         max_batch: int = 64,
     ):
         if window < 0:
-            raise ValueError(f"window must be >= 0, got {window}")
+            raise ReproError(f"window must be >= 0, got {window}")
         if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+            raise ReproError(f"max_batch must be >= 1, got {max_batch}")
         self.run_batch = run_batch
         self.window = float(window)
         self.max_batch = int(max_batch)
@@ -71,7 +73,7 @@ class Coalescer:
         execution and therefore one result object.
         """
         if self._closed:
-            raise RuntimeError("coalescer is closed")
+            raise ReproError("coalescer is closed")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self.submitted += 1

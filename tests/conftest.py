@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import os
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
+
+# tools/ lives next to src/ at the repo root; the lock-order watchdog
+# (tools.analyze.lockorder) is opt-in and only imported when enabled.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
 
 from repro.data.domain import integer_domain
 from repro.data.relation import Relation
@@ -19,6 +29,48 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+# ----------------------------------------------------------------------
+# Lock-order watchdog (opt-in: --lockorder or REPRO_LOCKORDER=1)
+# ----------------------------------------------------------------------
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--lockorder",
+        action="store_true",
+        default=False,
+        help="instrument threading.Lock/RLock and fail the session on "
+        "inconsistent lock-acquisition order (see tools/analyze/lockorder.py)",
+    )
+
+
+def _lockorder_enabled(config) -> bool:
+    if config.getoption("--lockorder"):
+        return True
+    return os.environ.get("REPRO_LOCKORDER", "") not in ("", "0")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _lockorder_watchdog(request):
+    """Record lock-acquisition order across the whole session when enabled.
+
+    Inconsistent ordering (a cycle in the waits-for graph between lock
+    creation sites) is a latent deadlock even if no run has hung yet;
+    the watchdog turns it into a loud session failure.
+    """
+    if not _lockorder_enabled(request.config):
+        yield None
+        return
+    from tools.analyze.lockorder import LockOrderWatchdog
+
+    watchdog = LockOrderWatchdog()
+    watchdog.install()
+    try:
+        yield watchdog
+    finally:
+        watchdog.uninstall()
+        watchdog.assert_no_cycles()
 
 
 # ----------------------------------------------------------------------

@@ -252,6 +252,18 @@ class TestExplorer:
         query = explorer.query().group_by("state").order("desc")
         assert query.run() is query.run()
 
+    def test_cache_info_sections_are_locked_snapshots(self, summary):
+        # Regression: cache_info() used to read size/hits/misses field
+        # by field without the cache lock; each section now comes from
+        # one _LRUCache.stats() snapshot.
+        explorer = Explorer.attach(summary)
+        explorer.sql("SELECT COUNT(*) FROM R WHERE state = 'CA'")
+        info = explorer.cache_info()
+        assert set(info) == {"asts", "predicates", "results"}
+        for section in info.values():
+            assert set(section) == {"size", "hits", "misses"}
+            assert all(value >= 0 for value in section.values())
+
     def test_cache_disabled(self, summary):
         explorer = Explorer.attach(summary, cache_size=0)
         sql = "SELECT COUNT(*) FROM R WHERE state = 'CA'"

@@ -4,9 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.flights import (
-    NUM_DATES,
     STATE_CODES,
-    FlightsDataset,
     flights_restricted,
     generate_flights,
 )

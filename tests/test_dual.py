@@ -6,7 +6,6 @@ import pytest
 from repro.core.dual import dual_gradient, dual_value, solve_dual_scipy
 from repro.core.polynomial import CompressedPolynomial, initial_parameters
 from repro.core.solver import MirrorDescentSolver, solve_statistics
-from repro.core.variables import ModelParameters
 
 
 class TestDualValue:

@@ -92,7 +92,6 @@ class TestDegenerateModels:
         # n = 10 but attribute a claims all mass on value 0 while the 2D
         # statistic claims 10 rows at a = 1: infeasible.
         from repro.stats.statistic import range_statistic_2d
-        from repro.stats.predicates import Conjunction
 
         statistic_set = StatisticSet(
             schema,

@@ -16,7 +16,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.api import Explorer, SummaryBuilder, SummaryStore
+from repro.api import SummaryBuilder, SummaryStore
 from repro.cli import main
 from repro.core.summary import EntropySummary, pad_parameters
 from repro.data.domain import Domain, integer_domain

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.binning import Bucket, EquiWidthBinner
+from repro.data.binning import EquiWidthBinner
 from repro.data.domain import Domain, integer_domain
 from repro.data.relation import Relation
 from repro.data.schema import Schema

@@ -455,7 +455,7 @@ class TestPlannerDirect:
         canonical = canonicalize_conditions(
             schema, [Condition("hour", ">=", [5]), Condition("hour", "<=", [2])]
         )
-        with pytest.raises(ValueError, match="contradictory"):
+        with pytest.raises(QueryError, match="contradictory"):
             canonical.to_conjunction()
 
     def test_compile_still_strict_for_contradictions(self, relation):

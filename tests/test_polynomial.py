@@ -20,7 +20,7 @@ from repro.core.polynomial import (
 from repro.core.variables import ModelParameters
 from repro.errors import SolverError
 
-from tests.conftest import parameters_for, relations_with_stats
+from tests.conftest import relations_with_stats
 
 
 class TestProductExcluding:

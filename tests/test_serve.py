@@ -146,6 +146,40 @@ class TestTTLCache:
         assert stats["ttl"] == 9.0
         assert set(stats) >= {"hits", "misses", "evictions", "expirations"}
 
+    def test_stats_snapshot_consistent_under_concurrent_mutation(self):
+        # Regression for a torn read: hit_rate and stats() used to read
+        # hits/misses outside the lock, so a snapshot taken mid-lookup
+        # could pair a new hits value with an old misses value (rates
+        # above 1.0, hits+misses short of the lookup count).
+        cache = TTLCache(maxsize=16, ttl=None)
+        stop = threading.Event()
+        lookups_done = []
+
+        def mutate():
+            count = 0
+            while not stop.is_set():
+                cache.put(count % 32, count)
+                cache.get((count * 7) % 32)
+                count += 1
+            lookups_done.append(count)
+
+        threads = [threading.Thread(target=mutate) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(300):
+                stats = cache.stats()
+                assert 0.0 <= stats["hit_rate"] <= 1.0
+                assert 0.0 <= cache.hit_rate <= 1.0
+                assert stats["size"] <= cache.maxsize
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        final = cache.stats()
+        # Quiesced: the snapshot must account for every lookup exactly.
+        assert final["hits"] + final["misses"] == sum(lookups_done)
+
 
 # ----------------------------------------------------------------------
 # AdmissionController
@@ -302,9 +336,9 @@ class TestCoalescer:
         async def run_batch(items):  # pragma: no cover - never runs
             return items
 
-        with pytest.raises(ValueError, match="window"):
+        with pytest.raises(ReproError, match="window"):
             Coalescer(run_batch, window=-1)
-        with pytest.raises(ValueError, match="max_batch"):
+        with pytest.raises(ReproError, match="max_batch"):
             Coalescer(run_batch, max_batch=0)
 
 

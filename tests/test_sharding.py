@@ -24,7 +24,6 @@ from hypothesis import strategies as st
 from repro.api import Explorer, SummaryBuilder, SummaryStore
 from repro.core.sharding import (
     MergedEstimate,
-    Partition,
     ShardedSummary,
     load_model,
     partition_relation,

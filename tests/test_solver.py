@@ -12,7 +12,6 @@ from hypothesis import given, settings
 from repro.core.naive import NaivePolynomial
 from repro.core.polynomial import CompressedPolynomial
 from repro.core.solver import MirrorDescentSolver, solve_statistics
-from repro.core.variables import ModelParameters
 from repro.errors import SolverError
 
 from tests.conftest import relations_with_stats

@@ -96,7 +96,7 @@ class TestStatisticSet:
 
     def test_overlap_on_other_pair_allowed(self, schema, relation):
         # Statistics over different attribute sets may overlap freely.
-        first = range_statistic_2d(schema, "a", (0, 1), "b", (0, 1), 3.0)
+        range_statistic_2d(schema, "a", (0, 1), "b", (0, 1), 3.0)
         schema3 = Schema(
             [integer_domain("a", 3), integer_domain("b", 4), integer_domain("c", 2)]
         )

@@ -1,0 +1,2 @@
+"""Repo tooling: benchmark gating (check_bench), docs rot checks
+(check_docs), and the repro-analyze static-analysis pass (analyze/)."""

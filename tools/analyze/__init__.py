@@ -1,0 +1,30 @@
+"""repro-analyze: repo-specific static analysis for the repro codebase.
+
+Generic linters gate syntax; this package gates the *invariants* the
+concurrency-heavy layers rely on — no blocking calls on the serve event
+loop, lock-guarded fields only touched under their lock, deprecated
+builders never reintroduced, process-pool payloads picklable, raises
+drawn from the ``repro.errors`` hierarchy, threads with a named
+join/shutdown path.
+
+Entry points:
+
+* ``python -m tools.analyze [paths]`` — the CLI (``make analyze``);
+* :func:`tools.analyze.core.analyze_paths` — programmatic API;
+* :mod:`tools.analyze.lockorder` — the test-time lock-order watchdog
+  (opt-in via ``REPRO_LOCKORDER=1`` or ``pytest --lockorder``).
+
+Each rule is one class in :mod:`tools.analyze.rules`; adding a checker
+is writing one class and registering it (see ``docs/analysis.md``).
+"""
+
+from tools.analyze.core import (  # noqa: F401  (public re-exports)
+    Module,
+    Rule,
+    Violation,
+    analyze_paths,
+    default_rules,
+    register,
+)
+
+__version__ = "1.0"

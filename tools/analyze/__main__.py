@@ -1,0 +1,7 @@
+"""``python -m tools.analyze`` — the repro-analyze CLI entry point."""
+
+import sys
+
+from tools.analyze.cli import main
+
+sys.exit(main())

@@ -1,0 +1,104 @@
+"""The ``repro-analyze`` command line (``python -m tools.analyze``).
+
+Exit codes: 0 clean, 1 violations or parse errors, 2 usage errors —
+the CI ``analyze`` job gates on exactly this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running both as ``python -m tools.analyze`` (package) and as a
+# bare script from the repo root.
+if __package__ in (None, ""):  # pragma: no cover - script invocation
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from tools.analyze.core import analyze_paths, default_rules
+from tools.analyze.report import render_human, render_json, write_json
+
+
+def _parse_rule_list(text: str | None) -> list[str] | None:
+    if text is None:
+        return None
+    return [name.strip() for name in text.split(",") if name.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description=(
+            "Repo-specific static analysis: async-blocking, "
+            "lock-discipline, deprecated-api, executor-pickle-safety, "
+            "error-hierarchy, bare-thread-start."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root that rule pathspecs are relative to (default: .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="stdout format (default: human)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for name, rule in sorted(default_rules().items()):
+            print(f"{name}: {rule.summary}")
+            print(f"    scope: {', '.join(rule.scope)}")
+        return 0
+    try:
+        report = analyze_paths(
+            args.paths,
+            root=args.root,
+            select=_parse_rule_list(args.select),
+            ignore=_parse_rule_list(args.ignore),
+        )
+    except ValueError as error:
+        print(f"repro-analyze: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        write_json(report, args.out)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_human(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,333 @@
+"""The repro-analyze framework: modules, rules, suppression, scoping.
+
+A :class:`Module` is one parsed source file with parent-linked AST
+nodes plus the side-channel annotations rules consume:
+
+* ``# repro: ignore[rule-a,rule-b]`` / ``# repro: ignore`` — suppress
+  matching violations reported on that line;
+* ``# guarded-by: _lock`` — declare the attribute assigned on that
+  line as guarded by ``self._lock`` (consumed by lock-discipline);
+* ``# repro: holds[_lock]`` — declare that every caller of the
+  function defined on that line already holds ``self._lock``.
+
+A :class:`Rule` owns a name, a one-line summary, a pathspec scope
+(fnmatch globs over repo-relative posix paths, with optional
+excludes), and a ``check(module)`` generator.  Rules register
+themselves into a process-wide registry via :func:`register`;
+:func:`analyze_paths` walks files, matches scopes, collects
+violations, and drops suppressed ones.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Iterator
+
+_IGNORE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Za-z0-9_,\s-]*)\])?")
+_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_HOLDS = re.compile(r"#\s*repro:\s*holds\[([A-Za-z_][A-Za-z0-9_]*)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and a human-readable message."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class Module:
+    """One parsed source file plus its comment annotations.
+
+    Every AST node gains a ``parent`` attribute so rules can ask for a
+    node's lexical context (enclosing function, enclosing ``with``).
+    """
+
+    def __init__(self, relpath: str, source: str):
+        self.relpath = relpath.replace("\\", "/")
+        self.source = source
+        self.tree = ast.parse(source)
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child.parent = node  # type: ignore[attr-defined]
+        #: line -> None (suppress every rule) or frozenset of rule names.
+        self.suppressions: dict[int, frozenset[str] | None] = {}
+        #: line -> lock attribute name (``# guarded-by: _lock``).
+        self.guarded_by: dict[int, str] = {}
+        #: line -> lock attribute name (``# repro: holds[_lock]``).
+        self.holds: dict[int, str] = {}
+        self._scan_comments()
+
+    @classmethod
+    def from_path(cls, path: Path, root: Path) -> "Module":
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        return cls(relpath, path.read_text())
+
+    def _scan_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (token.start[0], token.string)
+                for token in tokens
+                if token.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError):
+            comments = [
+                (number, line[line.index("#"):])
+                for number, line in enumerate(self.source.splitlines(), start=1)
+                if "#" in line
+            ]
+        for line, text in comments:
+            ignore = _IGNORE.search(text)
+            if ignore is not None:
+                names = ignore.group(1)
+                if names is None:
+                    self.suppressions[line] = None
+                else:
+                    rules = frozenset(
+                        name.strip() for name in names.split(",") if name.strip()
+                    )
+                    previous = self.suppressions.get(line)
+                    if previous is not None:
+                        self.suppressions[line] = rules | (previous or frozenset())
+                    elif line not in self.suppressions:
+                        self.suppressions[line] = rules
+            guarded = _GUARDED_BY.search(text)
+            if guarded is not None:
+                self.guarded_by[line] = guarded.group(1)
+            holds = _HOLDS.search(text)
+            if holds is not None:
+                self.holds[line] = holds.group(1)
+
+    def suppressed(self, violation: Violation) -> bool:
+        rules = self.suppressions.get(violation.line, frozenset())
+        return rules is None or violation.rule in rules
+
+    # -- AST helpers shared by rules ------------------------------------
+    @staticmethod
+    def qualname(node: ast.AST) -> str | None:
+        """Dotted source name of a Name/Attribute chain, else None.
+
+        ``self._store.load`` -> ``"self._store.load"``; anything with a
+        non-name base (a call result, a subscript) keeps the readable
+        tail: ``open(p).read`` -> ``"().read"``.
+        """
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            base = Module.qualname(node.value)
+            return f"{base or '()'}.{node.attr}"
+        return None
+
+    @staticmethod
+    def parents(node: ast.AST) -> Iterator[ast.AST]:
+        current = getattr(node, "parent", None)
+        while current is not None:
+            yield current
+            current = getattr(current, "parent", None)
+
+    @staticmethod
+    def enclosing_function(
+        node: ast.AST,
+    ) -> "ast.FunctionDef | ast.AsyncFunctionDef | None":
+        for parent in Module.parents(node):
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return parent
+        return None
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement check.
+
+    ``scope`` / ``exclude`` are fnmatch globs over repo-relative posix
+    paths.  ``check`` yields :class:`Violation` instances; use
+    :meth:`violation` so the rule name and module path are filled in
+    consistently.
+    """
+
+    name: str = "unnamed"
+    summary: str = ""
+    scope: tuple[str, ...] = ("*",)
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        matched = any(_match(relpath, pattern) for pattern in self.scope)
+        excluded = any(_match(relpath, pattern) for pattern in self.exclude)
+        return matched and not excluded
+
+    def check(self, module: Module) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, module: Module, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            rule=self.name,
+            path=module.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _match(relpath: str, pattern: str) -> bool:
+    """fnmatch where ``**`` crosses directory levels (recursive glob)."""
+    if fnmatch(relpath, pattern):
+        return True
+    # fnmatch's ``*`` already crosses ``/``; normalize ``**/`` prefixes
+    # so ``src/**/x.py`` also matches ``src/x.py``.
+    if "**/" in pattern and fnmatch(relpath, pattern.replace("**/", "")):
+        return True
+    return False
+
+
+#: name -> rule instance; populated by :func:`register` at import time.
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: type) -> type:
+    """Class decorator: instantiate and add to the default registry."""
+    rule = rule_class()
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return rule_class
+
+
+def default_rules() -> dict[str, Rule]:
+    """The registered rule set (importing .rules populates it)."""
+    from tools.analyze import rules  # noqa: F401  (import for side effect)
+
+    return dict(_REGISTRY)
+
+
+@dataclass
+class Report:
+    """Everything one analysis run produced."""
+
+    root: str
+    paths: list[str]
+    files_scanned: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+    rules: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def to_json(self) -> dict:
+        return {
+            "schema_version": 1,
+            "tool": "repro-analyze",
+            "root": self.root,
+            "paths": self.paths,
+            "files_scanned": self.files_scanned,
+            "rules": [
+                {"name": name, "violations": count}
+                for name, count in sorted(self.rules.items())
+            ],
+            "violations": [item.to_json() for item in self.violations],
+            "suppressed": self.suppressed,
+            "parse_errors": self.parse_errors,
+            "ok": self.ok,
+        }
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            for item in sorted(path.rglob("*.py")):
+                if not any(part.startswith(".") for part in item.parts):
+                    yield item
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    *,
+    root: str | Path = ".",
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> Report:
+    """Run every applicable rule over every python file under ``paths``.
+
+    ``select``/``ignore`` narrow the rule set by name; unknown names
+    raise ``ValueError`` (a typo must not silently disable a gate).
+    """
+    rules = default_rules()
+    for names in (select, ignore):
+        unknown = set(names or ()) - set(rules)
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s) {sorted(unknown)}; "
+                f"known: {sorted(rules)}"
+            )
+    if select is not None:
+        rules = {name: rules[name] for name in select}
+    if ignore is not None:
+        rules = {
+            name: rule for name, rule in rules.items() if name not in ignore
+        }
+    root = Path(root)
+    report = Report(
+        root=str(root), paths=[str(path) for path in paths],
+        rules={name: 0 for name in rules},
+    )
+    for path in iter_python_files(Path(item) for item in paths):
+        report.files_scanned += 1
+        try:
+            module = Module.from_path(path, root)
+        except (SyntaxError, UnicodeDecodeError) as error:
+            report.parse_errors.append(f"{path}: {error}")
+            continue
+        for rule in rules.values():
+            if not rule.applies_to(module.relpath):
+                continue
+            for violation in rule.check(module):
+                if module.suppressed(violation):
+                    report.suppressed += 1
+                else:
+                    report.violations.append(violation)
+                    report.rules[rule.name] += 1
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return report
+
+
+def analyze_source(
+    source: str, relpath: str, rule_name: str
+) -> list[Violation]:
+    """Run one rule over one source string (the test harness's hook)."""
+    rules = default_rules()
+    rule = rules[rule_name]
+    module = Module(relpath, source)
+    if not rule.applies_to(relpath):
+        return []
+    return [
+        violation
+        for violation in rule.check(module)
+        if not module.suppressed(violation)
+    ]

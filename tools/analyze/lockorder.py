@@ -1,0 +1,228 @@
+"""Test-time lock-order watchdog: a mini dynamic race detector.
+
+The static lock-discipline rule checks that guarded fields are touched
+under their lock; it cannot see *ordering* — thread A taking lock L1
+then L2 while thread B takes L2 then L1 deadlocks only under the right
+interleaving, which tests rarely hit.  The watchdog makes the hazard
+visible on **any** interleaving: it wraps ``threading.Lock`` /
+``threading.RLock`` so every acquisition records a happens-inside edge
+from each lock currently held by the thread to the one being acquired,
+keyed by the lock's *creation site* (``file:line``) so every
+``TTLCache`` instance maps to one node.  A cycle in that graph is a
+potential deadlock even if the run never hung.
+
+Opt-in (it patches ``threading`` globally, so the tier-1 suite stays
+untouched): run the serve/ingest suites with ``REPRO_LOCKORDER=1`` or
+``pytest --lockorder`` — ``tests/conftest.py`` installs the watchdog
+for the session and fails it if the final graph has a cycle.
+
+Known limits, by design: edges between two locks created at the *same*
+site are ignored (two sibling cache instances may legitimately nest
+either way), and locks created before ``install()`` are invisible.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+
+
+class LockOrderViolation(Exception):
+    """The acquisition-order graph contains a cycle (deadlock hazard)."""
+
+
+def _creation_site(depth: int = 3) -> str:
+    """``file:line`` of the frame that called the lock factory."""
+    stack = traceback.extract_stack(limit=depth + 2)
+    # stack[-1] is here, stack[-2] the factory, stack[-3] the creator.
+    frame = stack[0] if len(stack) < 3 else stack[-3]
+    return f"{frame.filename}:{frame.lineno}"
+
+
+class TrackedLock:
+    """Delegating wrapper recording acquisition order per thread."""
+
+    __slots__ = ("_inner", "site", "_watchdog")
+
+    def __init__(self, inner, site: str, watchdog: "LockOrderWatchdog"):
+        self._inner = inner
+        self.site = site
+        self._watchdog = watchdog
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._watchdog._record_acquire(self.site)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._watchdog._record_release(self.site)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _at_fork_reinit(self) -> None:
+        # threading.Event/Condition reinitialize their locks in forked
+        # children (ProcessPoolExecutor workers); delegate or the child
+        # dies with AttributeError.
+        self._inner._at_fork_reinit()
+        held = getattr(self._watchdog._held, "stack", None)
+        if held:
+            del held[:]
+
+    def __getattr__(self, name):
+        # Threading internals probe for protocol extras (_is_owned,
+        # _release_save, _acquire_restore on RLock-backed Conditions);
+        # hand them the real lock's implementation.  Those paths bypass
+        # order tracking, which is the safe direction: missing edges,
+        # never false ones.
+        return getattr(self._inner, name)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self):
+        return f"TrackedLock({self.site})"
+
+
+class LockOrderWatchdog:
+    """Records lock-acquisition order across threads; detects cycles."""
+
+    def __init__(self):
+        #: held-site -> set of sites acquired while holding it.
+        self.edges: dict[str, set[str]] = {}
+        self.acquisitions = 0
+        self._held = threading.local()
+        self._graph_lock = threading.Lock()  # a real lock, never tracked
+        self._real_lock = None
+        self._real_rlock = None
+
+    # -- recording --------------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def _record_acquire(self, site: str) -> None:
+        stack = self._stack()
+        with self._graph_lock:
+            self.acquisitions += 1
+            for held in stack:
+                if held != site:  # same-site nesting: see module docstring
+                    self.edges.setdefault(held, set()).add(site)
+        stack.append(site)
+
+    def _record_release(self, site: str) -> None:
+        stack = self._stack()
+        # Locks may release out of LIFO order; drop the newest match.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == site:
+                del stack[index]
+                return
+
+    # -- lock factories ---------------------------------------------------
+    def make_lock(self):
+        return TrackedLock(self._real_lock(), _creation_site(), self)
+
+    def make_rlock(self):
+        return TrackedLock(self._real_rlock(), _creation_site(), self)
+
+    # -- install / uninstall ----------------------------------------------
+    def install(self) -> "LockOrderWatchdog":
+        """Patch ``threading.Lock``/``RLock`` to produce tracked locks."""
+        if self._real_lock is not None:
+            return self
+        self._real_lock = threading.Lock
+        self._real_rlock = threading.RLock
+        threading.Lock = self.make_lock  # type: ignore[assignment]
+        threading.RLock = self.make_rlock  # type: ignore[assignment]
+        return self
+
+    def uninstall(self) -> None:
+        if self._real_lock is None:
+            return
+        threading.Lock = self._real_lock  # type: ignore[assignment]
+        threading.RLock = self._real_rlock  # type: ignore[assignment]
+        self._real_lock = None
+        self._real_rlock = None
+
+    def __enter__(self) -> "LockOrderWatchdog":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    # -- analysis ---------------------------------------------------------
+    def cycle(self) -> list[str] | None:
+        """One cycle in the order graph as a site list, or ``None``.
+
+        Iterative DFS with the standard white/grey/black coloring; the
+        returned list is the grey path from the first revisited node,
+        closed with that node (``[a, b, a]`` for a 2-cycle).
+        """
+        with self._graph_lock:
+            edges = {node: sorted(targets) for node, targets in self.edges.items()}
+        colors: dict[str, int] = {}
+        GREY, BLACK = 1, 2
+
+        def visit(start: str) -> list[str] | None:
+            path: list[str] = []
+            stack: list[tuple[str, int]] = [(start, 0)]
+            while stack:
+                node, edge_index = stack.pop()
+                if edge_index == 0:
+                    colors[node] = GREY
+                    path.append(node)
+                targets = edges.get(node, [])
+                advanced = False
+                for index in range(edge_index, len(targets)):
+                    target = targets[index]
+                    color = colors.get(target)
+                    if color == GREY:
+                        return path[path.index(target):] + [target]
+                    if color is None:
+                        stack.append((node, index + 1))
+                        stack.append((target, 0))
+                        advanced = True
+                        break
+                if not advanced:
+                    colors[node] = BLACK
+                    path.pop()
+            return None
+
+        for node in sorted(edges):
+            if colors.get(node) is None:
+                found = visit(node)
+                if found is not None:
+                    return found
+        return None
+
+    def assert_no_cycles(self) -> None:
+        """Raise :class:`LockOrderViolation` when the graph has a cycle."""
+        found = self.cycle()
+        if found is not None:
+            chain = "\n  -> ".join(found)
+            raise LockOrderViolation(
+                "lock-acquisition order cycle (potential deadlock):\n"
+                f"  -> {chain}\n"
+                "Threads acquired these locks in conflicting orders during "
+                "the run; fix the ordering or document why the cycle is "
+                "unreachable."
+            )
+
+    def stats(self) -> dict:
+        with self._graph_lock:
+            return {
+                "locks": len(
+                    set(self.edges)
+                    | {t for targets in self.edges.values() for t in targets}
+                ),
+                "edges": sum(len(targets) for targets in self.edges.values()),
+                "acquisitions": self.acquisitions,
+            }

@@ -1,0 +1,46 @@
+"""Reporters: one human-readable stream, one machine-readable JSON.
+
+The JSON document (``schema_version: 1``) is what CI uploads as an
+artifact and what downstream tooling (dashboards, the perf gate's
+sibling) consumes; its shape is pinned by ``tests/test_analyze.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tools.analyze.core import Report
+
+
+def render_human(report: Report) -> str:
+    """One line per violation plus a summary footer."""
+    lines = [violation.render() for violation in report.violations]
+    for error in report.parse_errors:
+        lines.append(f"parse error: {error}")
+    active = sum(1 for _ in report.rules)
+    counts = ", ".join(
+        f"{name}={count}"
+        for name, count in sorted(report.rules.items())
+        if count
+    )
+    footer = (
+        f"repro-analyze: {len(report.violations)} violation(s) "
+        f"({report.suppressed} suppressed) across {report.files_scanned} "
+        f"file(s), {active} rule(s) active"
+    )
+    if counts:
+        footer += f" [{counts}]"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)
+
+
+def write_json(report: Report, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_json(report) + "\n")
+    return path

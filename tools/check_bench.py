@@ -78,7 +78,7 @@ def _load_report(path: Path) -> dict:
     try:
         return json.loads(path.read_text())
     except (OSError, ValueError) as error:
-        raise SystemExit(f"check_bench: cannot read {path}: {error}")
+        raise SystemExit(f"check_bench: cannot read {path}: {error}") from error
 
 
 def _run_dirs(args) -> list[Path]:
