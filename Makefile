@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke bench-all check-bench serve-smoke lint install docs-check analyze
+.PHONY: test bench-smoke bench-all check-bench serve-smoke soak-smoke soak-full lint install docs-check analyze
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,7 +17,8 @@ bench-smoke:
 
 #: The acceptance suites that emit BENCH_<name>.json reports.
 BENCH_SUITES = benchmarks/bench_planner.py benchmarks/bench_sharding.py \
-	benchmarks/bench_serve.py benchmarks/bench_ingest.py
+	benchmarks/bench_serve.py benchmarks/bench_ingest.py \
+	benchmarks/bench_soak.py
 
 # Run every report-emitting acceptance suite 3x (reports land in
 # benchmarks/results/perf/runN/); passes on a majority of runs.
@@ -39,6 +40,21 @@ check-bench: bench-all
 serve-smoke:
 	REPRO_SCALE=small $(PYTHON) -m pytest -q -s benchmarks/bench_serve.py::test_serve_smoke
 
+# Chaos soak smoke: the short seeded scenarios as tests (--soak tier),
+# then a 30 s all-fault CLI soak whose invariants must hold.  The event
+# log lands in soak_events.jsonl BEFORE the exit code is computed, so a
+# failing CI soak always uploads a diagnosable artifact.
+soak-smoke:
+	$(PYTHON) -m pytest -q --soak tests/test_chaos.py
+	$(PYTHON) -m repro soak --duration 30 --seed 7 --faults all \
+		--events soak_events.jsonl --out soak_report.json
+
+# The nightly-length soak: 120 s, every fault enabled, same seed so a
+# failure replays locally with the identical fault schedule.
+soak-full:
+	$(PYTHON) -m repro soak --duration 120 --seed 7 --faults all \
+		--events soak_events.jsonl --out soak_report.json
+
 # Lint: ruff when available (the CI lint job installs it; this offline
 # image may not have it — see [tool.ruff] in pyproject.toml for the
 # rule gate), then the always-available compile + import smoke checks.
@@ -49,7 +65,7 @@ lint:
 		echo "ruff not installed; skipping (compileall/import smoke still run)"; \
 	fi
 	$(PYTHON) -m compileall -q src tests benchmarks examples
-	$(PYTHON) -W error::SyntaxWarning -c "import repro, repro.api, repro.plan, repro.serve, repro.cli, repro.experiments"
+	$(PYTHON) -W error::SyntaxWarning -c "import repro, repro.api, repro.plan, repro.serve, repro.chaos, repro.cli, repro.experiments"
 
 # Documentation rot check: every ```python block in README.md and
 # docs/*.md must compile, every relative link must resolve.

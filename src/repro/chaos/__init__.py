@@ -1,0 +1,51 @@
+"""Chaos/soak harness: fault-injected multi-tenant traffic with
+invariant checking (see docs/testing.md).
+
+* :mod:`repro.chaos.faults` — the deterministic, seeded fault injector
+  and its opt-in hook points across serve/ingest.
+* :mod:`repro.chaos.scenario` — the multi-tenant scenario runner:
+  reader tenants, a streaming ingester, an operator schedule, and a
+  live watched :class:`~repro.serve.server.SummaryServer` under fault
+  injection.
+* :mod:`repro.chaos.invariants` — the after-the-fact audit: zero
+  dropped requests, bounded staleness, monotone lineage, bounded error
+  drift vs exact ground truth.
+"""
+
+from repro.chaos.faults import (
+    FAULT_NAMES,
+    HOOKS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    OperatorEvent,
+)
+from repro.chaos.invariants import (
+    InvariantCheck,
+    InvariantReport,
+    check_invariants,
+)
+from repro.chaos.scenario import (
+    SoakConfig,
+    SoakResult,
+    measure_drift,
+    run_soak,
+)
+
+__all__ = [
+    "FAULT_NAMES",
+    "HOOKS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InvariantCheck",
+    "InvariantReport",
+    "OperatorEvent",
+    "SoakConfig",
+    "SoakResult",
+    "check_invariants",
+    "measure_drift",
+    "run_soak",
+]

@@ -1,0 +1,247 @@
+"""Invariant checking over one soak scenario's event record.
+
+:func:`check_invariants` consumes the :class:`~repro.chaos.scenario.SoakResult`
+a scenario produced and verifies the four properties a healthy serving
+deployment keeps under chaos:
+
+1. **zero dropped requests** — every reader request reached a terminal
+   ``ok`` outcome; saturation and injected faults only ever showed up
+   as clean Retry-After backoffs or transport retries that eventually
+   succeeded.
+2. **bounded staleness** — each version published by the ingester was
+   observed being served within ``staleness_bound_s`` of its publish
+   (the scenario derives the bound from the watch interval, the
+   longest injected watcher outage, and a fixed reload allowance).
+   A publish immediately obscured by an operator rollback is exempt —
+   the rollback-stickiness contract *requires* it to stay hidden.
+3. **monotone lineage** — the probe stream's served version never
+   decreases except right after an injected operator rollback (and
+   then exactly to the rollback target), and the published versions
+   form an unbroken parent chain in the store lineage.
+4. **bounded error drift** — the final chaos-run model's error against
+   :class:`~repro.baselines.exact.ExactBackend` ground truth stays
+   within ``max_drift_ratio`` of the no-chaos replay of the identical
+   batch sequence (plus a small additive slack for near-zero
+   baselines).  Chaos may slow the system down; it must not corrupt
+   the model.
+
+The checker is pure over the result record, so tests feed it synthetic
+:class:`SoakResult` instances to prove each violation is caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ChaosError
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """One invariant's verdict."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def describe(self) -> str:
+        mark = "PASS" if self.ok else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """Every invariant's verdict over one scenario."""
+
+    checks: tuple[InvariantCheck, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def violations(self) -> tuple[InvariantCheck, ...]:
+        return tuple(check for check in self.checks if not check.ok)
+
+    def describe(self) -> str:
+        return "\n".join(check.describe() for check in self.checks)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            failed = "; ".join(
+                f"{check.name}: {check.detail}" for check in self.violations
+            )
+            raise ChaosError(f"soak invariant violation(s): {failed}")
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checks": [
+                {"name": c.name, "ok": c.ok, "detail": c.detail}
+                for c in self.checks
+            ],
+        }
+
+
+def _check_zero_dropped(result) -> InvariantCheck:
+    requests = result.requests
+    dropped = [r for r in requests if r.get("outcome") != "ok"]
+    busy = sum(r.get("busy_retries", 0) for r in requests)
+    faults = sum(r.get("fault_retries", 0) for r in requests)
+    if dropped:
+        sample = dropped[0]
+        return InvariantCheck(
+            "zero-dropped",
+            False,
+            f"{len(dropped)}/{len(requests)} request(s) dropped; first: "
+            f"reader {sample.get('reader')} {sample.get('sql')!r} "
+            f"({sample.get('error')})",
+        )
+    return InvariantCheck(
+        "zero-dropped",
+        True,
+        f"{len(requests)} requests all answered "
+        f"({busy} busy retries, {faults} fault retries)",
+    )
+
+
+def _rollback_near(operations, t_s: float, window_s: float) -> bool:
+    return any(
+        op.get("action") == "rollback" and t_s <= op["t_s"] <= t_s + window_s
+        for op in operations
+    )
+
+
+def _check_staleness(result) -> InvariantCheck:
+    bound = result.staleness_bound_s
+    probes = sorted(result.probes, key=lambda p: p["t_s"])
+    late: list[str] = []
+    exempt = 0
+    worst = 0.0
+    for publish in result.publishes:
+        version, t_pub = publish["version"], publish["t_s"]
+        if _rollback_near(result.operations, t_pub, bound):
+            # Rollback stickiness: a publish obscured by an operator
+            # rollback legitimately stays hidden until the next one.
+            exempt += 1
+            continue
+        seen_at = next(
+            (
+                p["t_s"]
+                for p in probes
+                if p["t_s"] >= t_pub and p["version"] >= version
+            ),
+            None,
+        )
+        if seen_at is None:
+            late.append(f"v{version} (published t={t_pub:.2f}s) never served")
+            continue
+        lag = seen_at - t_pub
+        worst = max(worst, lag)
+        if lag > bound:
+            late.append(
+                f"v{version} served {lag:.2f}s after publish (bound {bound:.2f}s)"
+            )
+    if late:
+        return InvariantCheck(
+            "bounded-staleness", False, "; ".join(late[:3])
+        )
+    return InvariantCheck(
+        "bounded-staleness",
+        True,
+        f"{len(result.publishes)} publish(es) served within {bound:.2f}s "
+        f"(worst lag {worst:.2f}s, {exempt} rollback-exempt)",
+    )
+
+
+#: Forward slack when matching a backwards version flip to its rollback:
+#: the operator records intent time, but if chaos drops the reload
+#: *response* the record lands on a retry, up to ~2 sleep+retry cycles
+#: after the server actually flipped.
+_ROLLBACK_RECORD_SLACK_S = 0.25
+
+
+def _check_monotone(result) -> InvariantCheck:
+    bound = result.staleness_bound_s
+    probes = sorted(result.probes, key=lambda p: p["t_s"])
+    flips: list[str] = []
+    for before, after in zip(probes, probes[1:]):
+        if after["version"] >= before["version"]:
+            continue
+        t_flip = after["t_s"]
+        explained = any(
+            op.get("action") == "rollback"
+            and op.get("version") == after["version"]
+            and t_flip - bound <= op["t_s"] <= t_flip + _ROLLBACK_RECORD_SLACK_S
+            for op in result.operations
+        )
+        if not explained:
+            flips.append(
+                f"v{before['version']} -> v{after['version']} at "
+                f"t={t_flip:.2f}s with no rollback to explain it"
+            )
+    publishes = result.publishes
+    broken_chain: list[str] = []
+    for previous, current in zip(publishes, publishes[1:]):
+        if current.get("parent") != previous["version"]:
+            broken_chain.append(
+                f"v{current['version']} claims parent "
+                f"{current.get('parent')}, expected v{previous['version']}"
+            )
+    if flips or broken_chain:
+        return InvariantCheck(
+            "monotone-lineage", False, "; ".join((flips + broken_chain)[:3])
+        )
+    rollbacks = sum(
+        1 for op in result.operations if op.get("action") == "rollback"
+    )
+    return InvariantCheck(
+        "monotone-lineage",
+        True,
+        f"{len(probes)} probes monotone ({rollbacks} injected rollback(s) "
+        f"excepted); lineage chain of {len(publishes)} publish(es) unbroken",
+    )
+
+
+def _check_drift(result, max_ratio: float, slack: float) -> InvariantCheck:
+    drift, baseline = result.error_drift, result.baseline_drift
+    allowed = baseline * max_ratio + slack
+    if drift > allowed:
+        return InvariantCheck(
+            "bounded-error-drift",
+            False,
+            f"chaos-run drift {drift:.4f} exceeds {max_ratio:g}x no-chaos "
+            f"baseline {baseline:.4f} (+{slack:g} slack)",
+        )
+    return InvariantCheck(
+        "bounded-error-drift",
+        True,
+        f"drift {drift:.4f} within {max_ratio:g}x of no-chaos "
+        f"baseline {baseline:.4f}",
+    )
+
+
+def check_invariants(
+    result,
+    *,
+    max_drift_ratio: float = 1.2,
+    drift_slack: float = 0.01,
+) -> InvariantReport:
+    """Check all four soak invariants over one scenario's record.
+
+    ``max_drift_ratio`` is the acceptance bound: the chaos run's final
+    model error may not exceed this multiple of the no-chaos replay's.
+    ``drift_slack`` is a small additive allowance so a near-zero
+    baseline cannot turn measurement noise into a huge ratio.
+    """
+    return InvariantReport(
+        checks=(
+            _check_zero_dropped(result),
+            _check_staleness(result),
+            _check_monotone(result),
+            _check_drift(result, max_drift_ratio, drift_slack),
+        )
+    )
+
+
+__all__ = ["InvariantCheck", "InvariantReport", "check_invariants"]

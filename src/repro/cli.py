@@ -26,6 +26,7 @@ versioned summary store (``--store`` + ``--name``).
     python -m repro serve --store models --name flights --port 9042 --watch 2
     python -m repro ping --port 9042
     python -m repro bench-serve --store models --name flights --clients 8
+    python -m repro soak --duration 30 --seed 7 --faults all
     python -m repro experiment fig5 --scale small
 """
 
@@ -277,6 +278,64 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "list", help="list every stored summary version"
     )
     store_list.add_argument("--dir", required=True, help="store directory")
+
+    soak = commands.add_parser(
+        "soak",
+        help="run a seeded, fault-injected multi-tenant soak scenario "
+        "and check its invariants (docs/testing.md)",
+    )
+    soak.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        help="traffic phase length in seconds (default 30)",
+    )
+    soak.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="scenario seed: fault schedule, ingest batches, and reader "
+        "query choices all derive from it (default 0)",
+    )
+    soak.add_argument(
+        "--readers", type=int, default=4, help="reader tenants (default 4)"
+    )
+    soak.add_argument(
+        "--faults",
+        default="all",
+        help="comma-separated fault names (worker-kill, slow-backend, "
+        "error-backend, drop-connection, client-drop, watcher, reload, "
+        "rollback), or 'all' / 'none' (default all)",
+    )
+    soak.add_argument(
+        "--watch",
+        type=float,
+        default=0.2,
+        help="store-watcher poll interval in seconds (default 0.2)",
+    )
+    soak.add_argument(
+        "--ingest-every",
+        type=float,
+        default=0.5,
+        help="streaming ingester cadence in seconds (default 0.5)",
+    )
+    soak.add_argument(
+        "--batch-rows",
+        type=int,
+        default=40,
+        help="rows per ingest micro-batch (default 40)",
+    )
+    soak.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    soak.add_argument(
+        "--out", help="also write the full JSON report to this path"
+    )
+    soak.add_argument(
+        "--events",
+        help="write the scenario event log (injections, operator actions, "
+        "publishes, dropped requests) to this path as JSON lines",
+    )
 
     experiment = commands.add_parser(
         "experiment", help="run one of the paper's experiments"
@@ -667,6 +726,70 @@ def _cmd_bench_serve(args) -> int:
     return 1 if report.errors else 0
 
 
+def _cmd_soak(args) -> int:
+    import json
+
+    from repro.chaos import SoakConfig, check_invariants, run_soak
+
+    faults = tuple(
+        part.strip() for part in args.faults.split(",") if part.strip()
+    )
+    config = SoakConfig(
+        duration_s=args.duration,
+        seed=args.seed,
+        readers=args.readers,
+        faults=faults or ("none",),
+        watch_interval=args.watch,
+        ingest_every_s=args.ingest_every,
+        batch_rows=args.batch_rows,
+    ).validated()
+    if not args.json:
+        print(
+            f"soak: {config.duration_s:g}s, seed {config.seed}, "
+            f"{config.readers} readers, faults [{', '.join(config.faults)}]",
+            flush=True,
+        )
+    result = run_soak(config)
+    report = check_invariants(result)
+    metrics = result.to_metrics()
+    # The event log and report land on disk *before* the exit code, so
+    # a failing CI soak always uploads a diagnosable artifact.
+    if args.events:
+        with open(args.events, "w", encoding="utf-8") as handle:
+            for event in result.event_log():
+                handle.write(json.dumps(event, default=str) + "\n")
+    document = {
+        "config": {
+            "duration_s": config.duration_s,
+            "seed": config.seed,
+            "readers": config.readers,
+            "faults": list(config.faults),
+            "watch_interval": config.watch_interval,
+        },
+        "metrics": metrics,
+        "invariants": report.to_dict(),
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(
+            f"  {metrics['soak_requests']:.0f} requests "
+            f"({metrics['soak_qps']:.0f} q/s), "
+            f"{metrics['publishes']:.0f} publishes, "
+            f"{metrics['faults_injected']:.0f} faults injected"
+        )
+        print(report.describe())
+        if args.events:
+            print(f"event log written to {args.events}")
+        if args.out:
+            print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_experiment(args) -> int:
     if args.scale:
         os.environ["REPRO_SCALE"] = args.scale
@@ -700,6 +823,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "ping": _cmd_ping,
     "bench-serve": _cmd_bench_serve,
+    "soak": _cmd_soak,
     "experiment": _cmd_experiment,
 }
 

@@ -41,3 +41,23 @@ class BudgetError(ReproError):
 class IngestError(ReproError):
     """An append batch cannot be applied to a summary (schema mismatch,
     stale base relation, malformed rows, ...)."""
+
+
+class ChaosError(ReproError):
+    """The chaos/soak harness was misused (malformed fault plan or
+    scenario config) or a soak scenario violated an invariant."""
+
+
+class InjectedFault(ChaosError):
+    """A fault deliberately injected by the chaos harness.
+
+    Only ever raised when a :class:`~repro.chaos.FaultInjector` is
+    explicitly attached to a component — production paths without an
+    injector can never see it.  The serve layer maps it to a retryable
+    503 (with a ``retry_after`` hint) so well-behaved clients recover
+    the same way they recover from admission control.
+    """
+
+    def __init__(self, hook: str):
+        super().__init__(f"chaos: injected fault at hook {hook!r}")
+        self.hook = hook

@@ -105,7 +105,13 @@ class IngestPipeline:
         name: str | None = None,
         max_iterations: int = 30,
         threshold: float = 1e-6,
+        chaos=None,
     ):
+        #: Optional :class:`~repro.chaos.FaultInjector`.  Its
+        #: ``ingest.append`` hook fires at the top of :meth:`append`,
+        #: before any state mutates — an injected failure leaves the
+        #: pipeline consistent and the batch safely retryable.
+        self.chaos = chaos
         if relation.schema != summary.schema:
             raise IngestError(
                 "base relation schema does not match the summary's "
@@ -155,6 +161,7 @@ class IngestPipeline:
         tag: str | None = None,
         max_iterations: int = 30,
         threshold: float = 1e-6,
+        chaos=None,
     ) -> "IngestPipeline":
         """Pipeline over a stored summary (latest version by default)."""
         record, summary = store.load_with_record(name, version=version, tag=tag)
@@ -165,6 +172,7 @@ class IngestPipeline:
             name=name,
             max_iterations=max_iterations,
             threshold=threshold,
+            chaos=chaos,
         )
         pipeline.parent_version = record.version
         return pipeline
@@ -318,6 +326,11 @@ class IngestPipeline:
         publish nothing.
         """
         started = time.perf_counter()
+        if self.chaos is not None:
+            # Opt-in chaos hook, before any mutation: a raising
+            # injector leaves the pipeline consistent and the caller
+            # retries the identical batch.
+            self.chaos.act("ingest.append")
         batch = self._normalize(batch)
         if batch.num_rows == 0:
             return IngestReport(

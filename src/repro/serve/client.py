@@ -18,10 +18,26 @@ admission-controlled service runs.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 
 from repro.errors import ReproError
+
+
+def backoff_delay(attempt: int, hint: float, rng: random.Random) -> float:
+    """One retry delay: the server's Retry-After hint, floored by an
+    exponential schedule, scaled by ±50% jitter.
+
+    The jitter is the desynchronizer: without it, every client rejected
+    by a saturated server receives the same hint, sleeps the same
+    wall-clock interval, and stampedes back *in lockstep* — re-saturating
+    the queue and starving everyone again (the thundering-herd loop
+    ``tests/test_serve.py::TestClientBackoff`` reproduces).  Each client
+    drawing from its own RNG spreads the herd across the window.
+    """
+    base = max(hint, 0.001 * (1.6 ** min(attempt, 20)))
+    return base * rng.uniform(0.5, 1.5)
 
 
 class ServeError(ReproError):
@@ -51,6 +67,8 @@ class ServeClient:
         *,
         timeout: float = 30.0,
         session: str = "default",
+        backoff_seed: int | None = None,
+        chaos=None,
     ):
         if port <= 0:
             raise ReproError(f"client needs a positive --port, got {port}")
@@ -61,6 +79,13 @@ class ServeClient:
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 0
+        # Per-client jitter stream: by default seeded from the system
+        # entropy pool so concurrent clients desynchronize; pass
+        # ``backoff_seed`` for reproducible retry schedules in tests.
+        self._backoff_rng = random.Random(backoff_seed)
+        #: Optional :class:`~repro.chaos.FaultInjector` — the
+        #: ``client.drop_connection`` hook (flaky-network simulation).
+        self._chaos = chaos
 
     # -- connection --------------------------------------------------------
     def connect(self) -> "ServeClient":
@@ -99,6 +124,16 @@ class ServeClient:
         any other ``ok: false`` answer.
         """
         self.connect()
+        if self._chaos is not None and self._chaos.decide(
+            "client.drop_connection"
+        ):
+            # Injected client-side drop: tear the connection down and
+            # surface a transport error, exactly like a flaky network.
+            self.close()
+            raise ServeError(
+                f"chaos: injected client-side connection drop to "
+                f"{self.host}:{self.port}"
+            )
         self._next_id += 1
         request_id = self._next_id
         request = {"id": request_id, "op": op, **fields}
@@ -131,18 +166,32 @@ class ServeClient:
 
     # -- convenience wrappers ----------------------------------------------
     def query(
-        self, sql: str, *, session: str | None = None, retries: int = 0
+        self,
+        sql: str,
+        *,
+        session: str | None = None,
+        retries: int = 0,
+        deadline_s: float | None = None,
     ) -> dict:
         """Run one SQL query; returns the result payload dict.
 
         Scalars: ``{"kind": "scalar", "value": ..., "std", "ci95"}``.
         Grouped: ``{"kind": "rows", "group_by": [...], "rows": [...]}``.
         ``retries`` > 0 backs off on the server's ``Retry-After`` hint
-        when admission control rejects, with an exponential floor so a
+        when admission control rejects, with an exponential floor (so a
         hint that undershoots the true service time cannot make the
-        client spin through its retry budget.
+        client spin through its retry budget) and ±50% jitter (so a
+        fleet of rejected clients cannot stampede back in lockstep —
+        see :func:`backoff_delay`).  ``deadline_s`` bounds the *total*
+        wall clock across all retries: once the next backoff would
+        overrun it, the last :class:`ServerBusy` is raised instead of
+        sleeping — a saturated server cannot hold a client hostage for
+        ``retries × Retry-After`` seconds.
         """
         attempts = max(int(retries), 0) + 1
+        deadline = (
+            None if deadline_s is None else time.monotonic() + float(deadline_s)
+        )
         for attempt in range(attempts):
             try:
                 response = self.call(
@@ -152,9 +201,12 @@ class ServeClient:
             except ServerBusy as busy:
                 if attempt == attempts - 1:
                     raise
-                time.sleep(
-                    max(busy.retry_after, 0.001 * (1.6 ** min(attempt, 20)))
+                delay = backoff_delay(
+                    attempt, busy.retry_after, self._backoff_rng
                 )
+                if deadline is not None and time.monotonic() + delay > deadline:
+                    raise  # total retry budget exhausted
+                time.sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover
 
     def count(self, sql: str, **kwargs) -> float:

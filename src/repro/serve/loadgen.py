@@ -13,11 +13,17 @@ clients into ~1 vectorized pass.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.serve.client import ServeClient, ServeError, ServerBusy
+from repro.serve.client import (
+    ServeClient,
+    ServeError,
+    ServerBusy,
+    backoff_delay,
+)
 
 
 @dataclass
@@ -92,6 +98,9 @@ def run_load(
     start_barrier = threading.Barrier(clients + 1)
 
     def worker(index: int) -> None:
+        # Per-worker jitter stream: K rejected workers must not sleep
+        # the same hint and stampede back in lockstep.
+        rng = random.Random(index)
         with ServeClient(
             host, port, timeout=timeout, session=f"load-{index}"
         ) as client:
@@ -111,10 +120,7 @@ def run_load(
                     except ServerBusy as busy:
                         backoffs[index] += 1
                         time.sleep(
-                            max(
-                                busy.retry_after,
-                                0.001 * (1.6 ** min(attempt, 20)),
-                            )
+                            backoff_delay(attempt, busy.retry_after, rng)
                         )
                         attempt += 1
                     except ServeError:

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 
 from repro.api.explorer import Explorer
 from repro.api.store import SummaryStore
-from repro.errors import QueryError, ReproError
+from repro.errors import InjectedFault, QueryError, ReproError
 from repro.query.results import QueryResult
 from repro.serve.admission import AdmissionController, ServerSaturated
 from repro.serve.cache import TTLCache
@@ -194,8 +194,13 @@ class SummaryServer:
         version: int | None = None,
         tag: str | None = None,
         config: ServeConfig | None = None,
+        chaos=None,
     ):
         self.config = (config or ServeConfig()).validated()
+        #: Optional :class:`~repro.chaos.FaultInjector` (tests/soak
+        #: only).  The hooks below consult it when present; without one
+        #: they cost a single ``is None`` check.
+        self.chaos = chaos
         if (source is None) == (store is None):
             raise ReproError(
                 "serve exactly one thing: an in-memory summary/backend, "
@@ -381,6 +386,13 @@ class SummaryServer:
         self, writer, write_lock: asyncio.Lock, client: str, line: bytes
     ) -> None:
         request_id = None
+        chaos = self.chaos
+        if chaos is not None and chaos.decide("server.drop_connection"):
+            # Injected connection drop: close without answering.  The
+            # client sees EOF and reconnects — the transport-retry path
+            # the soak invariants hold to "zero dropped requests".
+            writer.close()
+            return
         try:
             request = json.loads(line)
             if not isinstance(request, dict):
@@ -395,6 +407,19 @@ class SummaryServer:
                 "error": str(busy),
                 "scope": busy.scope,
                 "retry_after": busy.retry_after,
+            }
+        except InjectedFault as fault:
+            # Injected faults are transient by construction: answer
+            # like admission control (503 + Retry-After) so clients
+            # retry on the hint instead of treating a chaos-killed
+            # worker or erroring backend as a bad request.
+            self.errors += 1
+            response = {
+                "ok": False,
+                "status": 503,
+                "error": str(fault),
+                "scope": "chaos",
+                "retry_after": max(self.config.window_ms / 1e3, 0.05),
             }
         except (QueryError, ReproError, json.JSONDecodeError) as error:
             self.errors += 1
@@ -475,7 +500,7 @@ class SummaryServer:
             else:
                 loop = asyncio.get_running_loop()
                 result = await loop.run_in_executor(
-                    None, generation.explorer.planner.execute, plan
+                    None, self._execute_plan, generation, plan
                 )
                 payload = result_payload(result)
                 self.cache.put(key, payload)
@@ -492,6 +517,21 @@ class SummaryServer:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(None, self._execute_items, items)
 
+    def _inject_backend_chaos(self) -> None:
+        """Executor-thread chaos hooks: a ``server.worker_kill`` fault
+        raises and the whole flush dies (every coalesced waiter gets a
+        retryable 503), a ``server.backend`` fault models a slow or
+        erroring backend call.  No injector attached — no effect."""
+        chaos = self.chaos
+        if chaos is not None:
+            chaos.act("server.worker_kill")
+            chaos.act("server.backend")
+
+    def _execute_plan(self, generation: _Generation, plan):
+        """The non-coalesced executor path (chaos hooks included)."""
+        self._inject_backend_chaos()
+        return generation.explorer.planner.execute(plan)
+
     def _execute_items(self, items: list) -> list:
         """One coalesced flush: group by generation, run each group
         through the planner's batched executor.  A failing query maps
@@ -499,6 +539,7 @@ class SummaryServer:
         JSON-ready payloads — each unique result is serialized and
         cached exactly once here, however many waiters coalesced on it.
         """
+        self._inject_backend_chaos()
         payloads: list = [None] * len(items)
         groups: dict[int, list[int]] = {}
         for index, (generation, _) in enumerate(items):
@@ -551,6 +592,7 @@ class SummaryServer:
             "watcher": (
                 self.watcher.stats() if self.watcher is not None else None
             ),
+            "chaos": self.chaos.stats() if self.chaos is not None else None,
         }
 
     def __repr__(self):

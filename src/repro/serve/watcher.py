@@ -97,6 +97,12 @@ class StoreWatcher:
         return False
 
     def _latest_version(self) -> int:
+        # Executor thread.  The opt-in chaos hook injects transient
+        # poll failures (manifest unreadable, store flaking) that the
+        # error-swallowing contract above must absorb.
+        chaos = getattr(self.server, "chaos", None)
+        if chaos is not None:
+            chaos.act("watcher.poll")
         return self.server.store.latest_version(self.server.name)
 
     # -- introspection -----------------------------------------------------

@@ -43,12 +43,43 @@ def pytest_addoption(parser):
         help="instrument threading.Lock/RLock and fail the session on "
         "inconsistent lock-acquisition order (see tools/analyze/lockorder.py)",
     )
+    parser.addoption(
+        "--soak",
+        action="store_true",
+        default=False,
+        help="run the chaos soak scenarios (tests marked @pytest.mark.soak): "
+        "short fault-injected multi-tenant runs against a live server "
+        "(see docs/testing.md)",
+    )
 
 
 def _lockorder_enabled(config) -> bool:
     if config.getoption("--lockorder"):
         return True
     return os.environ.get("REPRO_LOCKORDER", "") not in ("", "0")
+
+
+def _soak_enabled(config) -> bool:
+    if config.getoption("--soak"):
+        return True
+    return os.environ.get("REPRO_SOAK", "") not in ("", "0")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "soak: chaos soak scenario (seconds of live traffic); "
+        "skipped unless --soak or REPRO_SOAK=1",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if _soak_enabled(config):
+        return
+    skip_soak = pytest.mark.skip(reason="needs --soak (or REPRO_SOAK=1)")
+    for item in items:
+        if "soak" in item.keywords:
+            item.add_marker(skip_soak)
 
 
 @pytest.fixture(autouse=True, scope="session")

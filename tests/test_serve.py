@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
+import shutil
 import socket
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -37,12 +40,29 @@ from repro.serve import (
     TTLCache,
     run_load,
 )
+from repro.serve.client import backoff_delay
 from repro.serve.loadgen import default_workload
 
 
 # ----------------------------------------------------------------------
 # Fixtures
 # ----------------------------------------------------------------------
+
+def _wait_until(condition, timeout: float = 5.0, step: float = 0.005) -> bool:
+    """Poll ``condition`` until true or ``timeout`` elapses.
+
+    The de-flaking primitive for the timing tests below: asserting on a
+    *condition with a generous deadline* instead of sleeping a fixed
+    interval and hoping the scheduler cooperated.  Returns whether the
+    condition held in time (callers assert on it for a clear failure).
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if condition():
+            return True
+        time.sleep(step)
+    return condition()
+
 
 def _relation(rows: int = 300, seed: int = 3) -> Relation:
     schema = Schema(
@@ -617,6 +637,100 @@ class TestAdmissionOverTheWire:
         assert server.admission.rejected_queue > 0
 
 
+class TestClientBackoff:
+    """The retry loop's two fixes: jitter (no lockstep stampedes) and a
+    total deadline (no unbounded retry hostage-taking)."""
+
+    @staticmethod
+    def _retry_delays(monkeypatch, seed, rejections=6, **query_kwargs):
+        """Drive one client's retry loop against a stubbed server that
+        rejects ``rejections`` times, recording every backoff sleep."""
+        client = ServeClient(port=1, backoff_seed=seed)
+        calls = [0]
+
+        def fake_call(op, **fields):
+            calls[0] += 1
+            if calls[0] <= rejections:
+                raise ServerBusy(
+                    "stub saturated", retry_after=0.05, payload={}
+                )
+            return {"result": {"kind": "scalar", "value": 1.0}}
+
+        monkeypatch.setattr(client, "call", fake_call)
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", lambda s: sleeps.append(s)
+        )
+        query_kwargs.setdefault("retries", rejections)
+        client.query("SELECT COUNT(*) FROM R", **query_kwargs)
+        return sleeps
+
+    def test_jitter_bounds_around_the_hint(self):
+        rng = random.Random(0)
+        for attempt in range(6):
+            delay = backoff_delay(attempt, 0.1, rng)
+            assert 0.05 <= delay <= 0.15  # hint +/- 50%
+
+    def test_exponential_floor_with_tiny_hint(self):
+        # A hint that undershoots the true service time must not let
+        # the client spin: the floor grows 1.6x per attempt.
+        rng = random.Random(0)
+        for attempt in range(12):
+            assert backoff_delay(attempt, 0.0, rng) >= 0.5 * 0.001 * (
+                1.6 ** attempt
+            )
+
+    def test_lockstep_reproduced_and_broken_by_jitter(self, monkeypatch):
+        # The lockstep case: two clients with the SAME jitter stream
+        # sleep byte-identical schedules — rejected together, they come
+        # back together, forever (the thundering herd).  Distinct
+        # streams (distinct seeds, the default from system entropy)
+        # spread the herd.
+        same_a = self._retry_delays(monkeypatch, seed=7)
+        same_b = self._retry_delays(monkeypatch, seed=7)
+        other = self._retry_delays(monkeypatch, seed=8)
+        assert same_a == same_b  # reproducible, hence: lockstep
+        assert same_a != other  # jitter desynchronizes real clients
+        assert len(same_a) == 6
+        # Every sleep honors the Retry-After hint's jitter band.
+        assert all(0.025 <= delay for delay in same_a)
+
+    def test_deadline_bounds_total_retry_time(self, monkeypatch):
+        # A saturated server advertising a huge Retry-After cannot hold
+        # the client hostage for retries x hint: the deadline raises
+        # the last ServerBusy instead of sleeping past it.
+        client = ServeClient(port=1, backoff_seed=3)
+
+        def always_busy(op, **fields):
+            raise ServerBusy("stub saturated", retry_after=5.0, payload={})
+
+        monkeypatch.setattr(client, "call", always_busy)
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", lambda s: sleeps.append(s)
+        )
+        began = time.monotonic()
+        with pytest.raises(ServerBusy):
+            client.query("SELECT COUNT(*) FROM R", retries=50, deadline_s=0.2)
+        assert time.monotonic() - began < 2.0
+        assert sum(sleeps) <= 0.2  # never slept past the budget
+
+    def test_retries_zero_raises_the_first_busy(self, monkeypatch):
+        client = ServeClient(port=1)
+
+        def busy_once(op, **fields):
+            raise ServerBusy("stub saturated", retry_after=0.01, payload={})
+
+        monkeypatch.setattr(client, "call", busy_once)
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", lambda s: sleeps.append(s)
+        )
+        with pytest.raises(ServerBusy):
+            client.query("SELECT COUNT(*) FROM R")
+        assert sleeps == []  # no retry budget, no sleeping
+
+
 class TestTTLOverTheWire:
     def test_result_expires_after_ttl(self, summary):
         server = SummaryServer(
@@ -627,12 +741,23 @@ class TestTTLOverTheWire:
             with ServeClient(port=server.port) as client:
                 first = client.call("query", sql=sql)
                 second = client.call("query", sql=sql)
-                time.sleep(0.2)
-                third = client.call("query", sql=sql)
+                # Poll until the entry expires server-side instead of
+                # sleeping a fixed interval: on a loaded machine a
+                # fixed sleep races the TTL clock and flakes.  Expiry
+                # is keyed to the *put* time, so repolling cannot keep
+                # the entry alive — the first miss is the expiry.
+                expired = []
+
+                def saw_expiry():
+                    response = client.call("query", sql=sql)
+                    if not response["cached"]:
+                        expired.append(response)
+                    return bool(expired)
+
+                assert _wait_until(saw_expiry, timeout=5.0, step=0.02)
         assert first["cached"] is False
         assert second["cached"] is True
-        assert third["cached"] is False  # TTL expired server-side
-        assert server.cache.expirations >= 1
+        assert server.cache.expirations >= 1  # TTL expired server-side
 
 
 # ----------------------------------------------------------------------
@@ -698,6 +823,11 @@ class TestHotReload:
         stop = threading.Event()
         errors = []
         answered = [0]
+        answered_lock = threading.Lock()
+
+        def answered_count():
+            with answered_lock:
+                return answered[0]
 
         def chatter(index):
             try:
@@ -709,7 +839,8 @@ class TestHotReload:
                             f"hour = {(index + step) % 4}"
                         )
                         assert value >= 0
-                        answered[0] += 1
+                        with answered_lock:
+                            answered[0] += 1
                         step += 1
             except BaseException as error:
                 errors.append(error)
@@ -721,17 +852,103 @@ class TestHotReload:
             ]
             for thread in threads:
                 thread.start()
-            time.sleep(0.15)
+            # Condition, not a fixed sleep: reload only once traffic is
+            # demonstrably in flight, then require fresh answers *after*
+            # the reloads before stopping — the assertions this test
+            # exists for, stated as observable counts.
+            assert _wait_until(lambda: answered_count() >= 8)
             with ServeClient(port=server.port) as admin:
                 admin.reload()          # v1 -> v2 under live traffic
                 admin.reload(version=1)  # and back
-            time.sleep(0.15)
+            after_reloads = answered_count()
+            assert _wait_until(lambda: answered_count() >= after_reloads + 8)
             stop.set()
             for thread in threads:
                 thread.join(timeout=10)
         assert not errors, errors[0]
-        assert answered[0] > 0
+        assert answered_count() > 0
         assert server.reloads == 2
+
+
+# ----------------------------------------------------------------------
+# Watcher error paths: the poll loop must outlive transient trouble
+# ----------------------------------------------------------------------
+
+class TestWatcherErrorPaths:
+    @staticmethod
+    def _build(rows, seed):
+        return (
+            SummaryBuilder(_relation(rows=rows, seed=seed))
+            .pairs(("state", "hour"))
+            .per_pair_budget(4)
+            .iterations(40)
+            .name("demo")
+            .fit()
+        )
+
+    def _watched_server(self, store):
+        return SummaryServer(
+            store=store,
+            name="demo",
+            config=ServeConfig(window_ms=0.5, watch_interval=0.05),
+        )
+
+    def test_unreadable_manifest_mid_poll_then_recovery(self, tmp_path):
+        store = SummaryStore(tmp_path / "models")
+        store.save(self._build(300, 3), "demo")  # v1
+        manifest = Path(tmp_path / "models" / "manifest.json")
+        server = self._watched_server(store)
+        with ServerThread(server):
+            assert _wait_until(lambda: server.watcher.checks >= 1)
+            original = manifest.read_text()
+            manifest.write_text("{this is not json")  # corrupt mid-poll
+            assert _wait_until(lambda: server.watcher.errors >= 1)
+            # The watcher swallowed the error; the server still serves.
+            with ServeClient(port=server.port) as client:
+                assert client.ping() == {"version": 1}
+            manifest.write_text(original)  # filesystem heals
+            store.save(self._build(500, 4), "demo")  # v2
+            assert _wait_until(lambda: server.version == 2)
+            assert server.watcher.reloads >= 1
+
+    def test_store_dir_deleted_and_recreated(self, tmp_path):
+        root = tmp_path / "models"
+        store = SummaryStore(root)
+        store.save(self._build(300, 3), "demo")  # v1
+        server = self._watched_server(store)
+        with ServerThread(server):
+            shutil.rmtree(root)  # the whole store vanishes mid-flight
+            assert _wait_until(lambda: server.watcher.errors >= 1)
+            with ServeClient(port=server.port) as client:
+                assert client.ping() == {"version": 1}  # still serving
+            # The store comes back with fresh history; the watcher
+            # resumes as soon as a version beyond its high-water (1)
+            # appears.
+            revived = SummaryStore(root)
+            revived.save(self._build(300, 3), "demo")  # v1 again
+            revived.save(self._build(500, 4), "demo")  # v2
+            assert _wait_until(lambda: server.version == 2)
+
+    def test_rollback_below_high_water_stays_sticky(self, tmp_path):
+        store = SummaryStore(tmp_path / "models")
+        store.save(self._build(300, 3), "demo")  # v1
+        store.save(self._build(500, 4), "demo")  # v2
+        server = self._watched_server(store)  # starts at latest: v2
+        with ServerThread(server):
+            with ServeClient(port=server.port) as client:
+                assert client.reload(version=1) == 1  # operator rollback
+                # The watcher keeps polling but must NOT flap the server
+                # back to v2: the rollback stays sticky until something
+                # genuinely newer is published.
+                checks_now = server.watcher.checks
+                assert _wait_until(
+                    lambda: server.watcher.checks >= checks_now + 3
+                )
+                assert server.version == 1
+                assert client.ping() == {"version": 1}
+                store.save(self._build(700, 5), "demo")  # v3: newer
+                assert _wait_until(lambda: server.version == 3)
+                assert client.ping() == {"version": 3}
 
 
 # ----------------------------------------------------------------------
