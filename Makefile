@@ -17,8 +17,8 @@ bench-smoke:
 
 #: The acceptance suites that emit BENCH_<name>.json reports.
 BENCH_SUITES = benchmarks/bench_planner.py benchmarks/bench_sharding.py \
-	benchmarks/bench_serve.py benchmarks/bench_ingest.py \
-	benchmarks/bench_soak.py
+	benchmarks/bench_serve.py benchmarks/bench_wire.py \
+	benchmarks/bench_ingest.py benchmarks/bench_soak.py
 
 # Run every report-emitting acceptance suite 3x (reports land in
 # benchmarks/results/perf/runN/); passes on a majority of runs.

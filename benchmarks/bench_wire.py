@@ -1,0 +1,197 @@
+"""Wire-protocol acceptance: binary framing + pipelining vs JSON lines.
+
+The binary protocol's performance claim: on the repeated-workload mix
+the serving layer targets, the length-prefixed binary protocol with
+``query_batch`` pipelining sustains **at least 3x** the throughput of
+the line-delimited JSON protocol on the same server and box, and the
+non-pipelined binary path answers with a **sub-millisecond p95** once
+the shared cache is warm, because
+
+* a framed request/response skips ``json.dumps``/``json.loads`` on
+  both ends (a measured share of every JSON round trip),
+* group-by count vectors ship as raw float64 buffers, decoded
+  zero-copy with ``np.frombuffer``,
+* a pipelined batch amortizes one TCP round trip and one admission
+  slot over many statements.
+
+The 3x claim is enforced against the checked-in serve baseline: the
+pipelined leg must clear **3x** ``BENCH_serve.json``'s ``smoke_qps``
+floor (the single-process serving number this PR set out to beat).
+The JSON leg of the same run doubles as the cross-protocol anchor:
+``wire_speedup`` (pipelined binary over JSON, same box, same minute)
+is a portable ratio, gated at 2.5x because the JSON leg alone carries
+~15% run-to-run noise; the absolute ``qps_*`` numbers gate with the
+wide qps bands in ``tools/check_bench.py``.
+
+Results append to ``BENCH_wire.json`` via the shared emitter.  Scale
+via ``REPRO_SCALE`` (``paper`` default, ``small`` for CI).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks._emit import BenchReport
+from repro.api import SummaryBuilder
+from repro.data.domain import Domain, integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.experiments.configs import active_scale
+from repro.serve import ServeConfig, ServeClient, ServerThread, SummaryServer, run_load
+
+REPORT = BenchReport("wire")
+
+CLIENTS = 4
+PIPELINE = 64
+
+
+def _serve_smoke_floor() -> float:
+    """3x the checked-in serve baseline's smoke throughput — the
+    single-process qps bar this protocol exists to beat.  Falls back
+    to 3x the seed measurement if the baseline file is absent."""
+    baseline = Path(__file__).parent / "baselines" / "BENCH_serve.json"
+    smoke_qps = 4800.0
+    if baseline.exists():
+        metrics = json.loads(baseline.read_text()).get("metrics", {})
+        smoke_qps = float(metrics.get("smoke_qps", smoke_qps))
+    return 3.0 * smoke_qps
+
+WORKLOAD = [
+    "SELECT COUNT(*) FROM R WHERE state = 'CA'",
+    "SELECT COUNT(*) FROM R WHERE hour BETWEEN 1 AND 2",
+    "SELECT COUNT(*) FROM R WHERE hour >= 1 AND hour <= 2",
+    "SELECT COUNT(*) FROM R GROUP BY state",
+    "SELECT SUM(hour) FROM R WHERE state = 'NY'",
+    "SELECT AVG(hour) FROM R WHERE state = 'CA'",
+    "SELECT COUNT(*) FROM R WHERE state = 'WA' AND hour >= 2",
+]
+
+
+def _summary():
+    schema = Schema(
+        [Domain("state", ["CA", "NY", "WA"]), integer_domain("hour", 4)]
+    )
+    rng = np.random.default_rng(3)
+    relation = Relation(
+        schema,
+        [rng.choice(3, size=400, p=[0.5, 0.3, 0.2]), rng.integers(0, 4, 400)],
+    )
+    return (
+        SummaryBuilder(relation)
+        .pairs(("state", "hour"))
+        .per_pair_budget(4)
+        .iterations(40)
+        .name("wire-bench")
+        .fit()
+    )
+
+
+def test_binary_protocol_speedup():
+    """Acceptance: pipelined binary >= 3x the checked-in serve
+    baseline's smoke qps (and >= 2.5x the same-box JSON leg), with
+    warm-cache binary p95 < 1 ms."""
+    requests = 200 if active_scale().name == "small" else 400
+    qps_floor = _serve_smoke_floor()
+    server = SummaryServer(
+        _summary(), config=ServeConfig(window_ms=1.0, cache_ttl=None)
+    )
+    with ServerThread(server) as running:
+        # Warm the shared cache once so every leg measures the serving
+        # path (framing + cache + merge), not first-touch model math.
+        with ServeClient(port=running.port) as warmer:
+            for sql in WORKLOAD:
+                warmer.query(sql)
+
+        legs = {
+            "json": dict(protocol="json"),
+            "binary": dict(protocol="binary"),
+            "pipelined": dict(protocol="binary", pipeline=PIPELINE),
+            # One closed-loop client: measures the serve path's own
+            # latency, not K in-process load threads fighting over the
+            # GIL (client threads share this process with the server).
+            "latency": dict(protocol="binary", clients=1),
+        }
+        reports = {}
+        for leg, kwargs in legs.items():
+            reports[leg] = run_load(
+                running.host,
+                running.port,
+                WORKLOAD,
+                clients=kwargs.pop("clients", CLIENTS),
+                requests_per_client=requests,
+                **kwargs,
+            )
+            print(f"\n{leg:>9}: {reports[leg].describe()}")
+
+    json_leg, binary, pipelined, latency = (
+        reports["json"], reports["binary"], reports["pipelined"],
+        reports["latency"],
+    )
+    wire_speedup = pipelined.qps / json_leg.qps
+    binary_speedup = binary.qps / json_leg.qps
+    print(f"binary/json: {binary_speedup:.2f}x, pipelined/json: {wire_speedup:.2f}x")
+    REPORT.record(
+        {
+            "clients": CLIENTS,
+            "requests_per_client": requests,
+            "pipeline_depth": PIPELINE,
+            "workload_queries": len(WORKLOAD),
+            "qps_json": round(json_leg.qps, 1),
+            "qps_binary": round(binary.qps, 1),
+            "qps_pipelined": round(pipelined.qps, 1),
+            "p50_ms_binary": round(latency.p50_ms, 3),
+            "p95_ms_binary": round(latency.p95_ms, 3),
+            "p95_ms_pipelined": round(pipelined.p95_ms, 3),
+            "binary_speedup": round(binary_speedup, 2),
+            "wire_speedup": round(wire_speedup, 2),
+            "serve_smoke_floor": round(qps_floor, 1),  # informational
+            "errors": (
+                json_leg.errors + binary.errors + pipelined.errors
+                + latency.errors
+            ),
+        },
+        thresholds=[
+            ("qps_pipelined", ">=", round(qps_floor, 1)),
+            ("wire_speedup", ">=", 2.5),
+            ("p95_ms_binary", "<", 1.0),
+            ("errors", "==", 0),
+        ],
+    )
+    assert json_leg.errors == binary.errors == pipelined.errors == 0
+    assert latency.errors == 0
+    assert pipelined.qps >= qps_floor, (
+        f"pipelined binary {pipelined.qps:.0f} q/s < 3x the serve "
+        f"baseline's smoke qps ({qps_floor:.0f})"
+    )
+    assert wire_speedup >= 2.5, (
+        f"pipelined binary speedup {wire_speedup:.2f}x < 2.5x "
+        f"({pipelined.qps:.0f} vs {json_leg.qps:.0f} q/s)"
+    )
+    assert latency.p95_ms < 1.0, (
+        f"warm-cache binary p95 {latency.p95_ms:.3f} ms >= 1 ms"
+    )
+
+
+def test_round_trip_equivalence():
+    """Both protocols answer the whole workload identically — the
+    throughput above is not bought with a different answer."""
+    server = SummaryServer(
+        _summary(), config=ServeConfig(window_ms=1.0, cache_ttl=None)
+    )
+    with ServerThread(server) as running:
+        with ServeClient(port=running.port) as binary:
+            with ServeClient(port=running.port, protocol="json") as debug:
+                mismatches = 0
+                for sql in WORKLOAD:
+                    if binary.query(sql) != debug.query(sql):
+                        mismatches += 1
+                batch = binary.query_many(WORKLOAD)
+                singles = [binary.query(sql) for sql in WORKLOAD]
+                if batch != singles:
+                    mismatches += 1
+    REPORT.record(
+        {"equivalence_mismatches": mismatches},
+        thresholds=[("equivalence_mismatches", "==", 0)],
+    )
+    assert mismatches == 0

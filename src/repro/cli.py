@@ -211,6 +211,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="round estimates the paper's way",
         )
+        command.add_argument(
+            "--protocol",
+            choices=("binary", "json"),
+            default="binary",
+            help="wire protocol: length-prefixed binary (default) or "
+            "line-delimited JSON for debugging; the server always "
+            "answers JSON clients either way",
+        )
 
     serve = commands.add_parser(
         "serve",
@@ -263,6 +271,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "default: a mix derived from the model's schema",
     )
     add_serve_tuning(bench_serve)
+    bench_serve.add_argument(
+        "--pipeline",
+        type=int,
+        default=1,
+        help="statements per pipelined query_batch round trip "
+        "(default 1 = one query per round trip)",
+    )
     bench_serve.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
@@ -594,6 +609,7 @@ def _serve_config(args, *, host: str | None = None, port: int | None = None):
         cache_ttl=args.cache_ttl,
         coalesce=not args.no_coalesce,
         rounded=args.rounded,
+        binary=getattr(args, "protocol", "binary") != "json",
         watch_interval=getattr(args, "watch", None),
     ).validated()
 
@@ -704,12 +720,16 @@ def _cmd_bench_serve(args) -> int:
             workload,
             clients=args.clients,
             requests_per_client=args.requests,
+            protocol=args.protocol,
+            pipeline=args.pipeline,
         )
     document = {
         "name": "bench-serve",
         "summary": server.label,
         "coalesce": config.coalesce,
         "window_ms": config.window_ms,
+        "protocol": args.protocol,
+        "pipeline": args.pipeline,
         "workload_queries": len(workload),
         **report.to_metrics(),
     }

@@ -39,13 +39,15 @@ from __future__ import annotations
 import json
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.arena import ShardArena
 from repro.core.summary import EntropySummary
 from repro.data.relation import Relation
 from repro.errors import QueryError, ReproError
@@ -270,6 +272,13 @@ class ShardedSummary:
         else:
             self._by_pos = schema.position(shard_by)
             self._owned = [RangePredicate(low, high) for low, high in ranges]
+        # The contiguous evaluation kernel (built lazily, or eagerly via
+        # warm()) and the persistent shard-fanout pool for the legacy
+        # per-shard path.  Both are derived state: never pickled.
+        self._arena: ShardArena | None = None
+        self._arena_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -327,6 +336,64 @@ class ShardedSummary:
         )
         return cls(shards, name=name, shard_by=shard_by, ranges=partition.ranges)
 
+    # -- derived evaluation state ----------------------------------------
+    @property
+    def arena(self) -> ShardArena:
+        """The contiguous cross-shard evaluation kernel (built on first
+        use; :meth:`warm` builds it eagerly at load/publish time)."""
+        arena = self._arena
+        if arena is None:
+            with self._arena_lock:
+                arena = self._arena
+                if arena is None:
+                    arena = self._arena = ShardArena(self)
+        return arena
+
+    def warm(self) -> "ShardedSummary":
+        """Eagerly build the arena (load / hot-reload / publish path)."""
+        self.arena
+        return self
+
+    def _executor(self) -> ThreadPoolExecutor:
+        """The persistent shard-fanout pool (one per summary, created on
+        first parallel batch, shut down by :meth:`close`)."""
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = self._pool = ThreadPoolExecutor(
+                        max_workers=self.num_shards,
+                        thread_name_prefix="repro-shard",
+                    )
+        return pool
+
+    def close(self) -> None:
+        """Deterministically release the shard-fanout pool."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedSummary":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for derived in ("_arena", "_pool", "_arena_lock", "_pool_lock"):
+            state.pop(derived, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._arena = None
+        self._arena_lock = threading.Lock()
+        self._pool = None
+        self._pool_lock = threading.Lock()
+
     # -- introspection ---------------------------------------------------
     @property
     def num_shards(self) -> int:
@@ -353,6 +420,9 @@ class ShardedSummary:
     def clear_cache(self) -> None:
         for shard in self.shards:
             shard.engine.clear_cache()
+        arena = self._arena
+        if arena is not None:
+            arena.clear_cache()
 
     def size_report(self) -> dict:
         """Aggregate storage footprint across shards."""
@@ -416,9 +486,11 @@ class ShardedSummary:
         ]
         if ranges is None:
             ranges = self.owned_ranges
+        # Publishes swap summaries under live traffic: build the new
+        # arena now so the first query never pays for it.
         return ShardedSummary(
             shards, name=self.name, shard_by=self.shard_by, ranges=ranges
-        )
+        ).warm()
 
     # -- shard routing ---------------------------------------------------
     def shard_conjunctions(
@@ -485,33 +557,63 @@ class ShardedSummary:
             if (mask & owned.mask(size)).any()
         ]
 
+    def _query_masks(self, predicate: Conjunction | None) -> dict:
+        """A predicate's per-position masks (schema-checked) for the
+        arena kernel; owned-range folding happens inside the arena."""
+        if predicate is None or predicate.is_trivial():
+            return {}
+        if predicate.schema != self.schema:
+            raise QueryError("query predicate uses a different schema")
+        return predicate.attribute_masks()
+
     # -- querying --------------------------------------------------------
     def count(self, predicate: Conjunction) -> MergedEstimate:
         """Merged estimate of ``SELECT COUNT(*) WHERE predicate``."""
         return self.estimate(predicate)
 
-    def estimate(self, predicate: Conjunction | None) -> MergedEstimate:
-        estimates = [
-            shard.engine.estimate(narrowed)
-            for shard, narrowed in zip(
-                self.shards, self.shard_conjunctions(predicate)
-            )
-            if narrowed is not None
-        ]
-        return _merge(estimates, self.total)
+    def estimate(
+        self, predicate: Conjunction | None, use_arena: bool = True
+    ) -> MergedEstimate:
+        if not use_arena:
+            estimates = [
+                shard.engine.estimate(narrowed)
+                for shard, narrowed in zip(
+                    self.shards, self.shard_conjunctions(predicate)
+                )
+                if narrowed is not None
+            ]
+            return _merge(estimates, self.total)
+        expectation, variance = self.arena.estimate_masks_batch(
+            [self._query_masks(predicate)]
+        )[0]
+        return MergedEstimate(expectation, variance, self.total)
 
     def estimate_batch(
         self,
         predicates: Sequence[Conjunction],
         parallel: bool | None = None,
+        use_arena: bool = True,
     ) -> list[MergedEstimate]:
-        """Merged estimates for a batch, one vectorized pass per shard.
+        """Merged estimates for a batch in one arena pass.
 
-        Shards are independent, so with ``parallel`` (default: when the
-        machine has more than one core) the per-shard batch evaluations
-        fan out across a thread pool — the numpy evaluation kernels run
-        outside the GIL.
+        The default route evaluates every query across every live shard
+        in a single set of matrix operations over the
+        :class:`~repro.core.arena.ShardArena`.  ``use_arena=False``
+        falls back to per-shard vectorized evaluation; there,
+        ``parallel`` (default: when the machine has more than one core)
+        fans the shard passes across the summary's persistent thread
+        pool — the numpy kernels run outside the GIL.
         """
+        if use_arena:
+            masks_list = [
+                self._query_masks(predicate) for predicate in predicates
+            ]
+            return [
+                MergedEstimate(expectation, variance, self.total)
+                for expectation, variance in self.arena.estimate_masks_batch(
+                    masks_list
+                )
+            ]
         predicates = [
             predicate if predicate is not None else Conjunction(self.schema, {})
             for predicate in predicates
@@ -557,10 +659,9 @@ class ShardedSummary:
         if parallel is None:
             parallel = (os.cpu_count() or 1) > 1
         if parallel and self.num_shards > 1:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=self.num_shards) as pool:
-                passes = list(pool.map(shard_pass, range(self.num_shards)))
+            # Persistent pool: constructing an executor per call costs
+            # more than the shard passes themselves on small batches.
+            passes = list(self._executor().map(shard_pass, range(self.num_shards)))
         else:
             passes = [shard_pass(index) for index in range(self.num_shards)]
         for live, estimates in passes:
@@ -576,9 +677,22 @@ class ShardedSummary:
         self,
         attrs: Sequence,
         predicate: Conjunction | None = None,
+        use_arena: bool = True,
     ) -> dict[tuple, MergedEstimate]:
         """Merged GROUP BY COUNT(*): the union of shard groups, with
-        per-label expectations summed and variances added."""
+        per-label expectations summed and variances added.  The default
+        route batches every (shard, group combination) through one
+        arena gradient pass; ``use_arena=False`` walks shards one by
+        one."""
+        if use_arena:
+            positions = [self.schema.position(attr) for attr in attrs]
+            results = self.arena.group_by(
+                positions, self._query_masks(predicate)
+            )
+            return {
+                labels: MergedEstimate(expectation, variance, self.total)
+                for labels, (expectation, variance) in results.items()
+            }
         merged: dict[tuple, list[float]] = {}
         for shard, narrowed in zip(
             self.shards, self.shard_conjunctions(predicate)
@@ -599,9 +713,14 @@ class ShardedSummary:
         attr,
         weights: np.ndarray,
         predicate: Conjunction | None = None,
+        use_arena: bool = True,
     ) -> float:
         """Merged ``E[SUM(w(attr))]`` — per-shard sums add by linearity."""
         pos = self.schema.position(attr)
+        if use_arena:
+            return self.arena.sum_estimate(
+                pos, weights, self._query_masks(predicate)
+            )
         total = 0.0
         for shard, narrowed in zip(
             self.shards, self.shard_conjunctions(predicate)
@@ -669,7 +788,7 @@ class ShardedSummary:
             name=manifest["name"],
             shard_by=manifest["shard_by"],
             ranges=manifest["ranges"],
-        )
+        ).warm()
 
     def __repr__(self):
         by = f", by={self.shard_by!r}" if self.shard_by else ""

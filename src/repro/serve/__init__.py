@@ -4,9 +4,11 @@ Everything below this package answers queries for *one in-process
 caller*; this package multiplexes many concurrent clients onto those
 same shared structures:
 
-* :class:`SummaryServer` / :class:`ServeConfig` — asyncio JSON-lines
-  TCP server hosting named sessions over one backend, with hot reload
-  of store versions (``SIGHUP`` or the ``reload`` op);
+* :class:`SummaryServer` / :class:`ServeConfig` — asyncio TCP server
+  hosting named sessions over one backend, with hot reload of store
+  versions (``SIGHUP`` or the ``reload`` op); speaks the binary
+  framed protocol (:mod:`repro.serve.wire`) and line-delimited JSON
+  on the same port (first-byte sniff per connection);
 * :class:`Coalescer` — micro-batching with same-canonical-key dedup,
   flushing through the planner's batched executor;
 * :class:`TTLCache` — the process-wide result cache keyed on
@@ -22,6 +24,7 @@ same shared structures:
 See ``docs/serving.md`` for the lifecycle and tuning guide.
 """
 
+from repro.serve import wire
 from repro.serve.admission import AdmissionController, ServerSaturated
 from repro.serve.cache import TTLCache
 from repro.serve.client import ServeClient, ServeError, ServerBusy
@@ -34,6 +37,7 @@ from repro.serve.server import (
     result_payload,
 )
 from repro.serve.watcher import StoreWatcher
+from repro.serve.wire import WireError, WireVersionError
 
 __all__ = [
     "AdmissionController",
@@ -48,6 +52,9 @@ __all__ = [
     "StoreWatcher",
     "SummaryServer",
     "TTLCache",
+    "WireError",
+    "WireVersionError",
     "result_payload",
     "run_load",
+    "wire",
 ]

@@ -1,4 +1,4 @@
-"""A small synchronous client for the JSON-lines serve protocol.
+"""A small synchronous client for the serve protocols.
 
 Used by the test suite, the CLI (``repro ping`` / ``repro bench-serve``)
 and the load generator.  One client owns one TCP connection and sends
@@ -8,6 +8,12 @@ one request at a time::
         client.ping()
         payload = client.query("SELECT COUNT(*) FROM R WHERE x >= 3")
         print(payload["value"])
+
+The default transport is the length-prefixed binary protocol
+(:mod:`repro.serve.wire`); pass ``protocol="json"`` for the
+line-delimited JSON debug protocol.  Both speak to the same server —
+it sniffs the first byte of each connection.  ``query_many`` pipelines
+a whole batch of statements into one ``query_batch`` round trip.
 
 A 503-style rejection raises :class:`ServerBusy` carrying the server's
 ``Retry-After`` hint; ``query(..., retries=N)`` sleeps on the hint and
@@ -23,6 +29,7 @@ import socket
 import time
 
 from repro.errors import ReproError
+from repro.serve import wire
 
 
 def backoff_delay(attempt: int, hint: float, rng: random.Random) -> float:
@@ -67,13 +74,19 @@ class ServeClient:
         *,
         timeout: float = 30.0,
         session: str = "default",
+        protocol: str = "binary",
         backoff_seed: int | None = None,
         chaos=None,
     ):
         if port <= 0:
             raise ReproError(f"client needs a positive --port, got {port}")
+        if protocol not in ("binary", "json"):
+            raise ReproError(
+                f"unknown protocol {protocol!r}; expected 'binary' or 'json'"
+            )
         self.host = host
         self.port = int(port)
+        self.protocol = protocol
         self.timeout = timeout
         self.session = session
         self._sock: socket.socket | None = None
@@ -136,22 +149,10 @@ class ServeClient:
             )
         self._next_id += 1
         request_id = self._next_id
-        request = {"id": request_id, "op": op, **fields}
-        try:
-            self._sock.sendall(json.dumps(request).encode() + b"\n")
-            while True:
-                line = self._file.readline()
-                if not line:
-                    raise ServeError(
-                        f"server {self.host}:{self.port} closed the connection"
-                    )
-                response = json.loads(line)
-                if response.get("id") in (request_id, None):
-                    break
-        except (OSError, ValueError) as error:
-            raise ServeError(
-                f"transport error talking to {self.host}:{self.port}: {error}"
-            ) from error
+        if self.protocol == "binary":
+            response = self._roundtrip_binary(op, request_id, fields)
+        else:
+            response = self._roundtrip_json(op, request_id, fields)
         if response.get("ok"):
             return response
         status = int(response.get("status", 0))
@@ -163,6 +164,51 @@ class ServeClient:
                 payload=response,
             )
         raise ServeError(message, status=status, payload=response)
+
+    def _roundtrip_json(self, op: str, request_id: int, fields: dict) -> dict:
+        request = {"id": request_id, "op": op, **fields}
+        try:
+            self._sock.sendall(json.dumps(request).encode() + b"\n")
+            while True:
+                line = self._file.readline()
+                if not line:
+                    raise ServeError(
+                        f"server {self.host}:{self.port} closed the connection"
+                    )
+                response = json.loads(line)
+                if response.get("id") in (request_id, None):
+                    return response
+        except (OSError, ValueError) as error:
+            raise ServeError(
+                f"transport error talking to {self.host}:{self.port}: {error}"
+            ) from error
+
+    def _read_frame_bytes(self, count: int) -> bytes:
+        data = self._file.read(count)
+        if data is None or len(data) != count:
+            raise ServeError(
+                f"server {self.host}:{self.port} closed the connection"
+            )
+        return data
+
+    def _roundtrip_binary(self, op: str, request_id: int, fields: dict) -> dict:
+        request = {"op": op, **fields}
+        try:
+            self._sock.sendall(wire.encode_request(request, request_id))
+            while True:
+                header = self._read_frame_bytes(wire.HEADER_SIZE)
+                opcode, length, reply_id = wire.decode_header(header)
+                body = self._read_frame_bytes(length)
+                if reply_id == request_id:
+                    return wire.unpackb(body)
+                if reply_id == 0 and opcode == wire.OP_ERROR:
+                    # Connection-level error: the server is about to
+                    # close; there will be no frame with our id.
+                    return wire.unpackb(body)
+        except (OSError, ValueError, wire.WireError) as error:
+            raise ServeError(
+                f"transport error talking to {self.host}:{self.port}: {error}"
+            ) from error
 
     # -- convenience wrappers ----------------------------------------------
     def query(
@@ -197,7 +243,45 @@ class ServeClient:
                 response = self.call(
                     "query", sql=sql, session=session or self.session
                 )
-                return response["result"]
+                return wire.client_view(response["result"])
+            except ServerBusy as busy:
+                if attempt == attempts - 1:
+                    raise
+                delay = backoff_delay(
+                    attempt, busy.retry_after, self._backoff_rng
+                )
+                if deadline is not None and time.monotonic() + delay > deadline:
+                    raise  # total retry budget exhausted
+                time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def query_many(
+        self,
+        sqls: list,
+        *,
+        session: str | None = None,
+        retries: int = 0,
+        deadline_s: float | None = None,
+    ) -> list:
+        """Pipeline a batch of statements in one ``query_batch`` round
+        trip; returns one result payload per statement, in order.  The
+        whole batch costs one admission slot and one network round trip
+        — the high-throughput path for bulk query streams.  Retry
+        semantics match :meth:`query` (the batch retries as a unit)."""
+        attempts = max(int(retries), 0) + 1
+        deadline = (
+            None if deadline_s is None else time.monotonic() + float(deadline_s)
+        )
+        for attempt in range(attempts):
+            try:
+                response = self.call(
+                    "query_batch",
+                    sqls=list(sqls),
+                    session=session or self.session,
+                )
+                return [
+                    wire.client_view(result) for result in response["results"]
+                ]
             except ServerBusy as busy:
                 if attempt == attempts - 1:
                     raise

@@ -82,16 +82,22 @@ def run_load(
     clients: int = 8,
     requests_per_client: int = 50,
     timeout: float = 60.0,
+    protocol: str = "binary",
+    pipeline: int = 1,
 ) -> LoadReport:
     """Run the closed-loop load and gather the report.
 
     Each client walks the workload from its own offset (so concurrent
     clients overlap on the same queries — the repeated-workload mix
     coalescing and the shared cache exist for), sending the next
-    request as soon as the previous answer lands.
+    request as soon as the previous answer lands.  ``protocol`` picks
+    the wire format; ``pipeline`` > 1 sends that many statements per
+    ``query_batch`` round trip (per-query latency is then the batch
+    round trip amortized over its statements).
     """
     if not workload:
         raise ServeError("load generator needs a non-empty workload")
+    pipeline = max(int(pipeline), 1)
     latencies: list[list[float]] = [[] for _ in range(clients)]
     errors = [0] * clients
     backoffs = [0] * clients
@@ -102,20 +108,33 @@ def run_load(
         # the same hint and stampede back in lockstep.
         rng = random.Random(index)
         with ServeClient(
-            host, port, timeout=timeout, session=f"load-{index}"
+            host,
+            port,
+            timeout=timeout,
+            session=f"load-{index}",
+            protocol=protocol,
         ) as client:
             client.ping()  # connect before the clock starts
             start_barrier.wait()
-            for step in range(requests_per_client):
-                sql = workload[(index * 7 + step) % len(workload)]
+            for step in range(0, requests_per_client, pipeline):
+                width = min(pipeline, requests_per_client - step)
+                sqls = [
+                    workload[(index * 7 + step + lane) % len(workload)]
+                    for lane in range(width)
+                ]
                 begin = time.perf_counter()
                 attempt = 0
                 while True:
                     try:
-                        client.query(sql)
+                        if width == 1:
+                            client.query(sqls[0])
+                        else:
+                            client.query_many(sqls)
                         # Only served round-trips count toward the
-                        # latency quantiles and QPS.
-                        latencies[index].append(time.perf_counter() - begin)
+                        # latency quantiles and QPS; a pipelined batch
+                        # amortizes its round trip over its statements.
+                        each = (time.perf_counter() - begin) / width
+                        latencies[index].extend([each] * width)
                         break
                     except ServerBusy as busy:
                         backoffs[index] += 1
@@ -124,10 +143,13 @@ def run_load(
                         )
                         attempt += 1
                     except ServeError:
-                        errors[index] += 1
+                        errors[index] += width
                         break
 
-    with ServeClient(host, port, timeout=timeout) as observer:
+    # The observer speaks the same protocol as the workers — a
+    # JSON-only server (``serve --protocol json``) closes binary
+    # connections on the first byte.
+    with ServeClient(host, port, timeout=timeout, protocol=protocol) as observer:
         before = observer.stats()["cache"]
         threads = [
             threading.Thread(target=worker, args=(index,), daemon=True)

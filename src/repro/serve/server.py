@@ -21,16 +21,25 @@ sessions over one shared backend loaded from a
   store version without dropping in-flight requests (each request
   pins the generation it started on).
 
-Protocol — one JSON object per line, each answered by one JSON line::
+Two wire protocols share the port, selected by sniffing each
+connection's **first byte** (see :mod:`repro.serve.wire`):
 
-    {"id": 1, "op": "query", "sql": "SELECT COUNT(*) FROM R", "session": "a"}
-    {"id": 1, "ok": true, "status": 200, "result": {"kind": "scalar", ...},
-     "cached": false, "version": 3}
+* **binary** (the default client transport) — length-prefixed frames
+  whose first byte is the non-ASCII magic ``0xAB``; group-by count
+  vectors ship as raw float64 buffers;
+* **JSON lines** — anything else; one JSON object per line, answered
+  by one JSON line (the debugging protocol, and what pre-binary
+  clients already speak)::
 
-Ops: ``query`` (the only admitted/coalesced one), ``ping``, ``stats``,
-``describe``, ``reload`` (optional ``version``/``tag``).  Errors come
-back with ``ok: false`` and an HTTP-flavored ``status`` — 400 for bad
-requests, 503 with ``retry_after`` when saturated, 500 otherwise.
+      {"id": 1, "op": "query", "sql": "SELECT COUNT(*) FROM R", "session": "a"}
+      {"id": 1, "ok": true, "status": 200, "result": {"kind": "scalar", ...},
+       "cached": false, "version": 3}
+
+Ops: ``query`` and ``query_batch`` (the admitted/coalesced ones),
+``ping``, ``stats``, ``describe``, ``reload`` (optional
+``version``/``tag``).  Errors come back with ``ok: false`` and an
+HTTP-flavored ``status`` — 400 for bad requests, 503 with
+``retry_after`` when saturated, 500 otherwise.
 """
 
 from __future__ import annotations
@@ -42,10 +51,13 @@ import threading
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.api.explorer import Explorer
 from repro.api.store import SummaryStore
 from repro.errors import InjectedFault, QueryError, ReproError
 from repro.query.results import QueryResult
+from repro.serve import wire
 from repro.serve.admission import AdmissionController, ServerSaturated
 from repro.serve.cache import TTLCache
 from repro.serve.coalescer import Coalescer
@@ -80,6 +92,10 @@ class ServeConfig:
     #: (e.g. from ``repro ingest``) are hot-reloaded automatically —
     #: the interval is the serving-staleness bound.
     watch_interval: float | None = None
+    #: Accept binary-framed connections (--protocol).  Off, every
+    #: connection is treated as JSON lines — the debugging mode
+    #: (``repro serve --protocol json``).  JSON clients work either way.
+    binary: bool = True
 
     def validated(self) -> "ServeConfig":
         """Range-check every knob; errors name the CLI flag at fault."""
@@ -150,8 +166,25 @@ def _plain(value):
     return value.item() if hasattr(value, "item") else value
 
 
+def _wire_label(value):
+    """One group label as a wire type (exotic label objects — e.g.
+    binned-domain intervals — render to their string form *here*, on
+    purpose; the strict encoders refuse to guess downstream)."""
+    value = _plain(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
 def result_payload(result: QueryResult) -> dict:
-    """JSON-ready view of one :class:`QueryResult` (wire format)."""
+    """Wire-neutral view of one :class:`QueryResult`.
+
+    Scalars are already plain JSON types.  Grouped results keep the
+    label rows and the count vector *separate* — the binary protocol
+    ships ``counts`` as a raw float64 buffer (zero-copy), and the JSON
+    path renders the documented ``rows`` shape via
+    :func:`repro.serve.wire.rows_view` at encode time.
+    """
     if result.is_scalar:
         payload: dict = {"kind": "scalar", "value": float(result.scalar)}
         if result.estimate is not None:
@@ -162,11 +195,23 @@ def result_payload(result: QueryResult) -> dict:
     return {
         "kind": "rows",
         "group_by": list(result.query.group_by),
-        "rows": [
-            [*(_plain(label) for label in row.labels), float(row.count)]
-            for row in result.rows
+        "labels": [
+            [_wire_label(label) for label in row.labels] for row in result.rows
         ],
+        "counts": np.asarray(
+            [row.count for row in result.rows], dtype=np.float64
+        ),
     }
+
+
+async def _read_exactly(reader, count: int):
+    """Read exactly ``count`` bytes, or ``None`` on EOF/peer drop."""
+    if count == 0:
+        return b""
+    try:
+        return await reader.readexactly(count)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        return None
 
 
 class SummaryServer:
@@ -362,17 +407,24 @@ class SummaryServer:
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
         try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                task = asyncio.create_task(
-                    self._serve_request(writer, write_lock, client, line)
-                )
-                tasks.add(task)
-                task.add_done_callback(tasks.discard)
+            # Protocol sniff: the binary magic's first byte is non-ASCII,
+            # so no JSON-lines request can ever start with it.  JSON
+            # clients keep working with no flag or handshake.
+            first = await reader.read(1)
+            if first:
+                if first == wire.MAGIC[:1]:
+                    # Binary framing.  With binary disabled, close right
+                    # away — no JSON line starts with the magic byte, and
+                    # waiting for a newline that never comes would hang
+                    # the client until its socket timeout.
+                    if self.config.binary:
+                        await self._binary_loop(
+                            reader, writer, write_lock, client, tasks, first
+                        )
+                else:
+                    await self._json_loop(
+                        reader, writer, write_lock, client, tasks, first
+                    )
         finally:
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
@@ -381,6 +433,115 @@ class SummaryServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass  # connection teardown racing server shutdown
+
+    async def _json_loop(
+        self, reader, writer, write_lock, client, tasks, first: bytes
+    ) -> None:
+        pending = first
+        while True:
+            line = pending + await reader.readline()
+            pending = b""
+            if not line:
+                break
+            if not line.strip():
+                continue
+            task = asyncio.create_task(
+                self._serve_request(writer, write_lock, client, line)
+            )
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+
+    async def _binary_loop(
+        self, reader, writer, write_lock, client, tasks, first: bytes
+    ) -> None:
+        """One binary connection: framed requests, pipelined responses.
+
+        Framing errors that leave the stream aligned (a bad body) are
+        answered per-frame; errors that lose alignment (bad magic,
+        version mismatch, oversized declared length) are answered once
+        with a connection-level error frame, then the connection closes
+        — the client reconnects cleanly rather than resyncing."""
+        rest = await _read_exactly(reader, wire.HEADER_SIZE - 1)
+        header = None if rest is None else first + rest
+        while header is not None:
+            try:
+                opcode, length, request_id = wire.decode_header(header)
+            except wire.WireError as error:
+                await self._write_frame(
+                    writer,
+                    write_lock,
+                    wire.error_frame(0, 400, str(error)),
+                )
+                self.errors += 1
+                return
+            body = await _read_exactly(reader, length)
+            if body is None:
+                return  # peer vanished mid-frame
+            try:
+                request = wire.decode_request(opcode, body)
+            except wire.WireError as error:
+                # Body consumed; the stream is still frame-aligned.
+                self.errors += 1
+                await self._write_frame(
+                    writer,
+                    write_lock,
+                    wire.error_frame(request_id, 400, str(error)),
+                )
+            else:
+                task = asyncio.create_task(
+                    self._serve_binary_request(
+                        writer, write_lock, client, request_id, request
+                    )
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            header = await _read_exactly(reader, wire.HEADER_SIZE)
+
+    async def _write_frame(self, writer, write_lock, frame: bytes) -> None:
+        async with write_lock:
+            writer.write(frame)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; nothing to do
+
+    async def _respond(self, client: str, request: dict) -> dict:
+        """Dispatch one request dict, mapping failures to the protocol's
+        error envelopes (shared by both wire protocols)."""
+        try:
+            return await self._dispatch(client, request)
+        except ServerSaturated as busy:
+            self.errors += 1
+            return {
+                "ok": False,
+                "status": 503,
+                "error": str(busy),
+                "scope": busy.scope,
+                "retry_after": busy.retry_after,
+            }
+        except InjectedFault as fault:
+            # Injected faults are transient by construction: answer
+            # like admission control (503 + Retry-After) so clients
+            # retry on the hint instead of treating a chaos-killed
+            # worker or erroring backend as a bad request.
+            self.errors += 1
+            return {
+                "ok": False,
+                "status": 503,
+                "error": str(fault),
+                "scope": "chaos",
+                "retry_after": max(self.config.window_ms / 1e3, 0.05),
+            }
+        except (QueryError, ReproError) as error:
+            self.errors += 1
+            return {"ok": False, "status": 400, "error": str(error)}
+        except Exception as error:  # pragma: no cover - defensive
+            self.errors += 1
+            return {
+                "ok": False,
+                "status": 500,
+                "error": f"{type(error).__name__}: {error}",
+            }
 
     async def _serve_request(
         self, writer, write_lock: asyncio.Lock, client: str, line: bytes
@@ -397,48 +558,62 @@ class SummaryServer:
             request = json.loads(line)
             if not isinstance(request, dict):
                 raise QueryError("request must be a JSON object")
-            request_id = request.get("id")
-            response = await self._dispatch(client, request)
-        except ServerSaturated as busy:
-            self.errors += 1
-            response = {
-                "ok": False,
-                "status": 503,
-                "error": str(busy),
-                "scope": busy.scope,
-                "retry_after": busy.retry_after,
-            }
-        except InjectedFault as fault:
-            # Injected faults are transient by construction: answer
-            # like admission control (503 + Retry-After) so clients
-            # retry on the hint instead of treating a chaos-killed
-            # worker or erroring backend as a bad request.
-            self.errors += 1
-            response = {
-                "ok": False,
-                "status": 503,
-                "error": str(fault),
-                "scope": "chaos",
-                "retry_after": max(self.config.window_ms / 1e3, 0.05),
-            }
-        except (QueryError, ReproError, json.JSONDecodeError) as error:
+        except (QueryError, json.JSONDecodeError) as error:
             self.errors += 1
             response = {"ok": False, "status": 400, "error": str(error)}
-        except Exception as error:  # pragma: no cover - defensive
-            self.errors += 1
-            response = {
-                "ok": False,
-                "status": 500,
-                "error": f"{type(error).__name__}: {error}",
-            }
+        else:
+            request_id = request.get("id")
+            response = await self._respond(client, request)
         response["id"] = request_id
-        payload = json.dumps(response, default=str).encode() + b"\n"
+        try:
+            # Strict encoding: a non-serializable value in a response is
+            # a server bug; answer 500 instead of shipping stringified
+            # garbage (the old ``default=str`` failure mode).
+            payload = wire.encode_json_line(response)
+        except wire.WireError as error:
+            self.errors += 1
+            payload = wire.encode_json_line(
+                {
+                    "ok": False,
+                    "status": 500,
+                    "error": f"response not serializable: {error}",
+                    "id": request_id,
+                }
+            )
         async with write_lock:
             writer.write(payload)
             try:
                 await writer.drain()
             except (ConnectionError, OSError):
                 pass  # client went away; nothing to do
+
+    async def _serve_binary_request(
+        self,
+        writer,
+        write_lock: asyncio.Lock,
+        client: str,
+        request_id: int,
+        request: dict,
+    ) -> None:
+        chaos = self.chaos
+        if chaos is not None and chaos.decide("server.drop_connection"):
+            # Injected drop, binary flavor: leave a *partial* frame on
+            # the wire before closing so clients exercise the
+            # mid-frame-failure path, not just clean EOF.
+            async with write_lock:
+                writer.write(wire.truncated_frame())
+                writer.close()
+            return
+        response = await self._respond(client, request)
+        opcode = wire.OP_REPLY if response.get("ok") else wire.OP_ERROR
+        try:
+            frame = wire.encode_frame(opcode, request_id, response)
+        except wire.WireError as error:
+            self.errors += 1
+            frame = wire.error_frame(
+                request_id, 500, f"response not serializable: {error}"
+            )
+        await self._write_frame(writer, write_lock, frame)
 
     async def _dispatch(self, client: str, request: dict) -> dict:
         op = request.get("op", "query")
@@ -451,6 +626,17 @@ class SummaryServer:
             finally:
                 self.admission.release(client)
                 # Feeds the Retry-After hint's service-time EWMA.
+                self.admission.observe(time.perf_counter() - began)
+        if op == "query_batch":
+            # One admission slot per pipelined batch: the batch is one
+            # unit of client-side concurrency, however many statements
+            # ride in it.
+            self.admission.acquire(client)
+            began = time.perf_counter()
+            try:
+                return await self._query_batch(request)
+            finally:
+                self.admission.release(client)
                 self.admission.observe(time.perf_counter() - began)
         if op == "ping":
             return {
@@ -475,8 +661,8 @@ class SummaryServer:
             )
             return {"ok": True, "status": 200, "result": {"version": version}}
         raise QueryError(
-            f"unknown op {op!r}; expected query, ping, stats, describe, "
-            "or reload"
+            f"unknown op {op!r}; expected query, query_batch, ping, stats, "
+            "describe, or reload"
         )
 
     # -- the query path ------------------------------------------------------
@@ -509,6 +695,61 @@ class SummaryServer:
             "status": 200,
             "result": payload,
             "cached": cached,
+            "session": session_name,
+            "version": generation.version,
+        }
+
+    async def _query_batch(self, request: dict) -> dict:
+        """Pipelined batch: plan every statement against one pinned
+        generation, answer cache hits immediately, and coalesce the
+        misses into the shared flush.  One response carries all
+        results, so a client round-trip amortizes across the batch."""
+        sqls = request.get("sqls")
+        if not isinstance(sqls, (list, tuple)) or not sqls:
+            raise QueryError("query_batch op needs a non-empty 'sqls' list")
+        session_name = str(request.get("session", "default"))
+        generation = self._generation  # pin: reloads must not drop us
+        explorer = generation.session(session_name)
+        self.requests += len(sqls)
+        plans = []
+        for sql in sqls:
+            if not isinstance(sql, str) or not sql.strip():
+                raise QueryError(
+                    "query_batch entries must be non-empty SQL strings"
+                )
+            plans.append(explorer.plan(sql))
+        payloads: list = [None] * len(plans)
+        cached_flags = [False] * len(plans)
+        misses: list[tuple[int, tuple, object]] = []
+        for index, plan in enumerate(plans):
+            key = (generation.version, plan.cache_key)
+            payload = self.cache.get(key)
+            if payload is not None:
+                payloads[index] = payload
+                cached_flags[index] = True
+            else:
+                misses.append((index, key, plan))
+        if misses:
+            if self.coalescer is not None:
+                outputs = await asyncio.gather(
+                    *(
+                        self.coalescer.submit(key, (generation, plan))
+                        for _, key, plan in misses
+                    )
+                )
+            else:
+                outputs = await self._run_batch(
+                    [(generation, plan) for _, _, plan in misses]
+                )
+            for (index, _, _), output in zip(misses, outputs):
+                if isinstance(output, BaseException):
+                    raise output
+                payloads[index] = output
+        return {
+            "ok": True,
+            "status": 200,
+            "results": payloads,
+            "cached": cached_flags,
             "session": session_name,
             "version": generation.version,
         }

@@ -165,6 +165,67 @@ class TestAsyncBlocking:
         )
         assert found == []
 
+    def test_flags_socket_sendall_in_coroutine(self):
+        found = flags(
+            """\
+            async def push(self, frame):
+                self._sock.sendall(frame)
+            """,
+            "async-blocking",
+            SERVE,
+        )
+        assert len(found) == 1
+        assert "blocking socket call" in found[0].message
+
+    def test_flags_socket_recv_in_coroutine(self):
+        # `recv` is unambiguous socket API: flagged on any receiver.
+        found = flags(
+            """\
+            async def pull(peer):
+                return peer.recv(4096)
+            """,
+            "async-blocking",
+            SERVE,
+        )
+        assert len(found) == 1
+
+    def test_flags_generic_socket_method_on_named_receiver(self):
+        found = flags(
+            """\
+            async def dial(self, address):
+                self._conn.connect(address)
+            """,
+            "async-blocking",
+            SERVE,
+        )
+        assert len(found) == 1
+
+    def test_passes_generic_send_on_non_socket_receiver(self):
+        # Generators and channels have `send` too; only receivers that
+        # name a socket/connection flag.
+        found = flags(
+            """\
+            async def resume(self, generator, value):
+                generator.send(value)
+            """,
+            "async-blocking",
+            SERVE,
+        )
+        assert found == []
+
+    def test_passes_asyncio_stream_api(self):
+        found = flags(
+            """\
+            async def relay(self, reader, writer):
+                header = await reader.readexactly(16)
+                writer.write(header)
+                await writer.drain()
+            """,
+            "async-blocking",
+            SERVE,
+        )
+        assert found == []
+
     def test_passes_blocking_in_sync_function(self):
         found = flags(
             """\

@@ -1,0 +1,248 @@
+"""Tests for the contiguous cross-shard evaluation kernel
+(:class:`repro.core.arena.ShardArena`).
+
+The arena is a pure re-layout of the fitted shard parameters: every
+query answered through it must match the legacy per-shard engine path
+(``use_arena=False``) to floating-point noise — COUNT, GROUP BY, SUM
+and AVG, with and without attribute-partitioned pruning.  The lifecycle
+pieces (lazy build, ``warm``, hot-swap rebuild, pickling, the
+persistent fanout pool's deterministic shutdown) are covered here too.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.arena import ShardArena
+from repro.core.sharding import ShardedSummary
+from repro.data.domain import integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import QueryError
+from repro.stats.predicates import Conjunction, RangePredicate
+from tests.test_sharding import _fit
+
+
+@pytest.fixture(scope="module")
+def relation():
+    rng = np.random.default_rng(41)
+    schema = Schema(
+        [integer_domain("A", 4), integer_domain("B", 6), integer_domain("C", 3)]
+    )
+    columns = []
+    for size in schema.sizes():
+        weights = 1.0 / (np.arange(size) + 1.0)
+        weights /= weights.sum()
+        columns.append(rng.choice(size, size=500, p=weights))
+    return Relation(schema, columns)
+
+
+@pytest.fixture(scope="module")
+def round_robin(relation):
+    return _fit(relation, num_shards=3)
+
+
+@pytest.fixture(scope="module")
+def by_attribute(relation):
+    return _fit(relation, num_shards=3, by="B")
+
+
+@pytest.fixture(scope="module", params=["round_robin", "by_attribute"])
+def sharded(request):
+    return request.getfixturevalue(request.param)
+
+
+def _predicates(schema):
+    """A mix of shapes: trivial, point, range, multi-attribute, empty."""
+    def conj(**ranges):
+        return Conjunction(
+            schema,
+            {
+                name: RangePredicate(low, high)
+                for name, (low, high) in ranges.items()
+            },
+        )
+
+    return [
+        None,
+        conj(A=(1, 2)),
+        conj(B=(0, 2)),
+        conj(B=(3, 5)),
+        conj(B=(2, 2), A=(0, 3)),
+        conj(A=(0, 1), B=(1, 4), C=(0, 1)),
+        conj(C=(2, 2)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Equivalence with the legacy per-shard path
+# ----------------------------------------------------------------------
+
+class TestArenaEquivalence:
+    def test_count_matches_legacy(self, sharded):
+        for predicate in _predicates(sharded.schema):
+            via_arena = sharded.estimate(predicate)
+            legacy = sharded.estimate(predicate, use_arena=False)
+            assert via_arena.expectation == pytest.approx(
+                legacy.expectation, rel=1e-9, abs=1e-9
+            )
+            assert via_arena.variance == pytest.approx(
+                legacy.variance, rel=1e-9, abs=1e-9
+            )
+
+    def test_batch_matches_legacy(self, sharded):
+        predicates = _predicates(sharded.schema)
+        batch = sharded.estimate_batch(predicates)
+        legacy = sharded.estimate_batch(predicates, use_arena=False)
+        for via_arena, expected in zip(batch, legacy):
+            assert via_arena.expectation == pytest.approx(
+                expected.expectation, rel=1e-9, abs=1e-9
+            )
+            assert via_arena.variance == pytest.approx(
+                expected.variance, rel=1e-9, abs=1e-9
+            )
+
+    @pytest.mark.parametrize("attrs", [("A",), ("C",), ("A", "C"), ("B",)])
+    def test_group_by_matches_legacy(self, sharded, attrs):
+        for predicate in (None, _predicates(sharded.schema)[3]):
+            via_arena = sharded.group_by(attrs, predicate)
+            legacy = sharded.group_by(attrs, predicate, use_arena=False)
+            assert set(via_arena) == set(legacy)
+            for labels, expected in legacy.items():
+                assert via_arena[labels].expectation == pytest.approx(
+                    expected.expectation, rel=1e-9, abs=1e-9
+                )
+                assert via_arena[labels].variance == pytest.approx(
+                    expected.variance, rel=1e-9, abs=1e-9
+                )
+
+    def test_group_by_sharding_attribute(self, by_attribute):
+        """Grouping by the partitioned attribute: each shard contributes
+        only the labels inside its owned range."""
+        via_arena = by_attribute.group_by(("B",))
+        legacy = by_attribute.group_by(("B",), use_arena=False)
+        assert set(via_arena) == set(legacy)
+        for labels, expected in legacy.items():
+            assert via_arena[labels].expectation == pytest.approx(
+                expected.expectation, rel=1e-9, abs=1e-9
+            )
+
+    def test_sum_and_avg_match_legacy(self, sharded):
+        weights = np.arange(sharded.schema.domain("A").size, dtype=float)
+        for predicate in _predicates(sharded.schema):
+            via_arena = sharded.sum_estimate("A", weights, predicate)
+            legacy = sharded.sum_estimate(
+                "A", weights, predicate, use_arena=False
+            )
+            assert via_arena == pytest.approx(legacy, rel=1e-9, abs=1e-9)
+        assert sharded.avg_estimate("A", weights) == pytest.approx(
+            sharded.sum_estimate("A", weights) / sharded.total, rel=1e-9
+        )
+
+    def test_pruned_shards_contribute_exact_zero(self, by_attribute):
+        """A predicate confined to one owned range zeroes the other
+        shards' polynomials — implicit pruning, same result as the
+        legacy explicit skip."""
+        schema = by_attribute.schema
+        low, high = by_attribute.owned_ranges[0]
+        predicate = Conjunction(schema, {"B": RangePredicate(low, high)})
+        via_arena = by_attribute.estimate(predicate)
+        legacy = by_attribute.estimate(predicate, use_arena=False)
+        assert via_arena.expectation == pytest.approx(
+            legacy.expectation, rel=1e-9, abs=1e-9
+        )
+
+    def test_schema_mismatch_raises(self, sharded):
+        other = Schema([integer_domain("Z", 3)])
+        bad = Conjunction(other, {"Z": RangePredicate(0, 1)})
+        with pytest.raises(QueryError, match="different schema"):
+            sharded.estimate(bad)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: build, cache, hot swap, pickling, shutdown
+# ----------------------------------------------------------------------
+
+class TestArenaLifecycle:
+    def test_warm_builds_once_and_stats_describe_it(self, relation):
+        sharded = _fit(relation, num_shards=3)
+        assert sharded._arena is None  # lazy until warmed or queried
+        assert sharded.warm() is sharded
+        arena = sharded._arena
+        assert isinstance(arena, ShardArena)
+        assert sharded.arena is arena  # stable across calls
+        stats = arena.stats()
+        assert stats["shards"] == 3
+        assert stats["terms"] >= 0
+
+    def test_result_cache_hits_on_repeat(self, relation):
+        sharded = _fit(relation, num_shards=3).warm()
+        predicate = _predicates(sharded.schema)[1]
+        arena = sharded.arena
+        arena.clear_cache()
+        first = sharded.estimate(predicate)
+        assert arena.cache_misses == 1
+        second = sharded.estimate(predicate)
+        assert arena.cache_hits == 1
+        assert second.expectation == first.expectation
+
+    def test_clear_cache_keeps_arena_but_drops_results(self, relation):
+        sharded = _fit(relation, num_shards=3).warm()
+        arena = sharded.arena
+        sharded.estimate(_predicates(sharded.schema)[1])
+        assert arena.stats()["cache_entries"] >= 1
+        sharded.clear_cache()
+        # The arena layout derives from immutable shard parameters, so
+        # it survives; only the memoized results go.
+        assert sharded.arena is arena
+        assert arena.stats()["cache_entries"] == 0
+
+    def test_with_shards_rebuilds_the_arena(self, relation):
+        sharded = _fit(relation, num_shards=3).warm()
+        swapped = sharded.with_shards({0: sharded.shards[0]})
+        assert swapped._arena is not None  # publish path warms eagerly
+        assert swapped._arena is not sharded._arena
+        baseline = sharded.estimate(None).expectation
+        assert swapped.estimate(None).expectation == pytest.approx(baseline)
+
+    def test_pickle_round_trip_drops_derived_state(self, relation):
+        sharded = _fit(relation, num_shards=3).warm()
+        sharded.estimate_batch(
+            _predicates(sharded.schema), parallel=True, use_arena=False
+        )  # spin up the pool so there is derived state to drop
+        clone = pickle.loads(pickle.dumps(sharded))
+        assert clone._arena is None and clone._pool is None
+        original = sharded.estimate(_predicates(sharded.schema)[4])
+        revived = clone.estimate(_predicates(clone.schema)[4])
+        assert revived.expectation == pytest.approx(
+            original.expectation, rel=1e-12
+        )
+
+    def test_close_is_deterministic_and_idempotent(self, relation):
+        with _fit(relation, num_shards=3) as sharded:
+            sharded.estimate_batch(
+                _predicates(sharded.schema)[:3], parallel=True, use_arena=False
+            )
+            pool = sharded._pool
+            assert pool is not None
+        assert sharded._pool is None
+        assert pool._shutdown  # the exit closed it
+        sharded.close()  # second close is a no-op
+        # Queries still work after close — a fresh pool spins up lazily.
+        assert sharded.estimate(None).expectation == pytest.approx(
+            float(sharded.total)
+        )
+
+    def test_save_load_round_trip_warms(self, relation, tmp_path):
+        sharded = _fit(relation, num_shards=3).warm()
+        prefix = tmp_path / "model"
+        sharded.save(prefix)
+        loaded = ShardedSummary.load(prefix)
+        assert loaded._arena is not None  # load() warms eagerly
+        predicate = _predicates(loaded.schema)[2]
+        assert loaded.estimate(predicate).expectation == pytest.approx(
+            sharded.estimate(predicate).expectation, rel=1e-9
+        )

@@ -69,8 +69,10 @@ class TestClassify:
             ("mean_rel_error_delta", "lower"),
             ("smoke_errors", "lower"),
             ("batch_time_ratio", "lower"),
-            ("qps_coalesced", "info"),  # absolute throughput: not portable
-            ("p50_ms_coalesced", "info"),
+            ("qps_coalesced", "qps"),  # absolute: gated with wide bands
+            ("smoke_qps", "qps"),
+            ("p50_ms_coalesced", "latency"),
+            ("cached_ms", "latency"),
             ("rebuild_s", "info"),
             ("num_shards", "info"),
         ],
@@ -157,10 +159,30 @@ class TestCompare:
 
     def test_info_metrics_never_gate(self, dirs):
         baseline, runs = dirs
-        _write_report(baseline, "serve", {"qps_coalesced": 5000.0, "speedup": 3.0})
-        # Throughput collapsed (slow runner) but the ratio held.
-        _write_report(runs / "run1", "serve", {"qps_coalesced": 500.0, "speedup": 2.9})
+        _write_report(baseline, "serve", {"soak_duration_s": 10.0, "speedup": 3.0})
+        # A *_s timing doubled (slow runner) but the ratio held.
+        _write_report(runs / "run1", "serve", {"soak_duration_s": 20.0, "speedup": 2.9})
         assert _compare(baseline, runs) == 0
+
+    def test_qps_gates_with_wide_band(self, dirs, capsys):
+        baseline, runs = dirs
+        _write_report(baseline, "serve", {"qps_coalesced": 5000.0})
+        # Within the 50% band: noise, not a regression.
+        _write_report(runs / "run1", "serve", {"qps_coalesced": 2600.0})
+        assert _compare(baseline, runs) == 0
+        # Below the floor: a real protocol-level collapse.
+        _write_report(runs / "run1", "serve", {"qps_coalesced": 2400.0})
+        assert _compare(baseline, runs) == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_latency_gates_with_wide_band(self, dirs, capsys):
+        baseline, runs = dirs
+        _write_report(baseline, "serve", {"p95_ms_coalesced": 4.0})
+        _write_report(runs / "run1", "serve", {"p95_ms_coalesced": 5.9})
+        assert _compare(baseline, runs) == 0
+        _write_report(runs / "run1", "serve", {"p95_ms_coalesced": 6.1})
+        assert _compare(baseline, runs) == 1
+        assert "grew" in capsys.readouterr().err
 
     def test_unknown_requested_name_fails(self, dirs, capsys):
         baseline, runs = dirs

@@ -231,12 +231,21 @@ class TestMergeMath:
             Conjunction(schema, {}),
         ]
         sharded_1d.clear_cache()
-        batch = sharded_1d.estimate_batch(predicates, parallel=False)
-        threaded = sharded_1d.estimate_batch(predicates, parallel=True)
-        for predicate, merged, via_threads in zip(predicates, batch, threaded):
+        batch = sharded_1d.estimate_batch(predicates)
+        fallback = sharded_1d.estimate_batch(
+            predicates, parallel=False, use_arena=False
+        )
+        threaded = sharded_1d.estimate_batch(
+            predicates, parallel=True, use_arena=False
+        )
+        for predicate, merged, per_shard, via_threads in zip(
+            predicates, batch, fallback, threaded
+        ):
             single = sharded_1d.estimate(predicate)
             assert merged.expectation == pytest.approx(single.expectation)
             assert merged.variance == pytest.approx(single.variance)
+            assert per_shard.expectation == pytest.approx(single.expectation)
+            assert per_shard.variance == pytest.approx(single.variance)
             assert via_threads.expectation == pytest.approx(single.expectation)
 
     @settings(max_examples=8, deadline=None)
@@ -270,9 +279,12 @@ class TestPruning:
         return _fit(relation, num_shards=2, by="B")
 
     def test_point_query_touches_one_shard(self, relation, by_sharded):
+        # The legacy per-shard path materializes pruning as "engine never
+        # called"; the arena folds owned ranges into the masks instead
+        # (covered by tests/test_arena.py).
         by_sharded.clear_cache()
         predicate = Conjunction(relation.schema, {"B": RangePredicate.point(0)})
-        by_sharded.estimate(predicate)
+        by_sharded.estimate(predicate, use_arena=False)
         touched = [
             shard.engine.cache_misses > 0 for shard in by_sharded.shards
         ]

@@ -55,6 +55,32 @@ _BLOCKING_METHODS = {
     "rglob",
 }
 
+#: Socket method names that block on network I/O regardless of
+#: receiver — ``sendall``/``recv``/``accept``/``makefile`` are socket
+#: API and nothing else.  The binary wire protocol made raw-socket
+#: code adjacent to the event loop (``serve/wire.py`` frames bytes the
+#: sync ``ServeClient`` sends with exactly these calls); coroutines
+#: must stay on the asyncio stream API (``reader.readexactly``,
+#: ``writer.write``/``drain``) instead.
+_SOCKET_METHODS = {
+    "sendall",
+    "recv",
+    "recv_into",
+    "recvfrom",
+    "accept",
+    "makefile",
+}
+
+#: Socket methods whose names are too generic to flag on any receiver
+#: (``queue.Queue.get`` exists, generators have ``send``); these only
+#: flag when the receiver names a socket or connection.
+_SOCKET_METHODS_NAMED_RECEIVER = {
+    "send",
+    "sendto",
+    "connect",
+    "settimeout",
+}
+
 #: Methods that hit the store's manifest / model files; blocking when
 #: the receiver names a store.  ``SummaryStore.load`` on a 100-shard
 #: version reads 200 files — milliseconds to seconds of stalled loop.
@@ -84,8 +110,9 @@ class AsyncBlockingRule(Rule):
 
     name = "async-blocking"
     summary = (
-        "no blocking calls (sleep, file/socket I/O, subprocess, "
-        "SummaryStore loads) inside async def bodies in serve/"
+        "no blocking calls (sleep, file I/O, raw socket sends/recvs, "
+        "subprocess, SummaryStore loads) inside async def bodies in "
+        "serve/"
     )
     scope = ("src/repro/serve/*.py", "src/repro/serve/**/*.py")
 
@@ -121,6 +148,12 @@ class AsyncBlockingRule(Rule):
         head, _, tail = name.rpartition(".")
         if tail in _BLOCKING_METHODS:
             return f"blocking file I/O {name}()"
+        if tail in _SOCKET_METHODS:
+            return f"blocking socket call {name}()"
+        if tail in _SOCKET_METHODS_NAMED_RECEIVER and any(
+            hint in head.lower() for hint in ("sock", "conn")
+        ):
+            return f"blocking socket call {name}()"
         if tail in _STORE_METHODS and "store" in head.lower():
             return f"blocking store I/O {name}()"
         return None

@@ -21,8 +21,13 @@ Three subcommands — the same entry points CI and local developers use
       ``hit_rate``) may regress at most 20% below baseline;
     * *lower-is-better* metrics (name contains ``error``/``err`` or
       ends in ``_ratio``) may **not grow** above baseline;
-    * everything else (timings, counts, configuration echoes) is
-      informational.
+    * *throughput* metrics (name contains ``qps``) may fall at most
+      50% below baseline — absolute, so the band is wide enough for
+      runner variance while a protocol-level regression still trips;
+    * *latency* metrics (name contains ``_ms``) may grow at most 50%
+      above baseline, same reasoning;
+    * everything else (timings in seconds, counts, configuration
+      echoes) is informational.
 
     Each run's own ``passed`` flag (the suite's internal thresholds)
     must also hold for a majority of runs, and the report scale must
@@ -50,20 +55,29 @@ DEFAULT_BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 
 #: Fraction a higher-is-better metric may fall below its baseline.
 SPEEDUP_BAND = 0.20
+#: Fraction an absolute-throughput (``qps``) metric may fall below its
+#: baseline, and an absolute-latency (``_ms``) metric may grow above it.
+#: Wider than SPEEDUP_BAND because absolute numbers carry runner noise
+#: that same-box ratios cancel out.
+QPS_BAND = 0.50
+LATENCY_BAND = 0.50
 #: Headroom factors ``update`` bakes into the stored baselines.
 SPEEDUP_HEADROOM = 0.85
 ERROR_HEADROOM = 1.25
+QPS_HEADROOM = 0.70
+LATENCY_HEADROOM = 1.30
 
-# Only machine-portable metrics gate: speedups and hit rates are
-# ratios of two measurements on the same box, error metrics are data
-# properties.  Absolute throughput/latency (qps, *_ms, *_s) varies with
-# the runner and stays informational.
+# Ratio metrics gate tightly: speedups and hit rates compare two
+# measurements on the same box, error metrics are data properties.
+# Absolute throughput (qps) and latency (*_ms) gate with the wide
+# bands above; *_s timings and counts stay informational.
 _HIGHER_MARKERS = ("speedup", "hit_rate")
 _LOWER_MARKERS = ("error", "err")
 
 
 def classify(metric: str) -> str:
-    """``higher`` / ``lower`` / ``info`` gating class of one metric."""
+    """``higher`` / ``lower`` / ``qps`` / ``latency`` / ``info`` gating
+    class of one metric."""
     name = metric.lower()
     if any(marker in name for marker in _HIGHER_MARKERS):
         return "higher"
@@ -71,6 +85,10 @@ def classify(metric: str) -> str:
         return "lower"
     if name.endswith("_ratio"):
         return "lower"
+    if "qps" in name:
+        return "qps"
+    if "_ms" in name:
+        return "latency"
     return "info"
 
 
@@ -199,12 +217,20 @@ def _check_suite(
         if actual is None:
             violations.append(f"{name}: metric {metric!r} missing from reports")
             continue
-        if kind == "higher":
-            floor = bound * (1.0 - SPEEDUP_BAND)
+        if kind in ("higher", "qps"):
+            band = SPEEDUP_BAND if kind == "higher" else QPS_BAND
+            floor = bound * (1.0 - band)
             if actual < floor:
                 violations.append(
                     f"{name}: {metric} regressed to {actual:g} "
                     f"(baseline {bound:g}, floor {floor:g})"
+                )
+        elif kind == "latency":
+            ceiling = bound * (1.0 + LATENCY_BAND)
+            if actual > ceiling:
+                violations.append(
+                    f"{name}: {metric} grew to {actual:g} "
+                    f"(baseline {bound:g}, ceiling {ceiling:g})"
                 )
         else:
             if actual > bound:
@@ -285,6 +311,10 @@ def cmd_update(args) -> int:
                 padded[metric] = round(value * SPEEDUP_HEADROOM, 4)
             elif kind == "lower":
                 padded[metric] = round(value * ERROR_HEADROOM, 5)
+            elif kind == "qps":
+                padded[metric] = round(value * QPS_HEADROOM, 4)
+            elif kind == "latency":
+                padded[metric] = round(value * LATENCY_HEADROOM, 5)
             else:
                 padded[metric] = value
         document = {
