@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke bench-all check-bench serve-smoke soak-smoke soak-full lint install docs-check analyze
+.PHONY: test bench-smoke bench-all check-bench serve-smoke obs-smoke soak-smoke soak-full lint install docs-check analyze
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +39,14 @@ check-bench: bench-all
 # a warm cache (the CI serve-smoke job runs exactly this).
 serve-smoke:
 	REPRO_SCALE=small $(PYTHON) -m pytest -q -s benchmarks/bench_serve.py::test_serve_smoke
+
+# Observability smoke: boot a server with the slow-query log armed,
+# drive 50 requests, assert the Prometheus scrape parses, every
+# declared metric family is present, traces reach the ring, and the
+# slow-query JSONL has evidence-bearing entries (the CI obs-smoke job
+# runs exactly this and uploads obs_smoke_slowlog.jsonl on failure).
+obs-smoke:
+	$(PYTHON) tools/obs_smoke.py
 
 # Chaos soak smoke: the short seeded scenarios as tests (--soak tier),
 # then a 30 s all-fault CLI soak whose invariants must hold.  The event

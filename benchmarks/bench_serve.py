@@ -31,7 +31,14 @@ from repro.data.domain import Domain, integer_domain
 from repro.data.relation import Relation
 from repro.data.schema import Schema
 from repro.experiments.configs import active_scale
-from repro.serve import ServeConfig, ServerThread, SummaryServer, run_load
+from repro.obs import histogram_quantile, histogram_stats
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+    SummaryServer,
+    run_load,
+)
 
 REPORT = BenchReport("serve")
 
@@ -118,10 +125,21 @@ def test_coalescing_throughput_speedup(store):
     )
 
 
-def test_serve_smoke():
-    """CI gate: tiny summary, 50 concurrent requests, zero errors,
-    warm cache.  Independent of the experiment store so it boots in
-    seconds on a cold runner."""
+#: The traced serving stages, in pipeline order (encode is excluded
+#: from the coverage ratio below: it happens after the dispatch window
+#: that ``repro_request_seconds`` measures).
+STAGES = (
+    "parse",
+    "canonicalize",
+    "route",
+    "cache_lookup",
+    "coalesce_wait",
+    "evaluate",
+    "encode",
+)
+
+
+def _tiny_summary():
     schema = Schema(
         [Domain("state", ["CA", "NY", "WA"]), integer_domain("hour", 4)]
     )
@@ -130,7 +148,7 @@ def test_serve_smoke():
         schema,
         [rng.choice(3, size=400, p=[0.5, 0.3, 0.2]), rng.integers(0, 4, 400)],
     )
-    summary = (
+    return (
         SummaryBuilder(relation)
         .pairs(("state", "hour"))
         .per_pair_budget(4)
@@ -138,6 +156,86 @@ def test_serve_smoke():
         .name("serve-smoke")
         .fit()
     )
+
+
+def test_stage_breakdown():
+    """Per-stage latency attribution: the trace spans folded into
+    ``repro_stage_seconds`` must account for the measured end-to-end
+    time — otherwise a future regression could hide in untraced code.
+
+    Runs with the result cache off so every request crosses every
+    stage (plan → cache miss → coalesce → evaluate); the coverage
+    ratio compares per-stage totals to the dispatch-latency histogram
+    over the same requests.
+    """
+    summary = _tiny_summary()
+    workload = [
+        "SELECT COUNT(*) FROM R WHERE state = 'CA'",
+        "SELECT COUNT(*) FROM R WHERE hour BETWEEN 1 AND 2",
+        "SELECT COUNT(*) FROM R GROUP BY state",
+        "SELECT SUM(hour) FROM R WHERE state = 'NY'",
+    ]
+    server = SummaryServer(
+        summary, config=ServeConfig(window_ms=2.0, cache_size=0)
+    )
+    with ServerThread(server):
+        report = run_load(
+            server.host,
+            server.port,
+            workload,
+            clients=4,
+            requests_per_client=25,
+        )
+        with ServeClient(server.host, server.port) as client:
+            snapshot = client.server_metrics()["snapshot"]
+
+    e2e_sum, e2e_count, _ = histogram_stats(
+        snapshot, "repro_request_seconds", {"op": "query"}
+    )
+    row = {
+        "stage_requests": e2e_count,
+        "stage_e2e_p50_ms": round(
+            histogram_quantile(
+                snapshot, "repro_request_seconds", 0.5, {"op": "query"}
+            )
+            * 1e3,
+            3,
+        ),
+        "stage_e2e_mean_ms": round(e2e_sum / e2e_count * 1e3, 3),
+    }
+    attributed = 0.0
+    for stage in STAGES:
+        stage_sum, stage_count, _ = histogram_stats(
+            snapshot, "repro_stage_seconds", {"stage": stage}
+        )
+        row[f"stage_{stage}_ms"] = round(
+            stage_sum / max(stage_count, 1) * 1e3, 4
+        )
+        if stage != "encode":  # encode lands after the dispatch window
+            attributed += stage_sum
+    coverage = attributed / e2e_sum if e2e_sum else 0.0
+    row["stage_coverage"] = round(coverage, 4)
+    print(f"\nstage breakdown: {row}")
+    REPORT.record(
+        row,
+        thresholds=[
+            ("stage_coverage", ">=", 0.9),
+            ("stage_coverage", "<=", 1.1),
+        ],
+    )
+    assert report.errors == 0
+    assert e2e_count == report.requests
+    assert 0.9 <= coverage <= 1.1, (
+        f"traced stages cover {coverage:.0%} of end-to-end dispatch time; "
+        "the breakdown must sum to within 10% of what clients measured"
+    )
+
+
+def test_serve_smoke():
+    """CI gate: tiny summary, 50 concurrent requests, zero errors,
+    warm cache.  Independent of the experiment store so it boots in
+    seconds on a cold runner."""
+    summary = _tiny_summary()
     workload = [
         "SELECT COUNT(*) FROM R WHERE state = 'CA'",
         "SELECT COUNT(*) FROM R WHERE hour BETWEEN 1 AND 2",

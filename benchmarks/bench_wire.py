@@ -38,6 +38,7 @@ from repro.data.domain import Domain, integer_domain
 from repro.data.relation import Relation
 from repro.data.schema import Schema
 from repro.experiments.configs import active_scale
+from repro.obs import histogram_stats
 from repro.serve import ServeConfig, ServeClient, ServerThread, SummaryServer, run_load
 
 REPORT = BenchReport("wire")
@@ -123,6 +124,21 @@ def test_binary_protocol_speedup():
                 **kwargs,
             )
             print(f"\n{leg:>9}: {reports[leg].describe()}")
+        with ServeClient(port=running.port) as scraper:
+            snapshot = scraper.server_metrics()["snapshot"]
+
+    def stage_mean_ms(*stages: str) -> float:
+        """Mean per-request milliseconds across the named trace
+        stages, from the server's own stage histograms (all legs —
+        the wire protocols share one serving pipeline)."""
+        total_s, count = 0.0, 0
+        for stage in stages:
+            stage_sum, stage_count, _ = histogram_stats(
+                snapshot, "repro_stage_seconds", {"stage": stage}
+            )
+            total_s += stage_sum
+            count = max(count, stage_count)
+        return round(total_s / max(count, 1) * 1e3, 4)
 
     json_leg, binary, pipelined, latency = (
         reports["json"], reports["binary"], reports["pipelined"],
@@ -146,6 +162,12 @@ def test_binary_protocol_speedup():
             "binary_speedup": round(binary_speedup, 2),
             "wire_speedup": round(wire_speedup, 2),
             "serve_smoke_floor": round(qps_floor, 1),  # informational
+            # Per-stage attribution (informational): where a request's
+            # time goes server-side, so a future qps regression here
+            # names the guilty stage instead of just the protocol.
+            "stage_plan_ms": stage_mean_ms("parse", "canonicalize", "route"),
+            "stage_cache_ms": stage_mean_ms("cache_lookup"),
+            "stage_encode_ms": stage_mean_ms("encode"),
             "errors": (
                 json_leg.errors + binary.errors + pipelined.errors
                 + latency.errors

@@ -133,7 +133,7 @@ from repro.stats import (
     build_statistic_set,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Backend",

@@ -34,6 +34,7 @@ from typing import Sequence
 
 from repro.api.query import Query
 from repro.errors import QueryError, ReproError
+from repro.obs import span
 from repro.plan.canonical import CanonicalPredicate
 from repro.plan.planner import Planner, QueryPlan, make_cache_key
 from repro.query.ast import CountQuery
@@ -301,9 +302,17 @@ class Explorer:
         return canonical
 
     def plan(self, query: "CountQuery | Query | str") -> QueryPlan:
-        """The full normalize → route → execute plan for a query."""
-        query = self._normalize(query)
-        return self.planner.plan(query, predicate=self._canonical(query))
+        """The full normalize → route → execute plan for a query.
+
+        Each stage annotates the ambient request trace when one is
+        active (the serving path); standalone use pays one ContextVar
+        read per stage and no more."""
+        with span("parse"):
+            query = self._normalize(query)
+        with span("canonicalize"):
+            predicate = self._canonical(query)
+        with span("route"):
+            return self.planner.plan(query, predicate=predicate)
 
     def explain(self, query: "CountQuery | Query | str") -> str:
         """Render a query's plan: one line per planning stage."""

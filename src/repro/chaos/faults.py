@@ -285,6 +285,25 @@ class FaultInjector:
         self._events: list[dict] = []
         self._t0: float | None = None
         self._enabled = True
+        # Optional mirror into a server's MetricsRegistry (see
+        # :meth:`bind_metrics`); the dict counters above stay the
+        # source of truth for scenario reports.
+        self._metric_calls = None
+        self._metric_injected = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror decisions into a :class:`~repro.obs.MetricsRegistry`,
+        so injected chaos shows up on the same Prometheus scrape as the
+        latency and errors it causes."""
+        self._metric_calls = registry.counter(
+            "repro_chaos_calls_total", "Chaos-hook decisions taken, by hook.",
+            ("hook",),
+        )
+        self._metric_injected = registry.counter(
+            "repro_chaos_injections_total",
+            "Faults actually injected, by hook and fault shape.",
+            ("hook", "fault"),
+        )
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "FaultInjector":
@@ -315,6 +334,8 @@ class FaultInjector:
         now = self.elapsed_s
         with self._lock:
             self._calls[hook] += 1
+            if self._metric_calls is not None:
+                self._metric_calls.labels(hook=hook).inc()
             rng = self._rngs[hook]
             for spec in self.plan.for_hook(hook):
                 if not spec.active_at(now):
@@ -322,6 +343,11 @@ class FaultInjector:
                 if rng.random() >= spec.probability:
                     continue
                 self._injected[hook] += 1
+                if self._metric_injected is not None:
+                    self._metric_injected.labels(
+                        hook=hook,
+                        fault="error" if spec.error else "delay",
+                    ).inc()
                 self._events.append(
                     {
                         "t_s": round(now, 4),

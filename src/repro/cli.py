@@ -240,6 +240,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "version appears (e.g. one published by `repro ingest`); "
         "the interval is the serving-staleness bound",
     )
+    serve.add_argument(
+        "--trace-ring",
+        type=int,
+        default=256,
+        help="finished request traces kept in memory for the metrics op "
+        "(0 disables the ring; default 256)",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        metavar="MS",
+        help="log every request slower than this many milliseconds "
+        "(with its trace and plan explain; default: off)",
+    )
+    serve.add_argument(
+        "--slow-query-log",
+        metavar="PATH",
+        help="also append slow-query entries to this JSONL file",
+    )
     add_serve_tuning(serve)
 
     ping = commands.add_parser(
@@ -249,6 +268,52 @@ def build_arg_parser() -> argparse.ArgumentParser:
     ping.add_argument("--port", type=int, required=True)
     ping.add_argument(
         "--json", action="store_true", help="machine-readable output"
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="scrape a running server's metrics (Prometheus text format)",
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, required=True)
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the structured snapshot instead of Prometheus text",
+    )
+    metrics.add_argument(
+        "--traces",
+        action="store_true",
+        help="with --json: include the recent-trace ring",
+    )
+    metrics.add_argument(
+        "--slow",
+        action="store_true",
+        help="with --json: include recent slow-query entries",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live per-op / per-stage latency tables for a running server",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, required=True)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default 2.0)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after this many refreshes (0 = until Ctrl-C)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (same as --iterations 1)",
     )
 
     bench_serve = commands.add_parser(
@@ -611,6 +676,9 @@ def _serve_config(args, *, host: str | None = None, port: int | None = None):
         rounded=args.rounded,
         binary=getattr(args, "protocol", "binary") != "json",
         watch_interval=getattr(args, "watch", None),
+        trace_ring=getattr(args, "trace_ring", 256),
+        slow_query_ms=getattr(args, "slow_query_ms", None),
+        slow_query_log=getattr(args, "slow_query_log", None),
     ).validated()
 
 
@@ -833,6 +901,58 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro.serve import ServeClient
+
+    with ServeClient(args.host, args.port) as client:
+        view = client.server_metrics(
+            include_traces=args.traces, include_slow=args.slow
+        )
+    if args.json:
+        payload = {"snapshot": view["snapshot"]}
+        if args.traces:
+            payload["traces"] = view.get("traces", [])
+        if args.slow:
+            payload["slow_queries"] = view.get("slow_queries", [])
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(view["prometheus"], end="")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+
+    from repro.obs import render_top
+    from repro.serve import ServeClient
+
+    iterations = 1 if args.once else max(int(args.iterations), 0)
+    interval = max(float(args.interval), 0.1)
+    previous = None
+    shown = 0
+    try:
+        with ServeClient(args.host, args.port) as client:
+            while True:
+                snapshot = client.server_metrics()["snapshot"]
+                text = render_top(
+                    snapshot,
+                    previous=previous,
+                    interval_s=interval if previous is not None else None,
+                )
+                if shown:  # redraw in place after the first frame
+                    print("\x1b[2J\x1b[H", end="")
+                print(text, flush=True)
+                previous = snapshot
+                shown += 1
+                if iterations and shown >= iterations:
+                    return 0
+                _time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -842,6 +962,8 @@ _COMMANDS = {
     "store": _cmd_store,
     "serve": _cmd_serve,
     "ping": _cmd_ping,
+    "metrics": _cmd_metrics,
+    "top": _cmd_top,
     "bench-serve": _cmd_bench_serve,
     "soak": _cmd_soak,
     "experiment": _cmd_experiment,

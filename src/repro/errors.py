@@ -43,6 +43,11 @@ class IngestError(ReproError):
     stale base relation, malformed rows, ...)."""
 
 
+class ObservabilityError(ReproError):
+    """The observability layer was misused (metric re-registered with a
+    different type or label set, malformed exposition text, ...)."""
+
+
 class ChaosError(ReproError):
     """The chaos/soak harness was misused (malformed fault plan or
     scenario config) or a soak scenario violated an invariant."""

@@ -1,0 +1,53 @@
+"""Observability: metrics registry, request tracing, slow-query log.
+
+The serving tier's window into itself (see ``docs/observability.md``):
+
+* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket
+  latency histograms behind one lock, snapshot-consistent, rendered
+  in Prometheus text format;
+* :class:`Trace` / :func:`span` — per-request timed spans propagated
+  through the planner and both wire protocols via contextvars, kept
+  in a bounded :class:`TraceRing`;
+* :class:`SlowQueryLog` — JSONL log of over-threshold requests, each
+  entry embedding the trace and the plan's ``explain()`` output.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    histogram_quantile,
+    histogram_stats,
+    parse_prometheus,
+    quantile_from_buckets,
+    render_prometheus,
+    sample_value,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.top import render_top
+from repro.obs.trace import (
+    Span,
+    Trace,
+    TraceRing,
+    activate,
+    current_trace,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "Span",
+    "Trace",
+    "TraceRing",
+    "activate",
+    "current_trace",
+    "histogram_quantile",
+    "histogram_stats",
+    "parse_prometheus",
+    "quantile_from_buckets",
+    "render_prometheus",
+    "render_top",
+    "sample_value",
+    "span",
+]

@@ -1,0 +1,525 @@
+"""The metrics registry: counters, gauges, and latency histograms.
+
+One :class:`MetricsRegistry` per server (or client) owns every metric
+family behind a single lock, which buys the two properties the serve
+layer needs:
+
+* **snapshot consistency** — :meth:`MetricsRegistry.snapshot` reads
+  every counter in one pass under the one lock, so a ``stats`` call
+  can never observe ``hits`` from before a request and ``misses``
+  from after it (the torn-read class of bug the PR 6 lock audit
+  flagged);
+* **one exposition point** — :meth:`MetricsRegistry.render` emits the
+  whole registry in Prometheus text format, and
+  :func:`parse_prometheus` reads it back (the round-trip the
+  ``obs-smoke`` CI job asserts).
+
+Families are created idempotently: registering the same name with the
+same type and label names returns the existing family, so components
+wired to a shared registry never fight over who declares a metric.
+Label *values* create child series on demand, Prometheus-style::
+
+    registry = MetricsRegistry()
+    requests = registry.counter("repro_requests_total", "Requests.", ("op",))
+    requests.labels(op="query").inc()
+
+Unlabelled families accept ``inc``/``set``/``observe`` directly.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "parse_prometheus",
+    "quantile_from_buckets",
+    "render_prometheus",
+    "sample_value",
+]
+
+#: Fixed latency buckets in seconds: 50 µs to 5 s, roughly log-spaced.
+#: Fixed (not adaptive) so two snapshots — or two servers — are always
+#: mergeable bucket by bucket.
+DEFAULT_LATENCY_BUCKETS = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ObservabilityError(f"invalid metric name {name!r}")
+    return name
+
+
+class _Child:
+    """One labelled series of a counter or gauge family."""
+
+    __slots__ = ("_family", "value")
+
+    def __init__(self, family: "_Family"):
+        self._family = family
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._family._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._family._lock:
+            self.value -= amount
+
+    def set(self, value: float) -> None:
+        with self._family._lock:
+            self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Ratchet: keep the largest value ever seen (peak gauges)."""
+        with self._family._lock:
+            if value > self.value:
+                self.value = float(value)
+
+
+class _HistogramChild:
+    """One labelled series of a histogram family (fixed buckets)."""
+
+    __slots__ = ("_family", "counts", "sum", "count")
+
+    def __init__(self, family: "_Family"):
+        self._family = family
+        self.counts = [0] * len(family.buckets)  # per-bucket, not cumulative
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        buckets = self._family.buckets
+        # Bisect by hand: the bucket list is short and this sits on the
+        # per-request hot path.
+        index = 0
+        while index < len(buckets) and value > buckets[index]:
+            index += 1
+        with self._family._lock:
+            if index < len(self.counts):
+                self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile estimate from the bucket counts."""
+        with self._family._lock:
+            cumulative = []
+            total = 0
+            for count in self.counts:
+                total += count
+                cumulative.append(total)
+            overflow = self.count - total
+            return quantile_from_buckets(
+                list(zip(self._family.buckets, cumulative)),
+                self.count,
+                q,
+                overflow=overflow,
+            )
+
+
+class _Family:
+    """One named metric family; children keyed by label values."""
+
+    __slots__ = ("name", "help", "kind", "labelnames", "buckets",
+                 "_lock", "_children")
+
+    def __init__(self, name, help_text, kind, labelnames, buckets, lock):
+        self.name = _check_name(name)
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            if not _LABEL_RE.match(label):
+                raise ObservabilityError(f"invalid label name {label!r}")
+        self.buckets = buckets
+        self._lock = lock
+        self._children: dict[tuple, object] = {}
+
+    def labels(self, **labelvalues):
+        if set(labelvalues) != set(self.labelnames):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = (
+                    _HistogramChild(self)
+                    if self.kind == "histogram"
+                    else _Child(self)
+                )
+                self._children[key] = child
+            return child
+
+    # Unlabelled convenience: treat the family as its only series.
+    def _default(self):
+        if self.labelnames:
+            raise ObservabilityError(
+                f"metric {self.name!r} is labelled by {self.labelnames}; "
+                "call .labels(...) first"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def set_max(self, value: float) -> None:
+        self._default().set_max(value)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def quantile(self, q: float) -> float:
+        return self._default().quantile(q)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+    @property
+    def count(self) -> int:
+        return self._default().count
+
+    @property
+    def sum(self) -> float:
+        return self._default().sum
+
+    def total(self) -> float:
+        """Sum of a counter/gauge family's children across label sets."""
+        with self._lock:
+            return sum(child.value for child in self._children.values())
+
+
+class MetricsRegistry:
+    """All metric families of one process component, behind one lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _register(self, name, help_text, kind, labelnames, buckets=None):
+        labelnames = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != labelnames:
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind} with labels {family.labelnames}"
+                    )
+                return family
+        family = _Family(name, help_text, kind, labelnames, buckets, self._lock)
+        with self._lock:
+            return self._families.setdefault(name, family)
+
+    def counter(self, name, help_text: str = "", labelnames=()):
+        return self._register(name, help_text, "counter", labelnames)
+
+    def gauge(self, name, help_text: str = "", labelnames=()):
+        return self._register(name, help_text, "gauge", labelnames)
+
+    def histogram(
+        self, name, help_text: str = "", labelnames=(),
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ):
+        buckets = tuple(sorted(float(bound) for bound in buckets))
+        if not buckets:
+            raise ObservabilityError("histogram needs at least one bucket")
+        family = self._register(
+            name, help_text, "histogram", labelnames, buckets
+        )
+        if family.buckets != buckets:
+            raise ObservabilityError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return family
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of every family, read in one locked pass.
+
+        Histogram buckets come out *cumulative* (Prometheus ``le``
+        semantics) with a final ``"+Inf"`` bound, so the snapshot is
+        directly renderable and mergeable.
+        """
+        with self._lock:
+            out: dict = {}
+            for name, family in sorted(self._families.items()):
+                samples = []
+                for key, child in sorted(family._children.items()):
+                    labels = dict(zip(family.labelnames, key))
+                    if family.kind == "histogram":
+                        cumulative, total = [], 0
+                        for bound, count in zip(family.buckets, child.counts):
+                            total += count
+                            cumulative.append([bound, total])
+                        cumulative.append(["+Inf", child.count])
+                        samples.append({
+                            "labels": labels,
+                            "sum": child.sum,
+                            "count": child.count,
+                            "buckets": cumulative,
+                        })
+                    else:
+                        samples.append({"labels": labels, "value": child.value})
+                out[name] = {
+                    "type": family.kind,
+                    "help": family.help,
+                    "labelnames": list(family.labelnames),
+                    "samples": samples,
+                }
+            return out
+
+    def render(self) -> str:
+        return render_prometheus(self.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Snapshot helpers (everything below works on the JSON-safe snapshot,
+# so clients of the ``metrics`` op — `repro top`, the benchmarks —
+# need no live registry).
+# ----------------------------------------------------------------------
+
+def sample_value(snapshot: dict, name: str, labels=None, default=0.0):
+    """Value of one counter/gauge sample, or sum over all its series
+    when ``labels`` is None."""
+    family = snapshot.get(name)
+    if family is None:
+        return default
+    if labels is None:
+        return sum(s.get("value", 0.0) for s in family["samples"])
+    wanted = {k: str(v) for k, v in labels.items()}
+    for sample in family["samples"]:
+        if sample["labels"] == wanted:
+            return sample.get("value", default)
+    return default
+
+
+def _histogram_samples(snapshot, name, labels):
+    family = snapshot.get(name)
+    if family is None or family["type"] != "histogram":
+        return []
+    if labels is None:
+        return family["samples"]
+    wanted = {k: str(v) for k, v in labels.items()}
+    return [s for s in family["samples"] if s["labels"] == wanted]
+
+
+def histogram_stats(snapshot: dict, name: str, labels=None):
+    """``(sum, count, cumulative_buckets)`` of one histogram series
+    (series merged bucket-by-bucket when ``labels`` is None)."""
+    samples = _histogram_samples(snapshot, name, labels)
+    if not samples:
+        return 0.0, 0, []
+    total_sum = sum(s["sum"] for s in samples)
+    total_count = sum(s["count"] for s in samples)
+    merged: dict = {}
+    for sample in samples:
+        for bound, cumulative in sample["buckets"]:
+            key = math.inf if bound == "+Inf" else float(bound)
+            merged[key] = merged.get(key, 0) + cumulative
+    buckets = [
+        ("+Inf" if bound == math.inf else bound, count)
+        for bound, count in sorted(merged.items())
+    ]
+    return total_sum, total_count, buckets
+
+
+def histogram_quantile(snapshot: dict, name: str, q: float, labels=None):
+    _, count, buckets = histogram_stats(snapshot, name, labels)
+    finite = [(b, c) for b, c in buckets if b != "+Inf"]
+    overflow = count - (finite[-1][1] if finite else 0)
+    return quantile_from_buckets(finite, count, q, overflow=overflow)
+
+
+def quantile_from_buckets(buckets, count, q, *, overflow=0):
+    """Interpolated quantile from ``[(upper_bound, cumulative), ...]``.
+
+    Observations past the last finite bucket clamp to its bound —
+    fixed buckets cannot say more about the tail than "beyond".
+    """
+    if count <= 0 or not buckets:
+        return 0.0
+    rank = q * count
+    previous_bound, previous_cumulative = 0.0, 0
+    for bound, cumulative in buckets:
+        if cumulative >= rank and cumulative > previous_cumulative:
+            span = cumulative - previous_cumulative
+            fraction = (rank - previous_cumulative) / span
+            return previous_bound + (bound - previous_bound) * min(
+                max(fraction, 0.0), 1.0
+            )
+        previous_bound, previous_cumulative = bound, cumulative
+    return buckets[-1][0] if overflow else previous_bound
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _unescape(value: str) -> str:
+    out, index = [], 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _format_value(value) -> str:
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """The whole snapshot in Prometheus text exposition format."""
+    lines = []
+    for name, family in snapshot.items():
+        if family["help"]:
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            if family["type"] == "histogram":
+                for bound, cumulative in sample["buckets"]:
+                    le = "+Inf" if bound == "+Inf" else _format_value(bound)
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = le
+                    lines.append(
+                        f"{name}_bucket{_format_labels(bucket_labels)} "
+                        f"{_format_value(cumulative)}"
+                    )
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(labels)} "
+                    f"{_format_value(sample['count'])}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*'
+    r'"(?P<value>(?:[^"\\]|\\.)*)"\s*,?'
+)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse Prometheus text format back into ``{"types": ..., "samples":
+    ...}``.
+
+    ``types`` maps family name → type; ``samples`` maps
+    ``(sample_name, ((label, value), ...))`` → float.  Raises
+    :class:`~repro.errors.ObservabilityError` on malformed lines — the
+    obs-smoke job scrapes a live server through this, so a rendering
+    bug fails loudly.
+    """
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    samples: dict[tuple, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                raise ObservabilityError(f"malformed TYPE line {lineno}: {raw!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) >= 3:
+                helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ObservabilityError(f"malformed sample line {lineno}: {raw!r}")
+        labels = []
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(label_text):
+                if pair.start() != consumed:
+                    break
+                labels.append(
+                    (pair.group("name"), _unescape(pair.group("value")))
+                )
+                consumed = pair.end()
+            if consumed != len(label_text):
+                raise ObservabilityError(
+                    f"malformed labels on line {lineno}: {raw!r}"
+                )
+        try:
+            value = float(match.group("value").replace("+Inf", "inf"))
+        except ValueError as error:
+            raise ObservabilityError(
+                f"malformed value on line {lineno}: {raw!r}"
+            ) from error
+        samples[(match.group("name"), tuple(sorted(labels)))] = value
+    return {"types": types, "helps": helps, "samples": samples}

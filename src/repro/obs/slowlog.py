@@ -1,0 +1,93 @@
+"""The slow-query log: every request over a threshold, with evidence.
+
+Each entry embeds the request's full trace (per-stage timings, the
+shared evaluate span id) and the planner's ``explain()`` rendering, so
+a slow query in production is diagnosable from the log alone — which
+stage ate the time, and what plan it was running.
+
+Entries always land in a bounded in-memory ring (served by the
+``metrics`` op); with a ``path`` they are also appended as JSON lines,
+one object per line, crash-tolerant (each write is open/append/close).
+The log is disabled until a threshold is configured
+(``--slow-query-ms``), so the default serving path never formats an
+entry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    def __init__(
+        self,
+        threshold_ms: float | None = None,
+        path: str | None = None,
+        capacity: int = 128,
+    ):
+        self.threshold_ms = threshold_ms
+        self.path = path
+        self._ring: deque = deque(maxlen=max(int(capacity), 1))
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def maybe_record(
+        self,
+        *,
+        duration_s: float,
+        sql: str | None = None,
+        trace=None,
+        explain: str | None = None,
+        **extra,
+    ) -> bool:
+        """Record when over threshold; returns whether it recorded."""
+        if self.threshold_ms is None:
+            return False
+        duration_ms = duration_s * 1e3
+        if duration_ms < self.threshold_ms:
+            return False
+        entry = {
+            "ts": round(time.time(), 6),
+            "duration_ms": round(duration_ms, 4),
+            "threshold_ms": self.threshold_ms,
+            "sql": sql,
+            "explain": explain,
+            "trace": trace.to_dict() if trace is not None else None,
+        }
+        entry.update(extra)
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            self._ring.append(entry)
+            self.recorded += 1
+            if self.path is not None:
+                try:
+                    with open(self.path, "a", encoding="utf-8") as handle:
+                        handle.write(line + "\n")
+                except OSError:
+                    # A full or vanished disk must not fail the query
+                    # that happened to be slow; the ring still has it.
+                    self.path = None
+        return True
+
+    def entries(self) -> list[dict]:
+        with self._lock:
+            return list(self._ring)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "threshold_ms": self.threshold_ms,
+                "recorded": self.recorded,
+                "ring": len(self._ring),
+                "path": self.path,
+            }

@@ -15,6 +15,9 @@ request costs anything:
   being admitted.
 
 The controller only counts; the coalescer and executor do the work.
+Its counters live in the shared :class:`~repro.obs.MetricsRegistry`
+(rejections labelled by scope), so saturation shows up on the same
+Prometheus scrape as the latency it causes.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from __future__ import annotations
 import threading
 
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry, sample_value
 
 
 class ServerSaturated(ReproError):
@@ -52,6 +56,7 @@ class AdmissionController:
         max_queue: int = 64,
         max_inflight_per_client: int = 16,
         flush_window: float = 0.002,
+        metrics: MetricsRegistry | None = None,
     ):
         if max_queue < 1:
             raise ReproError(f"max_queue must be >= 1, got {max_queue}")
@@ -70,10 +75,24 @@ class AdmissionController:
         self._lock = threading.Lock()
         self._depth = 0
         self._per_client: dict[str, int] = {}
-        self.admitted = 0
-        self.rejected_queue = 0
-        self.rejected_client = 0
-        self.peak_depth = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._admitted = self.metrics.counter(
+            "repro_admission_admitted_total", "Requests admitted."
+        )
+        self._rejected = self.metrics.counter(
+            "repro_admission_rejected_total",
+            "Requests rejected, by scope (queue = global backlog full, "
+            "client = caller over its in-flight allowance).",
+            ("scope",),
+        )
+        self._rejected_queue = self._rejected.labels(scope="queue")
+        self._rejected_client = self._rejected.labels(scope="client")
+        self._depth_gauge = self.metrics.gauge(
+            "repro_admission_depth", "Admitted-but-unfinished requests."
+        )
+        self._peak_depth = self.metrics.gauge(
+            "repro_admission_peak_depth", "Highest depth ever admitted."
+        )
 
     # -- hints ------------------------------------------------------------
     def observe(self, seconds: float) -> None:
@@ -101,7 +120,7 @@ class AdmissionController:
         """
         with self._lock:
             if self._depth >= self.max_queue:
-                self.rejected_queue += 1
+                self._rejected_queue.inc()
                 raise ServerSaturated(
                     f"server saturated: {self._depth} requests queued "
                     f"(max_queue={self.max_queue})",
@@ -110,7 +129,7 @@ class AdmissionController:
                 )
             inflight = self._per_client.get(client, 0)
             if inflight >= self.max_inflight_per_client:
-                self.rejected_client += 1
+                self._rejected_client.inc()
                 raise ServerSaturated(
                     f"client {client} has {inflight} requests in flight "
                     f"(max_inflight_per_client="
@@ -120,8 +139,9 @@ class AdmissionController:
                 )
             self._depth += 1
             self._per_client[client] = inflight + 1
-            self.admitted += 1
-            self.peak_depth = max(self.peak_depth, self._depth)
+            self._admitted.inc()
+            self._depth_gauge.set(self._depth)
+            self._peak_depth.set_max(self._depth)
 
     def release(self, client: str) -> None:
         with self._lock:
@@ -131,6 +151,7 @@ class AdmissionController:
                 self._per_client.pop(client, None)
             else:
                 self._per_client[client] = remaining
+            self._depth_gauge.set(self._depth)
 
     class _Held:
         __slots__ = ("controller", "client")
@@ -156,18 +177,53 @@ class AdmissionController:
         with self._lock:
             return self._depth
 
-    def stats(self) -> dict:
+    @property
+    def admitted(self) -> int:
+        return int(self._admitted.value)
+
+    @property
+    def rejected_queue(self) -> int:
+        return int(self._rejected_queue.value)
+
+    @property
+    def rejected_client(self) -> int:
+        return int(self._rejected_client.value)
+
+    @property
+    def peak_depth(self) -> int:
+        return int(self._peak_depth.value)
+
+    def stats(self, snapshot: dict | None = None) -> dict:
+        if snapshot is None:
+            snapshot = self.metrics.snapshot()
         with self._lock:
-            return {
-                "depth": self._depth,
-                "max_queue": self.max_queue,
-                "max_inflight_per_client": self.max_inflight_per_client,
-                "clients_in_flight": len(self._per_client),
-                "admitted": self.admitted,
-                "rejected_queue": self.rejected_queue,
-                "rejected_client": self.rejected_client,
-                "peak_depth": self.peak_depth,
-            }
+            clients_in_flight = len(self._per_client)
+        return {
+            "depth": int(sample_value(snapshot, "repro_admission_depth")),
+            "max_queue": self.max_queue,
+            "max_inflight_per_client": self.max_inflight_per_client,
+            "clients_in_flight": clients_in_flight,
+            "admitted": int(
+                sample_value(snapshot, "repro_admission_admitted_total")
+            ),
+            "rejected_queue": int(
+                sample_value(
+                    snapshot,
+                    "repro_admission_rejected_total",
+                    {"scope": "queue"},
+                )
+            ),
+            "rejected_client": int(
+                sample_value(
+                    snapshot,
+                    "repro_admission_rejected_total",
+                    {"scope": "client"},
+                )
+            ),
+            "peak_depth": int(
+                sample_value(snapshot, "repro_admission_peak_depth")
+            ),
+        }
 
     def __repr__(self):
         return (

@@ -29,6 +29,7 @@ import socket
 import time
 
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry
 from repro.serve import wire
 
 
@@ -48,12 +49,21 @@ def backoff_delay(attempt: int, hint: float, rng: random.Random) -> float:
 
 
 class ServeError(ReproError):
-    """The server answered ``ok: false`` (or the transport failed)."""
+    """The server answered ``ok: false`` (or the transport failed).
+
+    The server's backpressure fields ride along as attributes, so
+    callers never re-parse ``payload``: ``retry_after`` (seconds, or
+    ``None`` when the server gave no hint) and ``scope`` (``"queue"``,
+    ``"client"``, ``"chaos"``, or ``None``).
+    """
 
     def __init__(self, message: str, status: int = 0, payload: dict | None = None):
         super().__init__(message)
         self.status = status
         self.payload = payload or {}
+        hint = self.payload.get("retry_after")
+        self.retry_after = float(hint) if hint is not None else None
+        self.scope = self.payload.get("scope")
 
 
 class ServerBusy(ServeError):
@@ -99,6 +109,22 @@ class ServeClient:
         #: Optional :class:`~repro.chaos.FaultInjector` — the
         #: ``client.drop_connection`` hook (flaky-network simulation).
         self._chaos = chaos
+        #: Client-side observability: every 503 and every backoff sleep
+        #: is counted here, so a load generator can report how much of
+        #: its wall clock went to backpressure (scraped per client).
+        self.metrics = MetricsRegistry()
+        self._calls_total = self.metrics.counter(
+            "repro_client_requests_total", "Requests sent, by op.", ("op",)
+        )
+        self._busy_total = self.metrics.counter(
+            "repro_client_busy_total",
+            "503 rejections received, by server-reported scope.",
+            ("scope",),
+        )
+        self._retries_total = self.metrics.counter(
+            "repro_client_retries_total",
+            "Backoff-and-retry cycles actually slept through.",
+        )
 
     # -- connection --------------------------------------------------------
     def connect(self) -> "ServeClient":
@@ -149,6 +175,7 @@ class ServeClient:
             )
         self._next_id += 1
         request_id = self._next_id
+        self._calls_total.labels(op=op).inc()
         if self.protocol == "binary":
             response = self._roundtrip_binary(op, request_id, fields)
         else:
@@ -158,6 +185,9 @@ class ServeClient:
         status = int(response.get("status", 0))
         message = response.get("error", "server error")
         if status == 503:
+            self._busy_total.labels(
+                scope=str(response.get("scope") or "unknown")
+            ).inc()
             raise ServerBusy(
                 message,
                 retry_after=float(response.get("retry_after", 0.01)),
@@ -199,9 +229,15 @@ class ServeClient:
                 header = self._read_frame_bytes(wire.HEADER_SIZE)
                 opcode, length, reply_id = wire.decode_header(header)
                 body = self._read_frame_bytes(length)
-                if reply_id == request_id:
-                    return wire.unpackb(body)
-                if reply_id == 0 and opcode == wire.OP_ERROR:
+                # The server echoes our id in the low 32 bits and rides
+                # its trace-id hint in the spare upper bits.
+                echo_id, trace_hint = wire.split_trace_hint(reply_id)
+                if echo_id == request_id:
+                    response = wire.unpackb(body)
+                    if trace_hint and "trace" not in response:
+                        response["trace"] = format(trace_hint, "016x")
+                    return response
+                if echo_id == 0 and opcode == wire.OP_ERROR:
                     # Connection-level error: the server is about to
                     # close; there will be no frame with our id.
                     return wire.unpackb(body)
@@ -252,6 +288,7 @@ class ServeClient:
                 )
                 if deadline is not None and time.monotonic() + delay > deadline:
                     raise  # total retry budget exhausted
+                self._retries_total.inc()
                 time.sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -290,6 +327,7 @@ class ServeClient:
                 )
                 if deadline is not None and time.monotonic() + delay > deadline:
                     raise  # total retry budget exhausted
+                self._retries_total.inc()
                 time.sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -307,6 +345,19 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self.call("stats")["result"]
+
+    def server_metrics(
+        self, *, include_traces: bool = False, include_slow: bool = False
+    ) -> dict:
+        """The server's metrics view: ``{"prometheus": <text>,
+        "snapshot": <dict>}`` plus recent traces / slow-query entries
+        on request."""
+        fields: dict = {}
+        if include_traces:
+            fields["include_traces"] = True
+        if include_slow:
+            fields["include_slow"] = True
+        return self.call("metrics", **fields)["result"]
 
     def describe(self) -> dict:
         return self.call("describe")["result"]

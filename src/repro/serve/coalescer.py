@@ -19,6 +19,9 @@ serving-side mechanism:
 The class is asyncio-native and generic: keys are any hashable, items
 are opaque, ``run_batch`` maps a list of unique items to a list of
 results.  Tests drive it with plain integers and a spy function.
+Counters live in the shared :class:`~repro.obs.MetricsRegistry`
+(flushes labelled by what triggered them), read back through the
+attribute properties the stats endpoint and benchmarks use.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ import asyncio
 from typing import Awaitable, Callable, Hashable, Sequence
 
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry
 
 
 class Coalescer:
@@ -44,6 +48,7 @@ class Coalescer:
         *,
         window: float = 0.002,
         max_batch: int = 64,
+        metrics: MetricsRegistry | None = None,
     ):
         if window < 0:
             raise ReproError(f"window must be >= 0, got {window}")
@@ -58,12 +63,23 @@ class Coalescer:
         self._flush_tasks: set[asyncio.Task] = set()
         self._closed = False
         # -- counters (stats endpoint / bench) --
-        self.submitted = 0
-        self.coalesced = 0  # submissions answered by another's execution
-        self.flushes = 0
-        self.flushes_by_size = 0
-        self.flushes_by_window = 0
-        self.largest_batch = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._submitted = self.metrics.counter(
+            "repro_coalescer_submitted_total", "Submissions accepted."
+        )
+        self._coalesced = self.metrics.counter(
+            "repro_coalescer_coalesced_total",
+            "Submissions answered by another submission's execution.",
+        )
+        self._flushes = self.metrics.counter(
+            "repro_coalescer_flushes_total",
+            "Batches flushed, by trigger (size, window, drain).",
+            ("reason",),
+        )
+        self._largest_batch = self.metrics.gauge(
+            "repro_coalescer_largest_batch",
+            "Most distinct keys one flush ever carried.",
+        )
 
     # -- submission -------------------------------------------------------
     async def submit(self, key: Hashable, item) -> object:
@@ -76,16 +92,15 @@ class Coalescer:
             raise ReproError("coalescer is closed")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self.submitted += 1
+        self._submitted.inc()
         entry = self._pending.get(key)
         if entry is not None:
-            self.coalesced += 1
+            self._coalesced.inc()
             entry[1].append(future)
         else:
             self._pending[key] = (item, [future])
             if len(self._pending) >= self.max_batch:
-                self.flushes_by_size += 1
-                self._flush_now(loop)
+                self._flush_now(loop, reason="size")
             elif self._timer is None:
                 self._timer = loop.call_later(
                     self.window, self._flush_on_window, loop
@@ -96,17 +111,16 @@ class Coalescer:
     def _flush_on_window(self, loop) -> None:
         self._timer = None
         if self._pending:
-            self.flushes_by_window += 1
-            self._flush_now(loop)
+            self._flush_now(loop, reason="window")
 
-    def _flush_now(self, loop) -> None:
+    def _flush_now(self, loop, reason: str = "drain") -> None:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
         batch = self._pending
         self._pending = {}
-        self.flushes += 1
-        self.largest_batch = max(self.largest_batch, len(batch))
+        self._flushes.labels(reason=reason).inc()
+        self._largest_batch.set_max(len(batch))
         task = loop.create_task(self._run(batch))
         self._flush_tasks.add(task)
         task.add_done_callback(self._flush_tasks.discard)
@@ -149,20 +163,49 @@ class Coalescer:
         await self.drain()
 
     # -- introspection ----------------------------------------------------
-    def stats(self) -> dict:
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.value)
+
+    @property
+    def coalesced(self) -> int:
+        return int(self._coalesced.value)
+
+    @property
+    def flushes(self) -> int:
+        return int(self._flushes.total())
+
+    @property
+    def flushes_by_size(self) -> int:
+        return int(self._flushes.labels(reason="size").value)
+
+    @property
+    def flushes_by_window(self) -> int:
+        return int(self._flushes.labels(reason="window").value)
+
+    @property
+    def largest_batch(self) -> int:
+        return int(self._largest_batch.value)
+
+    def stats(self, snapshot: dict | None = None) -> dict:
+        # ``snapshot`` is accepted for signature parity with the other
+        # components; the coalescer only ever runs on the event loop
+        # thread, so its attribute reads cannot tear.
+        del snapshot
+        submitted, flushes = self.submitted, self.flushes
         return {
             "window_ms": self.window * 1e3,
             "max_batch": self.max_batch,
             "pending": len(self._pending),
-            "submitted": self.submitted,
+            "submitted": submitted,
             "coalesced": self.coalesced,
-            "flushes": self.flushes,
+            "flushes": flushes,
             "flushes_by_size": self.flushes_by_size,
             "flushes_by_window": self.flushes_by_window,
             "largest_batch": self.largest_batch,
             "mean_batch": (
-                round((self.submitted - len(self._pending)) / self.flushes, 2)
-                if self.flushes
+                round((submitted - len(self._pending)) / flushes, 2)
+                if flushes
                 else 0.0
             ),
         }

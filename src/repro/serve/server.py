@@ -56,6 +56,18 @@ import numpy as np
 from repro.api.explorer import Explorer
 from repro.api.store import SummaryStore
 from repro.errors import InjectedFault, QueryError, ReproError
+from repro.obs import (
+    MetricsRegistry,
+    SlowQueryLog,
+    Trace,
+    TraceRing,
+    activate,
+    current_trace,
+    render_prometheus,
+    sample_value,
+)
+from repro.obs import span as stage_span
+from repro.obs.trace import Span
 from repro.query.results import QueryResult
 from repro.serve import wire
 from repro.serve.admission import AdmissionController, ServerSaturated
@@ -96,6 +108,15 @@ class ServeConfig:
     #: connection is treated as JSON lines — the debugging mode
     #: (``repro serve --protocol json``).  JSON clients work either way.
     binary: bool = True
+    #: Recent finished request traces kept in memory (--trace-ring);
+    #: 0 disables the ring (spans still feed the stage histograms).
+    trace_ring: int = 256
+    #: Slow-query threshold in milliseconds (--slow-query-ms); None
+    #: disables the slow-query log entirely.
+    slow_query_ms: float | None = None
+    #: JSONL file the slow-query log appends to (--slow-query-log);
+    #: None keeps entries only in the in-memory ring.
+    slow_query_log: str | None = None
 
     def validated(self) -> "ServeConfig":
         """Range-check every knob; errors name the CLI flag at fault."""
@@ -117,6 +138,11 @@ class ServeConfig:
                 "watch_interval (--watch) must be > 0",
             ),
             (1 <= self.port or self.port == 0, "port (--port) must be >= 0"),
+            (self.trace_ring >= 0, "trace_ring (--trace-ring) must be >= 0"),
+            (
+                self.slow_query_ms is None or self.slow_query_ms >= 0,
+                "slow_query_ms (--slow-query-ms) must be >= 0",
+            ),
         ]
         for ok, message in checks:
             if not ok:
@@ -204,6 +230,41 @@ def result_payload(result: QueryResult) -> dict:
     }
 
 
+#: Ops the server answers; anything else gets the metric label "other"
+#: so client-controlled op strings cannot explode label cardinality.
+_KNOWN_OPS = frozenset(
+    {"query", "query_batch", "ping", "stats", "describe", "reload", "metrics"}
+)
+
+
+def _op_label(request: dict) -> str:
+    op = request.get("op", "query")
+    return op if op in _KNOWN_OPS else "other"
+
+
+def _adopt_trace_id(value):
+    """Client-supplied trace id (hex string or int), or None."""
+    if isinstance(value, str):
+        try:
+            value = int(value, 16)
+        except ValueError:
+            return None
+    if isinstance(value, int) and not isinstance(value, bool):
+        if 0 < value < 2**63:
+            return value
+    return None
+
+
+class _Evaluated:
+    """One executed payload plus the (possibly shared) evaluate span."""
+
+    __slots__ = ("payload", "span")
+
+    def __init__(self, payload, span):
+        self.payload = payload
+        self.span = span
+
+
 async def _read_exactly(reader, count: int):
     """Read exactly ``count`` bytes, or ``None`` on EOF/peer drop."""
     if count == 0:
@@ -266,13 +327,58 @@ class SummaryServer:
             self._generation = _Generation(
                 0, explorer, label=repr(explorer.backend)
             )
+        #: One registry backs every component's counters, so a single
+        #: ``snapshot()`` is a consistent view of the whole server (and
+        #: one scrape covers it all — see docs/observability.md).
+        self.metrics = MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "repro_requests_total",
+            "Statements served, by op (a query_batch counts each "
+            "statement it carries).",
+            ("op",),
+        )
+        self._errors_total = self.metrics.counter(
+            "repro_errors_total", "Requests answered with ok=false, by op.",
+            ("op",),
+        )
+        self._request_seconds = self.metrics.histogram(
+            "repro_request_seconds",
+            "End-to-end dispatch latency per request, by op.",
+            ("op",),
+        )
+        self._stage_seconds = self.metrics.histogram(
+            "repro_stage_seconds",
+            "Per-request time spent in each serving stage (trace spans).",
+            ("stage",),
+        )
+        self._reloads_total = self.metrics.counter(
+            "repro_reloads_total", "Hot reloads applied."
+        )
+        self._slow_total = self.metrics.counter(
+            "repro_slow_queries_total",
+            "Requests recorded by the slow-query log.",
+        )
+        self._connections_total = self.metrics.counter(
+            "repro_connections_total", "Connections accepted, by protocol.",
+            ("protocol",),
+        )
+        self.traces = TraceRing(self.config.trace_ring)
+        self.slow_log = SlowQueryLog(
+            threshold_ms=self.config.slow_query_ms,
+            path=self.config.slow_query_log,
+        )
+        if self.chaos is not None and hasattr(self.chaos, "bind_metrics"):
+            self.chaos.bind_metrics(self.metrics)
         self.cache = TTLCache(
-            maxsize=self.config.cache_size, ttl=self.config.cache_ttl
+            maxsize=self.config.cache_size,
+            ttl=self.config.cache_ttl,
+            metrics=self.metrics,
         )
         self.admission = AdmissionController(
             max_queue=self.config.max_queue,
             max_inflight_per_client=self.config.max_inflight_per_client,
             flush_window=max(self.config.window_ms, 0.5) / 1e3,
+            metrics=self.metrics,
         )
         if self.config.watch_interval is not None and self._store is None:
             raise ReproError(
@@ -284,9 +390,6 @@ class SummaryServer:
         self._server: asyncio.base_events.Server | None = None
         self.host = self.config.host
         self.port = self.config.port
-        self.requests = 0
-        self.errors = 0
-        self.reloads = 0
         self._started_at: float | None = None
 
     # -- generations / hot reload -----------------------------------------
@@ -337,17 +440,31 @@ class SummaryServer:
             )
         generation = self._load_generation(version=version, tag=tag)
         self._generation = generation  # atomic swap
-        self.reloads += 1
+        self._reloads_total.inc()
         return generation.version
+
+    # -- counters (registry-backed read surface) ----------------------------
+    @property
+    def requests(self) -> int:
+        return int(self._requests_total.total())
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors_total.total())
+
+    @property
+    def reloads(self) -> int:
+        return int(self._reloads_total.value)
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
         """Bind the listening socket and start the coalescer."""
         if self.config.coalesce:
             self.coalescer = Coalescer(
-                self._run_batch,
+                self._run_flush,
                 window=self.config.window_ms / 1e3,
                 max_batch=self.config.max_batch,
+                metrics=self.metrics,
             )
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -418,10 +535,12 @@ class SummaryServer:
                     # waiting for a newline that never comes would hang
                     # the client until its socket timeout.
                     if self.config.binary:
+                        self._connections_total.labels(protocol="binary").inc()
                         await self._binary_loop(
                             reader, writer, write_lock, client, tasks, first
                         )
                 else:
+                    self._connections_total.labels(protocol="json").inc()
                     await self._json_loop(
                         reader, writer, write_lock, client, tasks, first
                     )
@@ -472,7 +591,7 @@ class SummaryServer:
                     write_lock,
                     wire.error_frame(0, 400, str(error)),
                 )
-                self.errors += 1
+                self._errors_total.labels(op="invalid").inc()
                 return
             body = await _read_exactly(reader, length)
             if body is None:
@@ -481,7 +600,7 @@ class SummaryServer:
                 request = wire.decode_request(opcode, body)
             except wire.WireError as error:
                 # Body consumed; the stream is still frame-aligned.
-                self.errors += 1
+                self._errors_total.labels(op="invalid").inc()
                 await self._write_frame(
                     writer,
                     write_lock,
@@ -507,12 +626,16 @@ class SummaryServer:
 
     async def _respond(self, client: str, request: dict) -> dict:
         """Dispatch one request dict, mapping failures to the protocol's
-        error envelopes (shared by both wire protocols)."""
+        error envelopes (shared by both wire protocols).  Also the
+        request-latency measurement point: every dispatch lands in the
+        op-labelled ``repro_request_seconds`` histogram."""
+        op = _op_label(request)
+        began = time.perf_counter()
         try:
-            return await self._dispatch(client, request)
+            response = await self._dispatch(client, request)
         except ServerSaturated as busy:
-            self.errors += 1
-            return {
+            self._errors_total.labels(op=op).inc()
+            response = {
                 "ok": False,
                 "status": 503,
                 "error": str(busy),
@@ -524,8 +647,8 @@ class SummaryServer:
             # like admission control (503 + Retry-After) so clients
             # retry on the hint instead of treating a chaos-killed
             # worker or erroring backend as a bad request.
-            self.errors += 1
-            return {
+            self._errors_total.labels(op=op).inc()
+            response = {
                 "ok": False,
                 "status": 503,
                 "error": str(fault),
@@ -533,15 +656,33 @@ class SummaryServer:
                 "retry_after": max(self.config.window_ms / 1e3, 0.05),
             }
         except (QueryError, ReproError) as error:
-            self.errors += 1
-            return {"ok": False, "status": 400, "error": str(error)}
+            self._errors_total.labels(op=op).inc()
+            response = {"ok": False, "status": 400, "error": str(error)}
         except Exception as error:  # pragma: no cover - defensive
-            self.errors += 1
-            return {
+            self._errors_total.labels(op=op).inc()
+            response = {
                 "ok": False,
                 "status": 500,
                 "error": f"{type(error).__name__}: {error}",
             }
+        self._request_seconds.labels(op=op).observe(
+            time.perf_counter() - began
+        )
+        return response
+
+    def _finish_trace(self, trace: Trace, response: dict) -> None:
+        """Fold one finished request's spans into the stage histograms
+        and park the trace in the ring.  A coalesced evaluate span is
+        attributed to *every* waiter on purpose: each request really did
+        spend that time in the evaluate stage, which is what makes the
+        per-stage means sum to the end-to-end mean."""
+        trace.status = response.get("status")
+        if "cached" in response:
+            trace.cached = response.get("cached")
+        observe = self._stage_seconds
+        for entry in list(trace.spans):
+            observe.labels(stage=entry.name).observe(entry.duration_s)
+        self.traces.record(trace)
 
     async def _serve_request(
         self, writer, write_lock: asyncio.Lock, client: str, line: bytes
@@ -554,24 +695,37 @@ class SummaryServer:
             # the soak invariants hold to "zero dropped requests".
             writer.close()
             return
+        trace = None
         try:
             request = json.loads(line)
             if not isinstance(request, dict):
                 raise QueryError("request must be a JSON object")
         except (QueryError, json.JSONDecodeError) as error:
-            self.errors += 1
+            self._errors_total.labels(op="invalid").inc()
             response = {"ok": False, "status": 400, "error": str(error)}
         else:
             request_id = request.get("id")
-            response = await self._respond(client, request)
+            session = request.get("session")
+            trace = Trace(
+                op=_op_label(request),
+                session=str(session) if session is not None else None,
+                trace_id=_adopt_trace_id(request.get("trace")),
+            )
+            with activate(trace):
+                response = await self._respond(client, request)
+            response["trace"] = trace.hex_id
         response["id"] = request_id
         try:
             # Strict encoding: a non-serializable value in a response is
             # a server bug; answer 500 instead of shipping stringified
             # garbage (the old ``default=str`` failure mode).
-            payload = wire.encode_json_line(response)
+            if trace is not None:
+                with trace.span("encode"):
+                    payload = wire.encode_json_line(response)
+            else:
+                payload = wire.encode_json_line(response)
         except wire.WireError as error:
-            self.errors += 1
+            self._errors_total.labels(op="invalid").inc()
             payload = wire.encode_json_line(
                 {
                     "ok": False,
@@ -580,6 +734,8 @@ class SummaryServer:
                     "id": request_id,
                 }
             )
+        if trace is not None:
+            self._finish_trace(trace, response)
         async with write_lock:
             writer.write(payload)
             try:
@@ -604,15 +760,29 @@ class SummaryServer:
                 writer.write(wire.truncated_frame())
                 writer.close()
             return
-        response = await self._respond(client, request)
+        # The incoming id's spare upper bits may carry a client trace
+        # hint; the reply folds the server's own trace id back in.
+        echo_id, client_hint = wire.split_trace_hint(request_id)
+        session = request.get("session")
+        trace = Trace(
+            op=_op_label(request),
+            session=str(session) if session is not None else None,
+            trace_id=client_hint or None,
+        )
+        with activate(trace):
+            response = await self._respond(client, request)
+        response["trace"] = trace.hex_id
         opcode = wire.OP_REPLY if response.get("ok") else wire.OP_ERROR
+        reply_id = wire.pack_trace_hint(echo_id, trace.hint)
         try:
-            frame = wire.encode_frame(opcode, request_id, response)
+            with trace.span("encode"):
+                frame = wire.encode_frame(opcode, reply_id, response)
         except wire.WireError as error:
-            self.errors += 1
+            self._errors_total.labels(op="invalid").inc()
             frame = wire.error_frame(
-                request_id, 500, f"response not serializable: {error}"
+                reply_id, 500, f"response not serializable: {error}"
             )
+        self._finish_trace(trace, response)
         await self._write_frame(writer, write_lock, frame)
 
     async def _dispatch(self, client: str, request: dict) -> dict:
@@ -621,7 +791,7 @@ class SummaryServer:
             self.admission.acquire(client)
             began = time.perf_counter()
             try:
-                self.requests += 1
+                self._requests_total.labels(op="query").inc()
                 return await self._query(request)
             finally:
                 self.admission.release(client)
@@ -638,6 +808,7 @@ class SummaryServer:
             finally:
                 self.admission.release(client)
                 self.admission.observe(time.perf_counter() - began)
+        self._requests_total.labels(op=_op_label(request)).inc()
         if op == "ping":
             return {
                 "ok": True,
@@ -647,6 +818,24 @@ class SummaryServer:
             }
         if op == "stats":
             return {"ok": True, "status": 200, "result": self.stats()}
+        if op == "metrics":
+            # One snapshot backs both views, so the Prometheus text and
+            # the structured dict describe the same instant.
+            snapshot = self.metrics.snapshot()
+            result = {
+                "prometheus": render_prometheus(snapshot),
+                "snapshot": snapshot,
+            }
+            if request.get("include_traces"):
+                result["traces"] = self.traces.snapshot()
+            if request.get("include_slow"):
+                result["slow_queries"] = self.slow_log.entries()
+            return {
+                "ok": True,
+                "status": 200,
+                "result": result,
+                "version": self.version,
+            }
         if op == "describe":
             generation = self._generation
             return {
@@ -662,7 +851,7 @@ class SummaryServer:
             return {"ok": True, "status": 200, "result": {"version": version}}
         raise QueryError(
             f"unknown op {op!r}; expected query, query_batch, ping, stats, "
-            "describe, or reload"
+            "metrics, describe, or reload"
         )
 
     # -- the query path ------------------------------------------------------
@@ -675,21 +864,48 @@ class SummaryServer:
         explorer = generation.session(session_name)
         plan = explorer.plan(sql)  # parse + normalize (session-cached)
         key = (generation.version, plan.cache_key)
-        payload = self.cache.get(key)
+        with stage_span("cache_lookup"):
+            payload = self.cache.get(key)
         cached = payload is not None
+        trace = current_trace()
         if not cached:
             if self.coalescer is not None:
                 # Resolves with the JSON-ready payload: serialization
                 # and the cache put happen once per unique key in the
-                # flush, not once per coalesced waiter.
-                payload = await self.coalescer.submit(key, (generation, plan))
+                # flush, not once per coalesced waiter.  The wait span
+                # is per-request; the evaluate span inside the
+                # ``_Evaluated`` wrapper is shared by every waiter of
+                # the flush that answered this key.
+                wait = trace.begin("coalesce_wait") if trace else None
+                evaluated = await self.coalescer.submit(
+                    key, (generation, plan)
+                )
+                payload = evaluated.payload
+                if wait is not None:
+                    wait.finish()
+                    if evaluated.span is not None:
+                        # The wait bracketed the whole submit→resolve
+                        # interval; carve the shared evaluation out so
+                        # coalesce_wait reports pure queueing and the
+                        # per-stage durations sum to the request's
+                        # end-to-end time instead of double-counting.
+                        wait.duration_s = max(
+                            wait.duration_s - evaluated.span.duration_s, 0.0
+                        )
+                        trace.attach(evaluated.span)
+                    trace.attach(wait)
             else:
                 loop = asyncio.get_running_loop()
-                result = await loop.run_in_executor(
-                    None, self._execute_plan, generation, plan
-                )
-                payload = result_payload(result)
+                with stage_span("evaluate"):
+                    result = await loop.run_in_executor(
+                        None, self._execute_plan, generation, plan
+                    )
+                    payload = result_payload(result)
                 self.cache.put(key, payload)
+        self._maybe_slow_log(
+            trace, sql=sql, plan=plan, cached=cached,
+            session=session_name, version=generation.version,
+        )
         return {
             "ok": True,
             "status": 200,
@@ -698,6 +914,34 @@ class SummaryServer:
             "session": session_name,
             "version": generation.version,
         }
+
+    def _maybe_slow_log(self, trace, *, sql, plan, cached, session,
+                        version) -> None:
+        """Record the in-flight request in the slow-query log when its
+        elapsed time already crossed the threshold.  Runs before the
+        encode stage — encode time for a slow query is dwarfed by the
+        evaluate time that made it slow."""
+        log = self.slow_log
+        if not log.enabled or trace is None:
+            return
+        duration_s = trace.elapsed_s
+        if duration_s * 1e3 < log.threshold_ms:
+            return
+        explain = None
+        try:
+            explain = plan.explain()
+        except Exception:
+            pass  # never let diagnostics fail the query
+        if log.maybe_record(
+            duration_s=duration_s,
+            sql=sql,
+            trace=trace,
+            explain=explain,
+            cached=cached,
+            session=session,
+            version=version,
+        ):
+            self._slow_total.inc()
 
     async def _query_batch(self, request: dict) -> dict:
         """Pipelined batch: plan every statement against one pinned
@@ -710,7 +954,7 @@ class SummaryServer:
         session_name = str(request.get("session", "default"))
         generation = self._generation  # pin: reloads must not drop us
         explorer = generation.session(session_name)
-        self.requests += len(sqls)
+        self._requests_total.labels(op="query_batch").inc(len(sqls))
         plans = []
         for sql in sqls:
             if not isinstance(sql, str) or not sql.strip():
@@ -721,30 +965,58 @@ class SummaryServer:
         payloads: list = [None] * len(plans)
         cached_flags = [False] * len(plans)
         misses: list[tuple[int, tuple, object]] = []
-        for index, plan in enumerate(plans):
-            key = (generation.version, plan.cache_key)
-            payload = self.cache.get(key)
-            if payload is not None:
-                payloads[index] = payload
-                cached_flags[index] = True
-            else:
-                misses.append((index, key, plan))
+        with stage_span("cache_lookup"):
+            for index, plan in enumerate(plans):
+                key = (generation.version, plan.cache_key)
+                payload = self.cache.get(key)
+                if payload is not None:
+                    payloads[index] = payload
+                    cached_flags[index] = True
+                else:
+                    misses.append((index, key, plan))
         if misses:
+            trace = current_trace()
             if self.coalescer is not None:
+                wait = trace.begin("coalesce_wait") if trace else None
                 outputs = await asyncio.gather(
                     *(
                         self.coalescer.submit(key, (generation, plan))
                         for _, key, plan in misses
                     )
                 )
+                seen_spans: set[int] = set()
+                longest_evaluate = 0.0
+                for (index, _, _), output in zip(misses, outputs):
+                    payloads[index] = output.payload
+                    # A batch's misses may land in one flush or span
+                    # several; attach each distinct evaluate span once.
+                    if (
+                        trace is not None
+                        and output.span is not None
+                        and output.span.span_id not in seen_spans
+                    ):
+                        seen_spans.add(output.span.span_id)
+                        longest_evaluate = max(
+                            longest_evaluate, output.span.duration_s
+                        )
+                        trace.attach(output.span)
+                if wait is not None:
+                    wait.finish()
+                    # Flushes overlap, so subtracting the longest one
+                    # approximates the pure queueing share of the wait.
+                    wait.duration_s = max(
+                        wait.duration_s - longest_evaluate, 0.0
+                    )
+                    trace.attach(wait)
             else:
-                outputs = await self._run_batch(
-                    [(generation, plan) for _, _, plan in misses]
-                )
-            for (index, _, _), output in zip(misses, outputs):
-                if isinstance(output, BaseException):
-                    raise output
-                payloads[index] = output
+                with stage_span("evaluate"):
+                    outputs = await self._run_batch(
+                        [(generation, plan) for _, _, plan in misses]
+                    )
+                for (index, _, _), output in zip(misses, outputs):
+                    if isinstance(output, BaseException):
+                        raise output
+                    payloads[index] = output
         return {
             "ok": True,
             "status": 200,
@@ -757,6 +1029,24 @@ class SummaryServer:
     async def _run_batch(self, items: list) -> list:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(None, self._execute_items, items)
+
+    async def _run_flush(self, items: list) -> list:
+        """The coalescer's ``run_batch``: one evaluate span times the
+        whole flush, and every successful payload is wrapped in
+        :class:`_Evaluated` carrying that shared span.  Exceptions stay
+        unwrapped so the coalescer's per-item fan-out still recognizes
+        them."""
+        flush_span = Span("evaluate", batch=len(items))
+        try:
+            outputs = await self._run_batch(items)
+        finally:
+            flush_span.finish()
+        return [
+            output
+            if isinstance(output, BaseException)
+            else _Evaluated(output, flush_span)
+            for output in outputs
+        ]
 
     def _inject_backend_chaos(self) -> None:
         """Executor-thread chaos hooks: a ``server.worker_kill`` fault
@@ -812,28 +1102,41 @@ class SummaryServer:
     # -- introspection -------------------------------------------------------
     def stats(self) -> dict:
         generation = self._generation
+        # One registry snapshot backs every sub-report: all counters in
+        # the payload describe the same instant, so derived figures
+        # (hit rate, rejection ratios) can't tear across fields the way
+        # per-field attribute reads under concurrent traffic could.
+        snapshot = self.metrics.snapshot()
         return {
             "version": generation.version,
             "summary": generation.label,
             "sessions": generation.session_names,
-            "requests": self.requests,
-            "errors": self.errors,
-            "reloads": self.reloads,
+            "requests": int(
+                sample_value(snapshot, "repro_requests_total")
+            ),
+            "errors": int(sample_value(snapshot, "repro_errors_total")),
+            "reloads": int(sample_value(snapshot, "repro_reloads_total")),
             "uptime_s": (
                 round(time.monotonic() - self._started_at, 3)
                 if self._started_at is not None
                 else None
             ),
             "coalesce": self.config.coalesce,
-            "cache": self.cache.stats(),
-            "admission": self.admission.stats(),
+            "cache": self.cache.stats(snapshot),
+            "admission": self.admission.stats(snapshot),
             "coalescer": (
-                self.coalescer.stats() if self.coalescer is not None else None
+                self.coalescer.stats(snapshot)
+                if self.coalescer is not None
+                else None
             ),
             "watcher": (
-                self.watcher.stats() if self.watcher is not None else None
+                self.watcher.stats(snapshot)
+                if self.watcher is not None
+                else None
             ),
             "chaos": self.chaos.stats() if self.chaos is not None else None,
+            "slow_queries": self.slow_log.stats(),
+            "traces": len(self.traces),
         }
 
     def __repr__(self):

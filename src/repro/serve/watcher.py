@@ -21,22 +21,34 @@ import asyncio
 import time
 
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry, sample_value
 
 
 class StoreWatcher:
     """Auto-reload a :class:`~repro.serve.server.SummaryServer` when its
     store gains a newer version of the served summary name."""
 
-    def __init__(self, server, interval: float):
+    def __init__(self, server, interval: float,
+                 metrics: MetricsRegistry | None = None):
         if interval <= 0:
             raise ReproError(
                 f"watch_interval (--watch) must be > 0, got {interval}"
             )
         self.server = server
         self.interval = float(interval)
-        self.checks = 0
-        self.reloads = 0
-        self.errors = 0
+        if metrics is None:
+            metrics = getattr(server, "metrics", None) or MetricsRegistry()
+        self.metrics = metrics
+        self._checks = metrics.counter(
+            "repro_watcher_checks_total", "Store-manifest polls."
+        )
+        self._reloads = metrics.counter(
+            "repro_watcher_reloads_total", "Hot reloads the watcher triggered."
+        )
+        self._errors = metrics.counter(
+            "repro_watcher_errors_total", "Polls that failed (and were "
+            "swallowed — the watcher must outlive transient trouble)."
+        )
         self.last_seen: int | None = None
         self.last_check_at: float | None = None
         #: Highest version this watcher has acted on.  Reloads trigger
@@ -80,20 +92,20 @@ class StoreWatcher:
         polling, or the server silently serves stale data forever.
         """
         loop = asyncio.get_running_loop()
-        self.checks += 1
+        self._checks.inc()
         self.last_check_at = time.monotonic()
         try:
             latest = await loop.run_in_executor(None, self._latest_version)
             self.last_seen = latest
             if latest > self._high_water:
                 await self.server._reload_in_executor()
-                self.reloads += 1
+                self._reloads.inc()
                 self._high_water = latest
                 return True
         except asyncio.CancelledError:
             raise
         except Exception:
-            self.errors += 1
+            self._errors.inc()
         return False
 
     def _latest_version(self) -> int:
@@ -106,12 +118,32 @@ class StoreWatcher:
         return self.server.store.latest_version(self.server.name)
 
     # -- introspection -----------------------------------------------------
-    def stats(self) -> dict:
+    @property
+    def checks(self) -> int:
+        return int(self._checks.value)
+
+    @property
+    def reloads(self) -> int:
+        return int(self._reloads.value)
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value)
+
+    def stats(self, snapshot: dict | None = None) -> dict:
+        if snapshot is None:
+            snapshot = self.metrics.snapshot()
         return {
             "interval_s": self.interval,
-            "checks": self.checks,
-            "reloads": self.reloads,
-            "errors": self.errors,
+            "checks": int(
+                sample_value(snapshot, "repro_watcher_checks_total")
+            ),
+            "reloads": int(
+                sample_value(snapshot, "repro_watcher_reloads_total")
+            ),
+            "errors": int(
+                sample_value(snapshot, "repro_watcher_errors_total")
+            ),
             "last_seen_version": self.last_seen,
         }
 

@@ -18,6 +18,14 @@ Frame layout (big-endian, 16-byte header)::
     8       8     request id (int64, echoed on the response)
     16      ...   body — one codec-packed value (usually a dict)
 
+The request-id field carries a piggybacked **trace hint** in its spare
+upper bits: clients number requests from 1, so ids fit in 32 bits and
+bits 32–62 are free.  Replies echo the request id in the low 32 bits
+with the low 31 bits of the server's trace id above them
+(:func:`pack_trace_hint` / :func:`split_trace_hint`), keeping the
+whole i64 positive.  Clients that send an id wider than 32 bits simply
+get it echoed verbatim — the hint rides only when the bits are spare.
+
 A server sniffs the **first byte** of each connection: ``0xAB`` selects
 the binary loop, anything else (``{``, whitespace, ...) falls back to
 newline-delimited JSON — so existing JSON clients keep working with no
@@ -256,6 +264,30 @@ def unpackb(buffer):
 # ----------------------------------------------------------------------
 # Frames
 # ----------------------------------------------------------------------
+
+#: The trace hint is 31 bits so a packed id never sets the i64 sign bit.
+TRACE_HINT_MASK = 0x7FFFFFFF
+#: Request ids wider than this cannot carry a hint (bits aren't spare).
+REQUEST_ID_MASK = 0xFFFFFFFF
+
+
+def pack_trace_hint(request_id: int, trace_hint: int) -> int:
+    """Fold a trace hint into a request id's spare upper bits.
+
+    Ids outside ``[0, 2**32)`` pass through unchanged — their bits are
+    not spare, and echoing the id verbatim matters more than tracing.
+    """
+    if not 0 <= request_id <= REQUEST_ID_MASK:
+        return request_id
+    return ((trace_hint & TRACE_HINT_MASK) << 32) | request_id
+
+
+def split_trace_hint(packed_id: int) -> tuple[int, int]:
+    """``(request_id, trace_hint)`` of one id field (hint 0 = none)."""
+    if not 0 <= packed_id <= _I64_MAX:
+        return packed_id, 0
+    return packed_id & REQUEST_ID_MASK, (packed_id >> 32) & TRACE_HINT_MASK
+
 
 def encode_frame(opcode: int, request_id: int, payload) -> bytes:
     """One complete frame: header + packed body."""

@@ -53,8 +53,9 @@ class TestFramework:
             "executor-pickle-safety",
             "error-hierarchy",
             "bare-thread-start",
+            "metrics-discipline",
         }
-        assert len(rules) >= 6
+        assert len(rules) >= 7
         for rule in rules.values():
             assert rule.summary, f"{rule.name} has no summary"
 
@@ -605,6 +606,70 @@ class TestBareThreadStart:
             CORE,
         )
         assert found == []
+
+
+class TestMetricsDiscipline:
+    COUNTER = """\
+        class Handler:
+            def __init__(self):
+                self.hits = 0
+
+            def handle(self):
+                self.hits += 1
+    """
+
+    def test_flags_public_bare_int_counter(self):
+        found = flags(self.COUNTER, "metrics-discipline", SERVE)
+        assert len(found) == 1
+        assert "self.hits" in found[0].message
+        assert "MetricsRegistry" in found[0].message
+
+    def test_flags_decrement_too(self):
+        source = self.COUNTER.replace("self.hits += 1", "self.hits -= 1")
+        found = flags(source, "metrics-discipline", SERVE)
+        assert len(found) == 1
+
+    def test_passes_private_bookkeeping(self):
+        source = self.COUNTER.replace("hits", "_next_id")
+        assert flags(source, "metrics-discipline", SERVE) == []
+
+    def test_passes_non_literal_seed(self):
+        # fields seeded from an expression are state, not counters
+        source = self.COUNTER.replace(
+            "self.hits = 0", "self.hits = initial()"
+        )
+        assert flags(source, "metrics-discipline", SERVE) == []
+
+    def test_passes_registry_backed_counter(self):
+        found = flags(
+            """\
+            class Handler:
+                def __init__(self, registry):
+                    self._hits = registry.counter("repro_hits_total")
+
+                def handle(self):
+                    self._hits.inc()
+            """,
+            "metrics-discipline",
+            SERVE,
+        )
+        assert found == []
+
+    def test_construction_bumps_exempt(self):
+        found = flags(
+            """\
+            class Handler:
+                def __init__(self):
+                    self.hits = 0
+                    self.hits += 1
+            """,
+            "metrics-discipline",
+            SERVE,
+        )
+        assert found == []
+
+    def test_out_of_scope_module_unchecked(self):
+        assert flags(self.COUNTER, "metrics-discipline", CORE) == []
 
 
 # ----------------------------------------------------------------------

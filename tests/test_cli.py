@@ -327,3 +327,60 @@ class TestServeCli:
         assert pong["ok"] is True
         assert pong["version"] == 0
         assert pong["latency_ms"] > 0
+
+    def test_metrics_prometheus_text(self, model_prefix, capsys):
+        from repro.core.sharding import load_model
+        from repro.obs import parse_prometheus
+        from repro.serve import ServeClient, ServeConfig, ServerThread, SummaryServer
+
+        server = SummaryServer(
+            load_model(str(model_prefix)), config=ServeConfig()
+        )
+        with ServerThread(server):
+            with ServeClient(port=server.port) as client:
+                client.call("ping")
+            code = main(["metrics", "--port", str(server.port)])
+        assert code == 0
+        parsed = parse_prometheus(capsys.readouterr().out)
+        assert "repro_requests_total" in parsed["types"]
+        ping_key = ("repro_requests_total", (("op", "ping"),))
+        assert parsed["samples"][ping_key] >= 1
+
+    def test_metrics_json_snapshot(self, model_prefix, capsys):
+        import json
+
+        from repro.core.sharding import load_model
+        from repro.serve import ServeConfig, ServerThread, SummaryServer
+
+        server = SummaryServer(
+            load_model(str(model_prefix)), config=ServeConfig()
+        )
+        with ServerThread(server):
+            code = main(
+                ["metrics", "--port", str(server.port), "--json", "--traces"]
+            )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["snapshot"]["repro_requests_total"]["type"] == "counter"
+        assert "traces" in payload
+
+    def test_top_once(self, model_prefix, capsys):
+        from repro.core.sharding import load_model
+        from repro.serve import ServeClient, ServeConfig, ServerThread, SummaryServer
+
+        server = SummaryServer(
+            load_model(str(model_prefix)), config=ServeConfig()
+        )
+        with ServerThread(server):
+            with ServeClient(port=server.port) as client:
+                client.call("ping")
+            code = main(["top", "--port", str(server.port), "--once"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests" in out
+        assert "ping" in out
+
+    def test_metrics_unreachable_server(self, capsys):
+        code = main(["metrics", "--port", "1"])
+        assert code == 1
+        assert "transport error" in capsys.readouterr().err

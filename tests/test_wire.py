@@ -399,9 +399,13 @@ class TestServerBinary:
                 sock.sendall(frame[index : index + 1])
                 if index % 7 == 0:
                     time.sleep(0.001)
-            opcode, request_id, payload = _recv_frame(sock)
+            opcode, reply_id, payload = _recv_frame(sock)
         assert opcode == wire.OP_REPLY
-        assert request_id == 5
+        # The low 32 bits echo the request id; the bits above carry the
+        # server's trace hint (see wire.pack_trace_hint).
+        echo_id, trace_hint = wire.split_trace_hint(reply_id)
+        assert echo_id == 5
+        assert trace_hint > 0
         assert payload["result"] == "pong"
 
     def test_version_mismatch_answered_then_closed(self, running):
@@ -445,8 +449,9 @@ class TestServerBinary:
             assert payload["status"] == 400
             # Stream is still frame-aligned: the next request works.
             sock.sendall(wire.encode_request({"op": "ping"}, 9))
-            opcode, request_id, payload = _recv_frame(sock)
-            assert (opcode, request_id) == (wire.OP_REPLY, 9)
+            opcode, reply_id, payload = _recv_frame(sock)
+            assert opcode == wire.OP_REPLY
+            assert wire.split_trace_hint(reply_id)[0] == 9
             assert payload["result"] == "pong"
 
     def test_json_and_binary_clients_interleave_on_one_port(self, running):

@@ -183,23 +183,18 @@ class AsyncBlockingRule(Rule):
 #: threads today.  New guarded fields should use the in-source
 #: ``# guarded-by: _lock`` annotation instead of growing this table.
 GUARDED_FIELDS: dict[str, dict[str, str]] = {
-    # serve/cache.py — executor threads and the event loop both touch it
+    # serve/cache.py — executor threads and the event loop both touch
+    # it (hit/miss/eviction counters moved into the obs registry, which
+    # guards itself; only the table itself still needs the cache lock)
     "TTLCache": {
         "_data": "_lock",
-        "hits": "_lock",
-        "misses": "_lock",
-        "evictions": "_lock",
-        "expirations": "_lock",
     },
     # serve/admission.py — counted on every request from many tasks
+    # (admitted/rejected counters live in the obs registry now)
     "AdmissionController": {
         "_depth": "_lock",
         "_per_client": "_lock",
         "_service_ewma": "_lock",
-        "admitted": "_lock",
-        "rejected_queue": "_lock",
-        "rejected_client": "_lock",
-        "peak_depth": "_lock",
     },
     # api/explorer.py — the session caches the serving layer shares
     "_LRUCache": {"data": "_lock", "hits": "_lock", "misses": "_lock"},
@@ -732,3 +727,102 @@ class BareThreadRule(Rule):
                     joined.add(name)
                     joined.add(name.split(".")[-1])
         return joined
+
+
+# ----------------------------------------------------------------------
+# metrics-discipline
+# ----------------------------------------------------------------------
+
+
+@register
+class MetricsDisciplineRule(Rule):
+    """Serving-layer counters belong in the obs registry.
+
+    PR 9 moved every operational counter in serve/ into the shared
+    :class:`repro.obs.MetricsRegistry` — one lock, one snapshot, one
+    Prometheus scrape.  A class that grows a *public* bare-int counter
+    (``self.hits = 0`` in ``__init__``, ``self.hits += 1`` elsewhere)
+    re-introduces the torn-read/stats-drift problem the registry
+    solved: the field is invisible to ``metrics``/``repro top`` and is
+    read without the registry's snapshot consistency.  Private
+    bookkeeping (``self._next_id += 1``) and non-integer state are out
+    of scope — this rule is about *observable* counters only.
+    """
+
+    name = "metrics-discipline"
+    summary = (
+        "public int counters in serve/ classes (self.x = 0 then "
+        "self.x += N) must live in the obs MetricsRegistry, not as "
+        "bare attributes"
+    )
+    scope = ("src/repro/serve/*.py", "src/repro/serve/**/*.py")
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: Module, class_def: ast.ClassDef
+    ) -> Iterator[Violation]:
+        seeded = self._int_seeded_fields(class_def)
+        if not seeded:
+            return
+        for item in class_def.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in _CONSTRUCTION:
+                continue
+            for node in ast.walk(item):
+                if not (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, (ast.Add, ast.Sub))
+                    and isinstance(node.target, ast.Attribute)
+                    and isinstance(node.target.value, ast.Name)
+                    and node.target.value.id == "self"
+                    and node.target.attr in seeded
+                ):
+                    continue
+                counter = node.target.attr
+                yield self.violation(
+                    module,
+                    node,
+                    f"self.{counter} is a bare int counter "
+                    f"(initialized to a literal in {class_def.name}."
+                    "__init__, bumped here); register it on the shared "
+                    "obs MetricsRegistry (registry.counter(...).inc()) "
+                    "so scrapes and stats() see one consistent snapshot",
+                )
+
+    @staticmethod
+    def _int_seeded_fields(class_def: ast.ClassDef) -> set[str]:
+        """Public ``self.<name> = <int literal>`` assignments in
+        construction methods."""
+        seeded: set[str] = set()
+        for item in class_def.body:
+            if not (
+                isinstance(item, ast.FunctionDef)
+                and item.name in _CONSTRUCTION
+            ):
+                continue
+            for node in ast.walk(item):
+                targets: list[ast.expr] = []
+                value = None
+                if isinstance(node, ast.Assign):
+                    targets, value = list(node.targets), node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                if not (
+                    isinstance(value, ast.Constant)
+                    and type(value.value) is int
+                ):
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and not target.attr.startswith("_")
+                    ):
+                        seeded.add(target.attr)
+        return seeded
