@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke bench-all check-bench serve-smoke obs-smoke soak-smoke soak-full lint install docs-check analyze
+.PHONY: test bench-smoke bench-all check-bench serve-smoke cluster-smoke obs-smoke soak-smoke soak-full lint install docs-check analyze
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,7 +18,8 @@ bench-smoke:
 #: The acceptance suites that emit BENCH_<name>.json reports.
 BENCH_SUITES = benchmarks/bench_planner.py benchmarks/bench_sharding.py \
 	benchmarks/bench_serve.py benchmarks/bench_wire.py \
-	benchmarks/bench_ingest.py benchmarks/bench_soak.py
+	benchmarks/bench_ingest.py benchmarks/bench_soak.py \
+	benchmarks/bench_cluster.py
 
 # Run every report-emitting acceptance suite 3x (reports land in
 # benchmarks/results/perf/runN/); passes on a majority of runs.
@@ -39,6 +40,18 @@ check-bench: bench-all
 # a warm cache (the CI serve-smoke job runs exactly this).
 serve-smoke:
 	REPRO_SCALE=small $(PYTHON) -m pytest -q -s benchmarks/bench_serve.py::test_serve_smoke
+
+# Cluster smoke: the multi-worker tier end to end — frontend + worker
+# pool, 100 concurrent requests with a worker killed mid-run (zero
+# dropped requests), then the 1-vs-4 scaling curve gated against the
+# checked-in BENCH_cluster.json baseline.  Worker stdout/stderr lands
+# in cluster_logs/ so a failing CI run uploads diagnosable output.
+cluster-smoke:
+	REPRO_SCALE=small REPRO_CLUSTER_LOG_DIR=cluster_logs \
+		$(PYTHON) tools/check_bench.py run --repeat 3 \
+		--out-dir benchmarks/results/cluster -- -q benchmarks/bench_cluster.py
+	$(PYTHON) tools/check_bench.py compare \
+		--runs-root benchmarks/results/cluster cluster
 
 # Observability smoke: boot a server with the slow-query log armed,
 # drive 50 requests, assert the Prometheus scrape parses, every

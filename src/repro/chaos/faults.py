@@ -57,6 +57,7 @@ HOOKS = (
     "server.backend",
     "server.drop_connection",
     "client.drop_connection",
+    "cluster.worker_kill",
     "watcher.poll",
     "ingest.append",
 )
@@ -68,6 +69,7 @@ FAULT_NAMES = (
     "error-backend",
     "drop-connection",
     "client-drop",
+    "cluster-kill",
     "watcher",
     "reload",
     "rollback",
@@ -228,6 +230,12 @@ class FaultPlan:
             add("server.drop_connection", probability=0.15)
         if "client-drop" in names:
             add("client.drop_connection", probability=0.10)
+        if "cluster-kill" in names:
+            # The coordinator consults this per execution round and
+            # kills one pool worker when it fires; low probability so a
+            # window costs a handful of kills, not a massacre — the
+            # respawn path needs time to prove the pool heals.
+            add("cluster.worker_kill", probability=0.02, max_len_s=1.0)
         if "watcher" in names:
             # Every poll in the window fails; window length bounds the
             # watcher outage the staleness invariant must budget for.

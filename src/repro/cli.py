@@ -219,6 +219,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
             "line-delimited JSON for debugging; the server always "
             "answers JSON clients either way",
         )
+        command.add_argument(
+            "--shard-service-ms",
+            type=float,
+            metavar="MS",
+            help="floor every evaluation flush at MS x resident shards — "
+            "a calibrated stand-in for per-shard service time when "
+            "sizing the multi-worker tier (default: off)",
+        )
 
     serve = commands.add_parser(
         "serve",
@@ -258,6 +266,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--slow-query-log",
         metavar="PATH",
         help="also append slow-query entries to this JSONL file",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard-affine worker processes; >1 serves a sharded model "
+        "through the frontend + worker-pool tier (default 1: "
+        "single-process)",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="owners per shard in the worker pool (>1 keeps answers "
+        "exact while a worker is down; default 1)",
     )
     add_serve_tuning(serve)
 
@@ -384,8 +407,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--faults",
         default="all",
         help="comma-separated fault names (worker-kill, slow-backend, "
-        "error-backend, drop-connection, client-drop, watcher, reload, "
-        "rollback), or 'all' / 'none' (default all)",
+        "error-backend, drop-connection, client-drop, cluster-kill, "
+        "watcher, reload, rollback), or 'all' / 'none' (default all)",
     )
     soak.add_argument(
         "--watch",
@@ -679,6 +702,7 @@ def _serve_config(args, *, host: str | None = None, port: int | None = None):
         trace_ring=getattr(args, "trace_ring", 256),
         slow_query_ms=getattr(args, "slow_query_ms", None),
         slow_query_log=getattr(args, "slow_query_log", None),
+        shard_service_ms=getattr(args, "shard_service_ms", None),
     ).validated()
 
 
@@ -689,10 +713,28 @@ def _make_server(args, config):
     ``reload`` op can hot-swap versions; ``--model`` serves a fixed
     in-memory summary.
     """
-    from repro.serve import SummaryServer
+    from repro.serve import ClusterCoordinator, SummaryServer
 
     if bool(args.model) == bool(args.store):
         raise ReproError("give exactly one of --model PREFIX or --store DIR")
+    workers = getattr(args, "workers", 1) or 1
+    if workers > 1:
+        kwargs = dict(
+            workers=workers,
+            replicas=getattr(args, "replicas", 1) or 1,
+            config=config,
+        )
+        if args.model:
+            return ClusterCoordinator(load_model(args.model), **kwargs)
+        if not args.name:
+            raise ReproError("--store needs --name")
+        return ClusterCoordinator(
+            store=args.store,
+            name=args.name,
+            version=args.version,
+            tag=args.tag,
+            **kwargs,
+        )
     if args.model:
         return SummaryServer(load_model(args.model), config=config)
     if not args.name:
@@ -719,6 +761,9 @@ def _cmd_serve(args) -> int:
             if config.coalesce
             else "no coalescing"
         )
+        workers = getattr(args, "workers", 1) or 1
+        if workers > 1:
+            mode += f", {workers} workers"
         print(
             f"serving {server.label} on {server.host}:{server.port} "
             f"(version {server.version}, {mode}, "

@@ -19,7 +19,12 @@ same shared structures:
 * :class:`StoreWatcher` — auto hot-reload when the ingest pipeline
   publishes a newer store version (``repro serve --watch``);
 * :func:`run_load` / :class:`LoadReport` — the closed-loop load
-  generator behind ``repro bench-serve``.
+  generator behind ``repro bench-serve``;
+* :class:`ClusterCoordinator` / :class:`ShardWorkerServer` — the
+  multi-worker tier (``repro serve --workers N``): a frontend that
+  fans shard-pruned plans out to shard-affine worker processes over
+  the binary protocol and merges the partial aggregates
+  (:mod:`repro.serve.cluster`, docs/serving.md).
 
 See ``docs/serving.md`` for the lifecycle and tuning guide.
 """
@@ -28,6 +33,11 @@ from repro.serve import wire
 from repro.serve.admission import AdmissionController, ServerSaturated
 from repro.serve.cache import TTLCache
 from repro.serve.client import ServeClient, ServeError, ServerBusy
+from repro.serve.cluster import (
+    ClusterCoordinator,
+    ShardWorkerServer,
+    WorkerSpec,
+)
 from repro.serve.coalescer import Coalescer
 from repro.serve.loadgen import LoadReport, run_load
 from repro.serve.server import (
@@ -41,6 +51,7 @@ from repro.serve.wire import WireError, WireVersionError
 
 __all__ = [
     "AdmissionController",
+    "ClusterCoordinator",
     "Coalescer",
     "LoadReport",
     "ServeClient",
@@ -49,8 +60,10 @@ __all__ = [
     "ServerBusy",
     "ServerSaturated",
     "ServerThread",
+    "ShardWorkerServer",
     "StoreWatcher",
     "SummaryServer",
+    "WorkerSpec",
     "TTLCache",
     "WireError",
     "WireVersionError",

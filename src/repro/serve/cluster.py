@@ -1,0 +1,1309 @@
+"""Multi-worker serving tier: a frontend plus shard-affine workers.
+
+One :class:`~repro.serve.server.SummaryServer` is GIL-bound: every
+shard evaluation of every concurrent client competes for a single
+interpreter.  This module promotes ``serve/`` to the LSST shape —
+partition, replicate, route, degrade gracefully — without rewriting
+the stack underneath (the OrpheusDB bolt-on philosophy): the
+:class:`ClusterCoordinator` is a ``SummaryServer`` whose *evaluation*
+step fans out to worker processes instead of touching a backend.
+
+Topology::
+
+    clients ──> ClusterCoordinator (frontend)
+                 │ parse / canonicalize / route / cache / coalesce
+                 │ live_shards ∩ shard→worker assignment
+                 ├──binary wire──> ShardWorkerServer 0  (shards 0,1)
+                 ├──binary wire──> ShardWorkerServer 1  (shards 2,3)
+                 └──binary wire──> ...                  (spawn procs)
+
+* **Sharding** — each worker process owns a balanced, contiguous slice
+  of the :class:`~repro.core.sharding.ShardedSummary`'s shards (plus
+  the replicas of its neighbours' slices) and evaluates them with its
+  own models — its own arena, its own caches, its own GIL.
+* **Routing** — the frontend plans every query once; the planner's
+  ``live_shards`` pruning picks the shards that can contribute, and a
+  consistent-hash ring over the canonical cache key picks which
+  replica owner answers each shard (:class:`HashRing`): repeats of a
+  query land on the same worker, and a worker death only remaps the
+  keys it served.
+* **Merging** — workers return *partial* aggregates over the exact
+  per-shard narrowing the single-process merge path uses
+  (:class:`ShardSlice`); the frontend combines them with the same
+  algebra (:func:`merge_partials`): COUNT/SUM expectations add,
+  variances add in quadrature, AVG is the merged ratio estimator, and
+  GROUP BY ORDER/LIMIT applies only after the global merge.
+* **Degradation** — when every owner of a live shard is dead, the
+  frontend still answers: the missing shard contributes a uniform
+  prior over its row count (expectation ``t/2``, variance ``t²/12``),
+  the bounds widen accordingly, and the payload carries
+  ``degraded: true``.  Requests are never dropped; the monitor thread
+  respawns dead workers and the ``repro_cluster_*`` metrics record
+  every death, respawn, and degraded answer.
+
+Everything client-facing is inherited unchanged: admission control,
+coalescing, the versioned result cache, hot reload (``reload`` fans
+out to the pool), tracing, and both wire protocols.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import queue as queue_module
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.explorer import Explorer
+from repro.core.sharding import MergedEstimate, ShardedSummary
+from repro.core.summary import EntropySummary
+from repro.errors import QueryError, ReproError
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import (
+    ServeConfig,
+    SummaryServer,
+    _Generation,
+    _wire_label,
+    result_payload,
+)
+from repro.stats.predicates import (
+    Conjunction,
+    RangePredicate,
+    conjunction_from_masks,
+)
+
+#: Environment variable naming a directory for worker stdout/stderr
+#: logs (one ``worker-<id>.log`` each) — the cluster-smoke CI job sets
+#: it so a failing run uploads diagnosable worker output.
+LOG_DIR_ENV = "REPRO_CLUSTER_LOG_DIR"
+
+_BOOT_TIMEOUT_S = 60.0
+_MONITOR_INTERVAL_S = 0.25
+
+
+def _hash64(text: str) -> int:
+    """Deterministic 64-bit hash (stable across processes and runs —
+    builtin ``hash`` is salted per interpreter)."""
+    return int.from_bytes(
+        hashlib.blake2b(text.encode(), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring over worker ids (virtual nodes).
+
+    The coordinator keys the ring with each query's canonical cache
+    key: among a shard's replica owners, the owner closest clockwise
+    to the key's point answers.  Repeats of a query therefore land on
+    the same worker (plan/session-cache affinity), and a worker death
+    only remaps the keys that worker served.
+    """
+
+    def __init__(self, worker_ids, vnodes: int = 32):
+        points = []
+        for wid in worker_ids:
+            for vnode in range(vnodes):
+                points.append((_hash64(f"worker:{wid}:{vnode}"), wid))
+        points.sort()
+        if not points:
+            raise ReproError("a hash ring needs at least one worker")
+        self._points = points
+
+    def preferred(self, key: str, candidates) -> list[int]:
+        """``candidates`` reordered by ring distance from ``key``."""
+        wanted = list(dict.fromkeys(candidates))
+        if len(wanted) <= 1:
+            return wanted
+        remaining = set(wanted)
+        ordered: list[int] = []
+        start = bisect.bisect_left(self._points, (_hash64(key), -1))
+        for step in range(len(self._points)):
+            wid = self._points[(start + step) % len(self._points)][1]
+            if wid in remaining:
+                remaining.discard(wid)
+                ordered.append(wid)
+                if not remaining:
+                    break
+        ordered.extend(wid for wid in wanted if wid in remaining)
+        return ordered
+
+
+# ----------------------------------------------------------------------
+# Worker-side evaluation
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker process needs, shipped as pickled data
+    through the spawn args — no closures, no live objects (the
+    executor-pickle-safety rule in ``tools/analyze`` enforces this
+    shape for every worker target in the repo)."""
+
+    worker_id: int
+    #: Global indices of the shards this worker owns (primaries plus
+    #: the replica slices assigned to it).
+    indices: tuple
+    shard_by: str | None
+    #: Owned domain ranges aligned with ``indices`` (attribute-
+    #: partitioned summaries; ``None`` for round-robin).
+    ranges: tuple | None
+    name: str
+    #: In-memory mode: ``EntropySummary.to_payload()`` tuples for the
+    #: owned shards, aligned with ``indices``.
+    payloads: tuple | None
+    #: Store mode: load-and-slice from this store root instead.
+    store_root: str | None
+    #: Store version to pin at boot (``None`` = latest); respawns after
+    #: a reload pin the reloaded version.
+    version: int | None
+    parent_pid: int
+    log_path: str | None
+
+
+class ShardSlice:
+    """The shards one worker owns, evaluated with the exact narrowing
+    and pruning of the single-process :class:`ShardedSummary` merge
+    path — a shard contributes precisely what it would have
+    contributed in one process, so the frontend's merged answers match
+    the single-process answers.
+    """
+
+    def __init__(self, shards, indices, schema, by_pos=None, ranges=None):
+        self.shards = list(shards)
+        self.indices = list(indices)
+        self.schema = schema
+        self.by_pos = by_pos
+        self._owned = (
+            None
+            if ranges is None
+            else [RangePredicate(low, high) for low, high in ranges]
+        )
+        if len(self.shards) != len(self.indices):
+            raise ReproError("need exactly one global index per owned shard")
+        if self._owned is not None and len(self._owned) != len(self.shards):
+            raise ReproError("need exactly one owned range per owned shard")
+        self._local = {
+            global_index: local
+            for local, global_index in enumerate(self.indices)
+        }
+
+    @classmethod
+    def from_summary(cls, summary: ShardedSummary, indices) -> "ShardSlice":
+        ranges = summary.owned_ranges
+        return cls(
+            [summary.shards[index] for index in indices],
+            indices,
+            summary.schema,
+            by_pos=summary.by_position,
+            ranges=(
+                None
+                if ranges is None
+                else [ranges[index] for index in indices]
+            ),
+        )
+
+    def locals_for(self, shards) -> list[int]:
+        """Local positions of the requested global shard indices
+        (unknown indices are ignored — the frontend's assignment is
+        authoritative for what this worker should evaluate)."""
+        if shards is None:
+            return list(range(len(self.shards)))
+        return [
+            self._local[index] for index in shards if index in self._local
+        ]
+
+    def _narrowed(self, predicate, locals_) -> list:
+        """Per-shard conjunction, ``None`` = provably-zero (mirrors
+        :meth:`ShardedSummary.shard_conjunctions` for a subset)."""
+        if self._owned is None:
+            narrowed = (
+                Conjunction(self.schema, {})
+                if predicate is None or predicate.is_trivial()
+                else predicate
+            )
+            return [narrowed] * len(locals_)
+        size = self.schema.domain(self.by_pos).size
+        if predicate is None or predicate.is_trivial():
+            return [
+                Conjunction(self.schema, {self.by_pos: self._owned[local]})
+                for local in locals_
+            ]
+        base_masks = {
+            pos: predicate.predicate_at(pos).mask(self.schema.domain(pos).size)
+            for pos in predicate.constrained_positions
+        }
+        constraint = base_masks.get(self.by_pos)
+        conjunctions = []
+        for local in locals_:
+            owned_mask = self._owned[local].mask(size)
+            narrowed_mask = (
+                owned_mask if constraint is None else constraint & owned_mask
+            )
+            if not narrowed_mask.any():
+                conjunctions.append(None)
+                continue
+            masks = dict(base_masks)
+            masks[self.by_pos] = narrowed_mask
+            conjunctions.append(conjunction_from_masks(self.schema, masks))
+        return conjunctions
+
+    def count(self, predicate, shards=None) -> tuple[float, float]:
+        """Partial COUNT: summed expectation and variance over the
+        requested owned shards."""
+        expectation = variance = 0.0
+        locals_ = self.locals_for(shards)
+        for local, narrowed in zip(locals_, self._narrowed(predicate, locals_)):
+            if narrowed is None:
+                continue
+            estimate = self.shards[local].engine.estimate(narrowed)
+            expectation += estimate.expectation
+            variance += estimate.variance
+        return expectation, variance
+
+    def sum_value(self, attr, predicate, shards=None) -> float:
+        """Partial ``E[SUM(attr)]`` over the requested owned shards."""
+        from repro.query.linear import numeric_weights
+
+        pos = self.schema.position(attr)
+        weights = numeric_weights(self.schema.domain(pos))
+        total = 0.0
+        locals_ = self.locals_for(shards)
+        for local, narrowed in zip(locals_, self._narrowed(predicate, locals_)):
+            if narrowed is None:
+                continue
+            total += self.shards[local].engine.sum_estimate(
+                pos, weights, narrowed
+            )
+        return total
+
+    def group(self, attrs, predicate, shards=None) -> dict:
+        """Partial GROUP BY COUNT(*): label → summed expectation over
+        the requested owned shards (no order/limit — global top-k is
+        only defined after the frontend merge)."""
+        positions = [self.schema.position(attr) for attr in attrs]
+        merged: dict[tuple, float] = {}
+        locals_ = self.locals_for(shards)
+        for local, narrowed in zip(locals_, self._narrowed(predicate, locals_)):
+            if narrowed is None:
+                continue
+            # Engine-level grouping keys by domain *indices* — the same
+            # keys the single-process arena route serves — so merged
+            # cluster rows are byte-identical to single-process rows.
+            for labels, estimate in (
+                self.shards[local].engine.group_by(positions, narrowed).items()
+            ):
+                key = tuple(_wire_label(label) for label in labels)
+                merged[key] = merged.get(key, 0.0) + estimate.expectation
+        return merged
+
+    def __repr__(self):
+        return (
+            f"ShardSlice(shards={list(self.indices)}, "
+            f"by={self.shards and self.by_pos})"
+        )
+
+
+def partial_item(plan) -> dict:
+    """Wire-ready fan-out item for one frontend plan: the *canonical*
+    predicate as per-position domain-index masks (no SQL round-trip —
+    workers evaluate exactly what the frontend planned), plus the
+    aggregate shape the merge step needs."""
+    query = plan.query
+    conjunction = plan.conjunction_or_none()
+    masks = {}
+    if conjunction is not None:
+        masks = {
+            str(pos): np.flatnonzero(mask).tolist()
+            for pos, mask in conjunction.attribute_masks().items()
+        }
+    aggregate = (
+        getattr(query, "aggregate", "count") if query is not None else "count"
+    )
+    if query is not None and query.is_grouped:
+        item = {
+            "kind": "group",
+            "masks": masks,
+            "group_by": [str(attr) for attr in query.group_by],
+        }
+    elif aggregate in ("sum", "avg"):
+        item = {"kind": aggregate, "masks": masks, "attr": query.aggregate_attr}
+    else:
+        item = {"kind": "count", "masks": masks}
+    return item
+
+
+def _conjunction_from_item(schema, item):
+    """Rebuild the canonical conjunction a fan-out item carries."""
+    masks = item.get("masks") or {}
+    if not masks:
+        return None
+    dense = {}
+    for pos_text, indices in masks.items():
+        pos = int(pos_text)
+        mask = np.zeros(schema.domain(pos).size, dtype=bool)
+        mask[np.asarray(indices, dtype=np.int64)] = True
+        dense[pos] = mask
+    return conjunction_from_masks(schema, dense)
+
+
+def compute_partial(shard_slice: ShardSlice, item: dict) -> dict:
+    """One worker-side partial aggregate for one fan-out item."""
+    kind = item.get("kind", "count")
+    conjunction = _conjunction_from_item(shard_slice.schema, item)
+    shards = item.get("shards")
+    if kind == "count":
+        expectation, variance = shard_slice.count(conjunction, shards)
+        return {"kind": "count", "e": float(expectation), "v": float(variance)}
+    if kind == "sum":
+        total = shard_slice.sum_value(item["attr"], conjunction, shards)
+        return {"kind": "sum", "s": float(total)}
+    if kind == "avg":
+        total = shard_slice.sum_value(item["attr"], conjunction, shards)
+        expectation, variance = shard_slice.count(conjunction, shards)
+        return {
+            "kind": "avg",
+            "s": float(total),
+            "e": float(expectation),
+            "v": float(variance),
+        }
+    if kind == "group":
+        merged = shard_slice.group(item["group_by"], conjunction, shards)
+        return {
+            "kind": "group",
+            "labels": [list(labels) for labels in merged],
+            "counts": np.asarray(list(merged.values()), dtype=np.float64),
+        }
+    raise QueryError(f"unknown partial kind {kind!r}")
+
+
+def merge_partials(
+    plan,
+    spec: dict,
+    partials,
+    *,
+    degraded_totals=(),
+    total: int,
+    rounded: bool = False,
+) -> dict:
+    """Frontend merge: worker partials → the same wire payload the
+    single-process server produces, via the same algebra (expectations
+    and variances add; AVG is merged SUM over merged COUNT; GROUP BY
+    order/limit applies after the global merge; ``rounded`` applies
+    only here, to the merged values).
+
+    ``degraded_totals`` carries the row counts of live shards no
+    surviving worker covers: each contributes a uniform prior over
+    ``[0, t]`` (expectation ``t/2``, variance ``t²/12``), widening the
+    error bounds, and the payload is flagged ``degraded``.
+    """
+    for partial in partials:
+        if partial.get("kind") == "error":
+            raise QueryError(str(partial.get("error", "worker partial failed")))
+    kind = spec["kind"]
+    if kind in ("count", "avg"):
+        expectation = sum(partial["e"] for partial in partials)
+        variance = sum(partial["v"] for partial in partials)
+        for missing_total in degraded_totals:
+            expectation += missing_total / 2.0
+            variance += (missing_total * missing_total) / 12.0
+        merged = MergedEstimate(expectation, variance, total)
+        count_value = (
+            float(merged.rounded) if rounded else float(merged.expectation)
+        )
+        if kind == "count":
+            low, high = merged.ci95
+            payload = {
+                "kind": "scalar",
+                "value": count_value,
+                "std": float(merged.std),
+                "ci95": [float(low), float(high)],
+            }
+        else:
+            if count_value <= 0:
+                raise QueryError("AVG undefined: no rows match the predicate")
+            merged_sum = sum(partial["s"] for partial in partials)
+            payload = {"kind": "scalar", "value": float(merged_sum / count_value)}
+    elif kind == "sum":
+        payload = {
+            "kind": "scalar",
+            "value": float(sum(partial["s"] for partial in partials)),
+        }
+    elif kind == "group":
+        query = plan.query
+        merged_counts: dict[tuple, float] = {}
+        for partial in partials:
+            counts = np.asarray(partial.get("counts", ()), dtype=np.float64)
+            for labels, count in zip(partial.get("labels", ()), counts):
+                key = tuple(labels)
+                merged_counts[key] = merged_counts.get(key, 0.0) + float(count)
+        if rounded:
+            from repro.core.inference import round_half_up
+
+            merged_counts = {
+                key: float(round_half_up(count))
+                for key, count in merged_counts.items()
+            }
+        rows = list(merged_counts.items())
+        if query.order == "desc":
+            rows.sort(key=lambda row: (-row[1], str(row[0])))
+        elif query.order == "asc":
+            rows.sort(key=lambda row: (row[1], str(row[0])))
+        else:
+            rows.sort(key=lambda row: str(row[0]))
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        payload = {
+            "kind": "rows",
+            "group_by": list(query.group_by),
+            "labels": [list(labels) for labels, _ in rows],
+            "counts": np.asarray([count for _, count in rows], dtype=np.float64),
+        }
+    else:
+        raise QueryError(f"unknown partial kind {kind!r}")
+    if degraded_totals:
+        payload["degraded"] = True
+    return payload
+
+
+# ----------------------------------------------------------------------
+# The worker server
+# ----------------------------------------------------------------------
+
+def _model_for_slice(shard_slice: ShardSlice, name: str):
+    """The slice as a servable model: a subset ``ShardedSummary`` when
+    the worker owns two or more shards (same merge semantics, own
+    arena), the bare shard otherwise."""
+    if len(shard_slice.shards) >= 2:
+        shard_by = (
+            None
+            if shard_slice.by_pos is None
+            else shard_slice.schema.attribute_names[shard_slice.by_pos]
+        )
+        return ShardedSummary(
+            shard_slice.shards,
+            name=name,
+            shard_by=shard_by,
+            ranges=(
+                None
+                if shard_slice._owned is None
+                else [(owned.low, owned.high) for owned in shard_slice._owned]
+            ),
+        )
+    return shard_slice.shards[0]
+
+
+class ShardWorkerServer(SummaryServer):
+    """One worker process: a full ``SummaryServer`` over its owned
+    shard slice, plus the ``partial_batch`` op the frontend fans out
+    to.  Store-backed workers load-and-slice on every (hot) reload, so
+    an ingest publish propagates through the pool with the ordinary
+    ``reload`` op."""
+
+    def __init__(self, spec: WorkerSpec, *, config=None, chaos=None):
+        self._spec = spec
+        self.slice: ShardSlice | None = None
+        if spec.store_root is not None:
+            super().__init__(
+                store=spec.store_root,
+                name=spec.name,
+                version=spec.version,
+                config=config,
+                chaos=chaos,
+            )
+        else:
+            shards = [
+                EntropySummary.from_payload(document, arrays)
+                for document, arrays in spec.payloads
+            ]
+            schema = shards[0].schema
+            self.slice = ShardSlice(
+                shards,
+                list(spec.indices),
+                schema,
+                by_pos=(
+                    None
+                    if spec.shard_by is None
+                    else schema.position(spec.shard_by)
+                ),
+                ranges=spec.ranges,
+            )
+            model = _model_for_slice(
+                self.slice, f"{spec.name}:w{spec.worker_id}"
+            )
+            super().__init__(model, config=config, chaos=chaos)
+
+    def _load_generation(self, version=None, tag=None) -> _Generation:
+        record, summary = self._store.load_with_record(
+            self._name, version=version, tag=tag
+        )
+        if not hasattr(summary, "shards"):
+            raise ReproError(
+                f"store summary {self._name!r} is not sharded; a cluster "
+                "worker needs a ShardedSummary"
+            )
+        spec = self._spec
+        for index in spec.indices:
+            if not 0 <= index < summary.num_shards:
+                raise ReproError(
+                    f"worker {spec.worker_id} owns shard {index} but "
+                    f"version {record.version} has {summary.num_shards} "
+                    "shards; restart the cluster to rebalance"
+                )
+        shard_slice = ShardSlice.from_summary(summary, list(spec.indices))
+        model = _model_for_slice(
+            shard_slice, f"{summary.name}:w{spec.worker_id}"
+        )
+        self.slice = shard_slice  # swaps atomically with the generation
+        explorer = Explorer.attach(model, rounded=self.config.rounded)
+        return _Generation(
+            record.version,
+            explorer,
+            label=f"{record.describe()} [shards {list(spec.indices)}]",
+        )
+
+    async def _dispatch(self, client: str, request: dict) -> dict:
+        if request.get("op") == "partial_batch":
+            items = request.get("items")
+            if not isinstance(items, (list, tuple)) or not items:
+                raise QueryError(
+                    "partial_batch op needs a non-empty 'items' list"
+                )
+            self._requests_total.labels(op="partial_batch").inc(len(items))
+            shard_slice = self.slice  # pin: reloads must not swap mid-batch
+            version = self.version
+            loop = asyncio.get_running_loop()
+            partials = await loop.run_in_executor(
+                None, self._compute_partials, shard_slice, list(items)
+            )
+            return {
+                "ok": True,
+                "status": 200,
+                "partials": partials,
+                "version": version,
+            }
+        return await super()._dispatch(client, request)
+
+    def _compute_partials(self, shard_slice: ShardSlice, items: list) -> list:
+        began = time.perf_counter()
+        self._inject_backend_chaos()
+        partials = []
+        touched: set[int] = set()
+        for item in items:
+            try:
+                partials.append(compute_partial(shard_slice, item))
+            except Exception as error:
+                # A failing item answers as an error partial instead of
+                # poisoning the batch (the frontend re-raises per plan).
+                partials.append(
+                    {
+                        "kind": "error",
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                )
+            shards = item.get("shards")
+            touched.update(
+                shard_slice.indices if shards is None else shards
+            )
+        ms = self.config.shard_service_ms
+        if ms:
+            owned_touched = touched.intersection(shard_slice.indices)
+            remaining = ms * len(owned_touched) / 1e3 - (
+                time.perf_counter() - began
+            )
+            if remaining > 0:
+                time.sleep(remaining)
+        return partials
+
+
+def _watchdog_main(parent_pid: int) -> None:
+    """Exit the worker when the frontend process goes away — an
+    orphaned worker would otherwise serve a dead cluster forever."""
+    while True:
+        time.sleep(1.0)
+        if os.getppid() != parent_pid:
+            os._exit(0)
+
+
+def _worker_main(spec: WorkerSpec, config_fields: dict, ready_queue) -> None:
+    """Worker-process entry point (module-level so it pickles through
+    the spawn context; everything it needs rides in ``spec``)."""
+    if spec.log_path:
+        log_file = open(spec.log_path, "a", buffering=1)
+        sys.stdout = sys.stderr = log_file
+    print(
+        f"[worker {spec.worker_id}] booting pid={os.getpid()} "
+        f"shards={list(spec.indices)}"
+    )
+    try:
+        config = ServeConfig(**config_fields)
+        server = ShardWorkerServer(spec, config=config)
+    except Exception as error:
+        ready_queue.put(
+            ("error", spec.worker_id, f"{type(error).__name__}: {error}")
+        )
+        return
+    watchdog = threading.Thread(
+        target=_watchdog_main,
+        args=(spec.parent_pid,),
+        name="repro-cluster-watchdog",
+        daemon=True,
+    )
+    watchdog.start()
+
+    async def _main() -> None:
+        await server.start()
+        ready_queue.put(("ready", spec.worker_id, server.port))
+        print(
+            f"[worker {spec.worker_id}] serving on "
+            f"{server.host}:{server.port}"
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+# ----------------------------------------------------------------------
+# The frontend
+# ----------------------------------------------------------------------
+
+class _WorkerHandle:
+    """Frontend-side state of one worker process."""
+
+    __slots__ = (
+        "worker_id", "indices", "process", "host", "port", "alive",
+        "death_counted",
+    )
+
+    def __init__(self, worker_id: int, indices):
+        self.worker_id = worker_id
+        self.indices = tuple(indices)
+        self.process = None
+        self.host = "127.0.0.1"
+        self.port = 0
+        self.alive = False
+        #: One death increment per process incarnation, wherever the
+        #: death is first noticed (kill_worker, fan-out, or monitor).
+        self.death_counted = False
+
+
+class ClusterCoordinator(SummaryServer):
+    """Frontend of the worker pool: plans, routes, fans out, merges.
+
+    Construct like a :class:`SummaryServer` (in-memory sharded summary,
+    or a store plus name) with a pool shape on top::
+
+        server = ClusterCoordinator(summary, workers=4, replicas=2)
+
+    ``workers`` processes are spawned at :meth:`start`; shard ``s`` is
+    owned by ``replicas`` consecutive workers starting from its
+    balanced block owner, and each query's canonical key picks the
+    serving replica through the consistent-hash ring.  A monitor
+    thread respawns dead workers; until a respawn lands, uncovered
+    shards degrade (widened bounds, ``degraded: true``) instead of
+    failing the request.  ``assignment`` overrides the owner lists per
+    shard (tests exercise arbitrary assignments through it).
+    """
+
+    def __init__(
+        self,
+        source=None,
+        *,
+        store=None,
+        name: str | None = None,
+        version: int | None = None,
+        tag: str | None = None,
+        workers: int = 2,
+        replicas: int = 1,
+        config: ServeConfig | None = None,
+        chaos=None,
+        assignment=None,
+        worker_log_dir: str | None = None,
+        worker_timeout: float = 30.0,
+    ):
+        super().__init__(
+            source,
+            store=store,
+            name=name,
+            version=version,
+            tag=tag,
+            config=config,
+            chaos=chaos,
+        )
+        summary = getattr(self._generation.explorer.backend, "summary", None)
+        if summary is None or not hasattr(summary, "shards"):
+            raise ReproError(
+                "a cluster serves a sharded summary; build one with "
+                "SummaryBuilder.shards or lower --workers to 1"
+            )
+        if not 1 <= workers <= summary.num_shards:
+            raise ReproError(
+                f"workers (--workers) must be in [1, {summary.num_shards}] "
+                f"(one shard cannot split across workers), got {workers}"
+            )
+        if not 1 <= replicas <= workers:
+            raise ReproError(
+                f"replicas (--replicas) must be in [1, {workers}], "
+                f"got {replicas}"
+            )
+        self._pool_size = workers
+        self._replicas = replicas
+        self._worker_timeout = worker_timeout
+        self._worker_log_dir = (
+            worker_log_dir
+            if worker_log_dir is not None
+            else os.environ.get(LOG_DIR_ENV) or None
+        )
+        num_shards = summary.num_shards
+        if assignment is not None:
+            owners = [list(entry) for entry in assignment]
+            if len(owners) != num_shards:
+                raise ReproError(
+                    f"assignment needs one owner list per shard "
+                    f"({num_shards}), got {len(owners)}"
+                )
+            for shard, entry in enumerate(owners):
+                if not entry or not all(
+                    isinstance(wid, int) and 0 <= wid < workers
+                    for wid in entry
+                ):
+                    raise ReproError(
+                        f"assignment for shard {shard} must name workers "
+                        f"in [0, {workers})"
+                    )
+        else:
+            # Balanced contiguous blocks (affinity-friendly for range-
+            # partitioned summaries), then the next replicas-1 workers.
+            owners = []
+            for shard in range(num_shards):
+                primary = shard * workers // num_shards
+                owners.append(
+                    [(primary + step) % workers for step in range(replicas)]
+                )
+        #: Ordered owner workers per shard (primary first).
+        self._owners = owners
+        self._ring = HashRing(range(workers))
+        self._desired_version: int | None = (
+            self.version if self._store is not None else None
+        )
+        owned: list[list[int]] = [[] for _ in range(workers)]
+        for shard, entry in enumerate(owners):
+            for wid in entry:
+                if shard not in owned[wid]:
+                    owned[wid].append(shard)
+        for wid, shard_list in enumerate(owned):
+            if not shard_list:
+                raise ReproError(
+                    f"worker {wid} owns no shards under this assignment; "
+                    "lower --workers or raise --replicas"
+                )
+        self._handles = [
+            _WorkerHandle(wid, sorted(owned[wid])) for wid in range(workers)
+        ]
+        self._ctx = multiprocessing.get_context("spawn")
+        self._ready_queue = None
+        self._ready_buffer: dict[int, int] = {}
+        self._fanout_pool: ThreadPoolExecutor | None = None
+        self._monitor: threading.Thread | None = None
+        self._pool_shutdown = threading.Event()
+        self._pool_lock = threading.Lock()
+        self._cluster_workers = self.metrics.gauge(
+            "repro_cluster_workers", "Live worker processes in the pool."
+        )
+        self._worker_deaths = self.metrics.counter(
+            "repro_cluster_worker_deaths_total",
+            "Worker processes observed dead (killed, crashed, or OOMed).",
+        )
+        self._respawns = self.metrics.counter(
+            "repro_cluster_respawns_total",
+            "Worker processes respawned by the monitor.",
+        )
+        self._degraded_total = self.metrics.counter(
+            "repro_cluster_degraded_total",
+            "Requests answered with widened bounds because no live "
+            "worker covered a live shard.",
+        )
+        self._fanout_seconds = self.metrics.histogram(
+            "repro_cluster_fanout_seconds",
+            "Frontend fan-out + merge latency per evaluation flush.",
+        )
+        self._partial_calls = self.metrics.counter(
+            "repro_cluster_partial_calls_total",
+            "partial_batch calls sent to workers, by outcome.",
+            ("outcome",),
+        )
+        self._version_skew_total = self.metrics.counter(
+            "repro_cluster_version_skew_total",
+            "Worker partials answered at a different store version than "
+            "the frontend's pinned generation (transient during reload).",
+        )
+
+    # -- pool construction -------------------------------------------------
+    @property
+    def _summary(self):
+        return self._generation.explorer.backend.summary
+
+    def worker_ports(self) -> list[int]:
+        """Bound port of each worker (0 = not started); every port is
+        ephemeral — the pool never claims fixed ports."""
+        return [handle.port for handle in self._handles]
+
+    def _worker_config_fields(self) -> dict:
+        cfg = self.config
+        return dict(
+            host="127.0.0.1",
+            port=0,  # always ephemeral; the ready message reports it
+            coalesce=False,  # the frontend already batched the flush
+            cache_size=0,  # results cache lives at the frontend
+            cache_ttl=None,
+            rounded=False,  # rounding applies to merged values only
+            binary=True,
+            trace_ring=0,
+            shard_service_ms=cfg.shard_service_ms,
+        )
+
+    def _worker_spec(self, worker_id: int) -> WorkerSpec:
+        handle = self._handles[worker_id]
+        summary = self._summary
+        log_path = None
+        if self._worker_log_dir:
+            os.makedirs(self._worker_log_dir, exist_ok=True)
+            log_path = os.path.join(
+                self._worker_log_dir, f"worker-{worker_id}.log"
+            )
+        if self._store is not None:
+            return WorkerSpec(
+                worker_id=worker_id,
+                indices=handle.indices,
+                shard_by=summary.shard_by,
+                ranges=None,
+                name=self._name,
+                payloads=None,
+                store_root=str(self._store.root),
+                version=self._desired_version,
+                parent_pid=os.getpid(),
+                log_path=log_path,
+            )
+        ranges = summary.owned_ranges
+        return WorkerSpec(
+            worker_id=worker_id,
+            indices=handle.indices,
+            shard_by=summary.shard_by,
+            ranges=(
+                None
+                if ranges is None
+                else tuple(tuple(ranges[index]) for index in handle.indices)
+            ),
+            name=summary.name,
+            payloads=tuple(
+                summary.shards[index].to_payload() for index in handle.indices
+            ),
+            store_root=None,
+            version=None,
+            parent_pid=os.getpid(),
+            log_path=log_path,
+        )
+
+    def _spawn_process(self, worker_id: int):
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self._worker_spec(worker_id),
+                self._worker_config_fields(),
+                self._ready_queue,
+            ),
+            name=f"repro-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    def _await_ready(self, worker_id: int, deadline: float) -> int:
+        """Wait for one worker's ready message; returns its port.
+        Messages arrive in boot order, not ask order — other workers'
+        readiness is buffered for their own waits, never dropped."""
+        while True:
+            if worker_id in self._ready_buffer:
+                return self._ready_buffer.pop(worker_id)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ReproError(
+                    f"cluster worker {worker_id} did not start within "
+                    f"{_BOOT_TIMEOUT_S:.0f}s"
+                )
+            try:
+                kind, wid, value = self._ready_queue.get(timeout=remaining)
+            except queue_module.Empty:
+                continue
+            if kind == "error":
+                raise ReproError(f"cluster worker {wid} failed: {value}")
+            self._ready_buffer[wid] = int(value)
+
+    def _start_pool(self) -> None:
+        self._ready_queue = self._ctx.Queue()
+        self._ready_buffer.clear()
+        for handle in self._handles:
+            handle.process = self._spawn_process(handle.worker_id)
+        deadline = time.monotonic() + _BOOT_TIMEOUT_S
+        try:
+            for handle in self._handles:
+                handle.port = self._await_ready(handle.worker_id, deadline)
+                handle.alive = True
+        except ReproError:
+            self._stop_pool()
+            raise
+        self._cluster_workers.set(self._pool_size)
+        self._monitor = threading.Thread(
+            target=self._monitor_main, name="repro-cluster-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+
+    def _stop_pool(self) -> None:
+        self._pool_shutdown.set()
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.join(timeout=10)
+            self._monitor = None
+        for handle in self._handles:
+            handle.alive = False
+            process = handle.process
+            if process is None:
+                continue
+            process.terminate()
+            process.join(timeout=5)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+            handle.process = None
+        if self._ready_queue is not None:
+            self._ready_queue.close()
+            self._ready_queue = None
+        pool = self._fanout_pool
+        self._fanout_pool = None
+        if pool is not None:
+            pool.shutdown(wait=False)
+        self._cluster_workers.set(0)
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._fanout_pool = ThreadPoolExecutor(
+            max_workers=max(self._pool_size, 2),
+            thread_name_prefix="repro-cluster-fanout",
+        )
+        await loop.run_in_executor(None, self._start_pool)
+        await super().start()
+
+    async def stop(self) -> None:
+        await super().stop()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._stop_pool)
+
+    # -- worker liveness ---------------------------------------------------
+    def _live_workers(self) -> set[int]:
+        return {
+            handle.worker_id for handle in self._handles if handle.alive
+        }
+
+    def _monitor_main(self) -> None:
+        """Respawn loop: notices dead worker processes, spawns fresh
+        ones, and re-admits suspects that answer a ping.  Joined by
+        :meth:`_stop_pool` on shutdown."""
+        while not self._pool_shutdown.wait(_MONITOR_INTERVAL_S):
+            for handle in self._handles:
+                if self._pool_shutdown.is_set():
+                    break
+                process = handle.process
+                if process is None:
+                    continue
+                if not process.is_alive():
+                    handle.alive = False
+                    if not handle.death_counted:
+                        handle.death_counted = True
+                        self._worker_deaths.inc()
+                    self._cluster_workers.set(len(self._live_workers()))
+                    try:
+                        self._respawn(handle)
+                    except ReproError:
+                        continue  # retried on the next tick
+                elif not handle.alive:
+                    # Suspected from a failed fan-out call but the
+                    # process lives: probe and re-admit.
+                    try:
+                        with ServeClient(
+                            handle.host, handle.port, timeout=2.0
+                        ) as client:
+                            client.ping()
+                    except (ServeError, OSError):
+                        pass
+                    else:
+                        handle.alive = True
+                        self._cluster_workers.set(len(self._live_workers()))
+
+    def _respawn(self, handle: _WorkerHandle) -> None:
+        old = handle.process
+        if old is not None:
+            old.join(timeout=1.0)
+        handle.process = self._spawn_process(handle.worker_id)
+        handle.port = self._await_ready(
+            handle.worker_id, time.monotonic() + _BOOT_TIMEOUT_S
+        )
+        handle.alive = True
+        handle.death_counted = False
+        self._respawns.inc()
+        self._cluster_workers.set(len(self._live_workers()))
+
+    def kill_worker(self, worker_id: int | None = None) -> int:
+        """Hard-kill one live worker (chaos hook / tests): SIGKILL, no
+        goodbye — the monitor notices and respawns it.  Returns the
+        killed worker's id."""
+        with self._pool_lock:
+            candidates = [
+                handle
+                for handle in self._handles
+                if handle.alive
+                and (worker_id is None or handle.worker_id == worker_id)
+            ]
+            if not candidates:
+                raise ReproError("no live worker to kill")
+            handle = candidates[0]
+            handle.alive = False  # route around it immediately
+            if not handle.death_counted:
+                handle.death_counted = True
+                self._worker_deaths.inc()
+            self._cluster_workers.set(len(self._live_workers()))
+            if handle.process is not None:
+                handle.process.kill()
+            return handle.worker_id
+
+    # -- hot reload --------------------------------------------------------
+    def reload(self, version: int | None = None, tag: str | None = None) -> int:
+        """Reload the frontend's planning generation, then fan the same
+        version out to every worker.  A worker that fails to reload is
+        killed so the monitor respawns it at the reloaded version —
+        the pool converges instead of serving mixed generations."""
+        target = super().reload(version=version, tag=tag)
+        self._desired_version = target
+
+        def _reload_worker(handle: _WorkerHandle):
+            try:
+                with ServeClient(
+                    handle.host, handle.port, timeout=self._worker_timeout
+                ) as client:
+                    client.reload(version=target)
+            except (ServeError, OSError):
+                try:
+                    self.kill_worker(handle.worker_id)
+                except ReproError:
+                    pass  # already dead; the monitor handles it
+
+        pool = self._fanout_pool
+        handles = [handle for handle in self._handles if handle.alive]
+        if pool is not None and handles:
+            list(pool.map(_reload_worker, handles))
+        return target
+
+    # -- the fan-out evaluation path ---------------------------------------
+    def _execute_single(self, generation, plan):
+        output = self._execute_items([(generation, plan)])[0]
+        if isinstance(output, BaseException):
+            raise output
+        return output
+
+    def _execute_items(self, items: list) -> list:
+        began = time.perf_counter()
+        self._inject_backend_chaos()
+        chaos = self.chaos
+        if chaos is not None and chaos.decide("cluster.worker_kill") is not None:
+            try:
+                self.kill_worker()
+            except ReproError:
+                pass  # pool already fully down; degraded answers follow
+        payloads: list = [None] * len(items)
+        groups: dict[int, list[int]] = {}
+        for index, (generation, _) in enumerate(items):
+            groups.setdefault(id(generation), []).append(index)
+        for indices in groups.values():
+            generation = items[indices[0]][0]
+            fanout: list[int] = []
+            for index in indices:
+                plan = items[index][1]
+                if plan.route.target != "sharded":
+                    # Contradictions (EmptyOp) and defensive fallbacks
+                    # run on the frontend's resident planning model.
+                    try:
+                        result = generation.explorer.planner.execute(plan)
+                    except Exception as error:
+                        payloads[index] = error
+                    else:
+                        payload = result_payload(result)
+                        self.cache.put(
+                            (generation.version, plan.cache_key), payload
+                        )
+                        payloads[index] = payload
+                else:
+                    fanout.append(index)
+            if not fanout:
+                continue
+            outputs = self._fan_out(
+                generation, [items[index][1] for index in fanout]
+            )
+            for index, output in zip(fanout, outputs):
+                if not isinstance(output, BaseException):
+                    self.cache.put(
+                        (generation.version, items[index][1].cache_key),
+                        output,
+                    )
+                payloads[index] = output
+        self._fanout_seconds.observe(time.perf_counter() - began)
+        return payloads
+
+    def _call_worker(
+        self, handle: _WorkerHandle, batch: dict, specs: list, version: int
+    ) -> dict:
+        """One ``partial_batch`` round-trip; returns plan-position →
+        partial.  Raises on transport failure (the caller reroutes the
+        worker's shards)."""
+        positions = sorted(batch)
+        items = []
+        for position in positions:
+            item = dict(specs[position])
+            item["shards"] = sorted(batch[position])
+            items.append(item)
+        with ServeClient(
+            handle.host, handle.port, timeout=self._worker_timeout
+        ) as client:
+            response = client.call("partial_batch", items=items)
+        if response.get("version") != version:
+            self._version_skew_total.inc()
+        partials = response.get("partials") or []
+        if len(partials) != len(positions):
+            raise ServeError(
+                f"worker {handle.worker_id} answered {len(partials)} "
+                f"partials for {len(positions)} items"
+            )
+        return dict(zip(positions, partials))
+
+    def _fan_out(self, generation, plans: list) -> list:
+        """Evaluate one flush's sharded plans across the pool."""
+        version = generation.version
+        summary = generation.explorer.backend.summary
+        specs = [partial_item(plan) for plan in plans]
+        partials: list[list] = [[] for _ in plans]
+        degraded: list[set] = [set() for _ in plans]
+        live = self._live_workers()
+        pending: dict[int, dict[int, set]] = {}
+
+        def _assign(position: int, shard: int, exclude: set) -> None:
+            candidates = [
+                wid
+                for wid in self._ring.preferred(
+                    repr(plans[position].cache_key), self._owners[shard]
+                )
+                if wid in live and wid not in exclude
+            ]
+            if not candidates:
+                degraded[position].add(shard)
+                return
+            pending.setdefault(candidates[0], {}).setdefault(
+                position, set()
+            ).add(shard)
+
+        for position, plan in enumerate(plans):
+            for shard in plan.route.detail.get("live_shards", ()):
+                _assign(position, shard, exclude=set())
+
+        excluded: set[int] = set()
+        pool = self._fanout_pool
+        while pending:
+            current, pending = pending, {}
+            futures = {}
+            for wid, batch in current.items():
+                handle = self._handles[wid]
+                if pool is not None:
+                    futures[wid] = pool.submit(
+                        self._call_worker, handle, batch, specs, version
+                    )
+            for wid, future in futures.items():
+                try:
+                    answered = future.result()
+                except (ServeError, OSError, ReproError):
+                    self._partial_calls.labels(outcome="failed").inc()
+                    excluded.add(wid)
+                    handle = self._handles[wid]
+                    handle.alive = False  # monitor probes / respawns
+                    live.discard(wid)
+                    self._cluster_workers.set(len(self._live_workers()))
+                    for position, shards in current[wid].items():
+                        for shard in shards:
+                            _assign(position, shard, exclude=excluded)
+                else:
+                    self._partial_calls.labels(outcome="ok").inc()
+                    for position, partial in answered.items():
+                        partials[position].append(partial)
+
+        outputs: list = []
+        for position, plan in enumerate(plans):
+            if degraded[position]:
+                self._degraded_total.inc()
+            try:
+                outputs.append(
+                    merge_partials(
+                        plan,
+                        specs[position],
+                        partials[position],
+                        degraded_totals=[
+                            summary.shards[shard].total
+                            for shard in sorted(degraded[position])
+                        ],
+                        total=summary.total,
+                        rounded=self.config.rounded,
+                    )
+                )
+            except Exception as error:
+                outputs.append(error)
+        return outputs
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict:
+        report = super().stats()
+        snapshot = self.metrics.snapshot()
+        from repro.obs import sample_value
+
+        report["cluster"] = {
+            "workers": self._pool_size,
+            "replicas": self._replicas,
+            "live": len(self._live_workers()),
+            "assignment": {
+                str(handle.worker_id): list(handle.indices)
+                for handle in self._handles
+            },
+            "deaths": int(
+                sample_value(snapshot, "repro_cluster_worker_deaths_total")
+            ),
+            "respawns": int(
+                sample_value(snapshot, "repro_cluster_respawns_total")
+            ),
+            "degraded": int(
+                sample_value(snapshot, "repro_cluster_degraded_total")
+            ),
+        }
+        return report
+
+    def __repr__(self):
+        return (
+            f"ClusterCoordinator({self._generation.label!r}, "
+            f"{self.host}:{self.port}, workers={self._pool_size}, "
+            f"replicas={self._replicas})"
+        )

@@ -456,6 +456,98 @@ class TestExecutorPickleSafety:
         )
         assert found == []
 
+    def test_flags_nested_function_process_target(self):
+        found = flags(
+            """\
+            import multiprocessing
+
+            def start_worker(spec):
+                def run():
+                    return spec.serve()
+
+                ctx = multiprocessing.get_context("spawn")
+                process = ctx.Process(target=run, args=(spec,))
+                process.start()
+                return process
+            """,
+            "executor-pickle-safety",
+            SERVE,
+        )
+        assert len(found) == 1
+        assert "run" in found[0].message and "Process" in found[0].message
+
+    def test_flags_bound_method_process_target(self):
+        found = flags(
+            """\
+            import multiprocessing
+
+            class Pool:
+                def spawn(self):
+                    process = multiprocessing.Process(target=self.serve)
+                    process.start()
+                    return process
+            """,
+            "executor-pickle-safety",
+            SERVE,
+        )
+        assert len(found) == 1
+        assert "bound method" in found[0].message
+
+    def test_flags_lambda_in_process_args(self):
+        found = flags(
+            """\
+            import multiprocessing
+
+            def _worker_main(callback):
+                callback()
+
+            def start_worker():
+                process = multiprocessing.Process(
+                    target=_worker_main, args=(lambda: None,)
+                )
+                process.start()
+            """,
+            "executor-pickle-safety",
+            SERVE,
+        )
+        assert len(found) == 1
+        assert "args" in found[0].message
+
+    def test_passes_module_level_process_target(self):
+        found = flags(
+            """\
+            import multiprocessing
+
+            def _worker_main(spec, queue):
+                queue.put(spec)
+
+            def start_worker(spec, queue):
+                ctx = multiprocessing.get_context("spawn")
+                process = ctx.Process(
+                    target=_worker_main, args=(spec, queue), daemon=True
+                )
+                process.start()
+                return process
+            """,
+            "executor-pickle-safety",
+            SERVE,
+        )
+        assert found == []
+
+    def test_targetless_process_call_unaffected(self):
+        # psutil.Process(pid)-style constructors take no target=.
+        found = flags(
+            """\
+            import psutil
+
+            def memory(pid):
+                return psutil.Process(pid).memory_info().rss
+            """,
+            "executor-pickle-safety",
+            SERVE,
+        )
+        assert found == []
+
     def test_thread_pools_unaffected(self):
         # ThreadPoolExecutor shares memory; closures are fine there.
         found = flags(

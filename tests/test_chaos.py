@@ -726,7 +726,7 @@ class TestSoakConfigAndResult:
         # be deliberate.
         assert set(FAULT_NAMES) == {
             "worker-kill", "slow-backend", "error-backend",
-            "drop-connection", "client-drop", "watcher",
+            "drop-connection", "client-drop", "cluster-kill", "watcher",
             "reload", "rollback",
         }
 

@@ -1,0 +1,510 @@
+"""Tests for the multi-worker serving tier (``repro.serve.cluster``).
+
+Two layers:
+
+* **Merge math, no processes** — the property tests drive the exact
+  pipeline the frontend uses (``partial_item`` → per-worker
+  ``ShardSlice.compute_partial`` → ``merge_partials``) over
+  hypothesis-drawn shard→worker assignments, including replicas and
+  dead-worker reassignment, and require the merged answers to equal
+  the single-process planner's answers (within float-summation
+  tolerance; degraded answers must flag themselves and widen bounds).
+* **Real processes** — a :class:`ClusterCoordinator` with spawned
+  workers: client parity with a single-process server, a mid-traffic
+  worker kill with zero dropped requests, respawn, hot reload under
+  traffic, and ephemeral-port discipline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Explorer, SummaryBuilder, SummaryStore
+from repro.data.domain import Domain, integer_domain
+from repro.data.relation import Relation
+from repro.data.schema import Schema
+from repro.errors import QueryError, ReproError
+from repro.serve import (
+    ClusterCoordinator,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+    SummaryServer,
+    run_load,
+)
+from repro.serve.cluster import (
+    HashRing,
+    ShardSlice,
+    compute_partial,
+    merge_partials,
+    partial_item,
+)
+from repro.serve.server import result_payload
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+
+NUM_SHARDS = 4
+
+QUERIES = [
+    "SELECT COUNT(*) FROM R",
+    "SELECT COUNT(*) FROM R WHERE state = 'CA'",
+    "SELECT COUNT(*) FROM R WHERE hour >= 3 AND state != 'NY'",
+    "SELECT COUNT(*) FROM R WHERE hour BETWEEN 2 AND 9",
+    "SELECT SUM(hour) FROM R WHERE state = 'WA'",
+    "SELECT AVG(hour) FROM R WHERE state IN ('CA', 'NY')",
+    "SELECT state, COUNT(*) FROM R GROUP BY state ORDER BY cnt DESC",
+    "SELECT hour, COUNT(*) FROM R WHERE state = 'CA' GROUP BY hour LIMIT 3",
+]
+
+
+def _relation(rows: int = 900, seed: int = 7) -> Relation:
+    schema = Schema(
+        [Domain("state", ["CA", "NY", "WA"]), integer_domain("hour", 16)]
+    )
+    rng = np.random.default_rng(seed)
+    return Relation(
+        schema,
+        [
+            rng.choice(3, size=rows, p=[0.5, 0.3, 0.2]),
+            rng.integers(0, 16, rows),
+        ],
+    )
+
+
+def _fit(relation, name: str = "cluster-test"):
+    return (
+        SummaryBuilder(relation)
+        .shards(NUM_SHARDS, by="hour", workers=1)
+        .pairs(("state", "hour"))
+        .per_pair_budget(4)
+        .iterations(40)
+        .name(name)
+        .fit()
+    )
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return _fit(_relation())
+
+
+@pytest.fixture(scope="module")
+def explorer(summary):
+    return Explorer.attach(summary)
+
+
+@pytest.fixture(scope="module")
+def single_payloads(explorer):
+    """Single-process ground truth, one payload per query."""
+    payloads = {}
+    for sql in QUERIES:
+        plan = explorer.plan(sql)
+        payloads[sql] = result_payload(explorer.planner.execute(plan))
+    return payloads
+
+
+def _norm(payload: dict) -> dict:
+    return {
+        key: (value.tolist() if isinstance(value, np.ndarray) else value)
+        for key, value in payload.items()
+    }
+
+
+def _close(a, b, tol=1e-6):
+    if isinstance(a, float) or isinstance(b, float):
+        return abs(a - b) <= tol * (1.0 + abs(a) + abs(b))
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(_close(x, y, tol) for x, y in zip(a, b))
+    if isinstance(a, dict):
+        return a.keys() == b.keys() and all(_close(a[k], b[k], tol) for k in a)
+    return a == b
+
+
+def _frontend_merge(summary, explorer, sql, assignment, live):
+    """The coordinator's routing + merge pipeline, inline (no
+    processes): route each live shard to the first live owner, compute
+    per-worker partials over one ShardSlice each, merge.  Returns the
+    merged payload.  ``assignment[shard]`` lists owner workers;
+    ``live`` is the set of live worker ids."""
+    plan = explorer.plan(sql)
+    assert plan.route.target == "sharded"
+    spec = partial_item(plan)
+    live_shards = plan.route.detail.get("live_shards", ())
+    batches: dict[int, set] = {}
+    degraded = []
+    for shard in live_shards:
+        owners = [wid for wid in assignment[shard] if wid in live]
+        if not owners:
+            degraded.append(summary.shards[shard].total)
+            continue
+        batches.setdefault(owners[0], set()).add(shard)
+    workers: dict[int, list] = {}
+    for shard, owner_list in enumerate(assignment):
+        for wid in owner_list:
+            workers.setdefault(wid, []).append(shard)
+    partials = []
+    for wid, shards in batches.items():
+        shard_slice = ShardSlice.from_summary(summary, sorted(workers[wid]))
+        item = dict(spec)
+        item["shards"] = sorted(shards)
+        partials.append(compute_partial(shard_slice, item))
+    return merge_partials(
+        plan,
+        spec,
+        partials,
+        degraded_totals=degraded,
+        total=summary.total,
+    )
+
+
+# ----------------------------------------------------------------------
+# Merge math (no processes)
+# ----------------------------------------------------------------------
+
+def assignments(num_workers=st.integers(2, 4)):
+    """Shard→owners assignments: every shard owned by a non-empty
+    subset of workers (order = replica preference)."""
+
+    def build(workers):
+        owners = st.lists(
+            st.sampled_from(range(workers)),
+            min_size=1,
+            max_size=workers,
+            unique=True,
+        )
+        return st.tuples(
+            st.just(workers),
+            st.lists(owners, min_size=NUM_SHARDS, max_size=NUM_SHARDS),
+        )
+
+    return num_workers.flatmap(build)
+
+
+class TestMergeMath:
+    @settings(max_examples=20, deadline=None)
+    @given(case=assignments(), sql=st.sampled_from(QUERIES))
+    def test_any_assignment_matches_single_process(
+        self, summary, explorer, single_payloads, case, sql
+    ):
+        """All workers live: merged == single-process, any assignment."""
+        workers, assignment = case
+        merged = _frontend_merge(
+            summary, explorer, sql, assignment, live=set(range(workers))
+        )
+        assert _close(_norm(merged), _norm(single_payloads[sql])), (
+            sql,
+            assignment,
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        case=assignments(num_workers=st.integers(2, 4)),
+        dead=st.integers(0, 3),
+        sql=st.sampled_from(QUERIES),
+    )
+    def test_dead_worker_reassignment_stays_exact_when_covered(
+        self, summary, explorer, single_payloads, case, dead, sql
+    ):
+        """One worker down: shards it served fall to surviving owners.
+        If every shard still has a live owner the answer is exact."""
+        workers, assignment = case
+        live = set(range(workers)) - {dead % workers}
+        if not all(any(w in live for w in owners) for owners in assignment):
+            return  # uncovered case: exercised by the degraded tests
+        merged = _frontend_merge(summary, explorer, sql, assignment, live)
+        assert _close(_norm(merged), _norm(single_payloads[sql])), (
+            sql,
+            assignment,
+            live,
+        )
+
+    def test_uncovered_shard_degrades_with_wider_bounds(
+        self, summary, explorer, single_payloads
+    ):
+        """A live shard with no live owner: the merged COUNT is flagged
+        degraded, the missing shard contributes its uniform prior, and
+        the interval widens beyond the exact answer's."""
+        sql = "SELECT COUNT(*) FROM R"
+        assignment = [[0], [0], [1], [1]]
+        merged = _frontend_merge(
+            summary, explorer, sql, assignment, live={0}
+        )
+        assert merged.get("degraded") is True
+        exact = single_payloads[sql]
+        lost = sum(summary.shards[s].total for s in (2, 3))
+        width = merged["ci95"][1] - merged["ci95"][0]
+        exact_width = exact["ci95"][1] - exact["ci95"][0]
+        assert width > exact_width
+        # the degraded prior is centred on half the lost rows
+        assert merged["value"] == pytest.approx(
+            exact["value"] - lost / 2.0, rel=0.25
+        )
+
+    def test_fully_uncovered_avg_is_a_query_error_only_when_empty(
+        self, summary, explorer
+    ):
+        """AVG still answers under degradation (the count prior is
+        positive); a contradiction stays a QueryError."""
+        merged = _frontend_merge(
+            summary,
+            explorer,
+            "SELECT AVG(hour) FROM R WHERE state IN ('CA', 'NY')",
+            [[0], [0], [1], [1]],
+            live={0},
+        )
+        assert merged.get("degraded") is True
+        assert merged["value"] == pytest.approx(
+            merged["value"]
+        )  # finite, no exception
+
+    def test_error_partial_raises_query_error(self, summary, explorer):
+        plan = explorer.plan("SELECT COUNT(*) FROM R")
+        spec = partial_item(plan)
+        with pytest.raises(QueryError, match="boom"):
+            merge_partials(
+                plan,
+                spec,
+                [{"kind": "error", "error": "boom"}],
+                total=summary.total,
+            )
+
+    def test_group_merge_applies_order_and_limit_globally(
+        self, summary, explorer, single_payloads
+    ):
+        """Per-worker truncation would get global top-k wrong; the
+        merge must sort/limit only after combining workers."""
+        sql = "SELECT hour, COUNT(*) FROM R WHERE state = 'CA' GROUP BY hour LIMIT 3"
+        merged = _frontend_merge(
+            summary, explorer, sql, [[0], [1], [0], [1]], live={0, 1}
+        )
+        assert _close(_norm(merged), _norm(single_payloads[sql]))
+        assert len(merged["labels"]) <= 3
+
+
+class TestShardSlice:
+    def test_slice_evaluates_only_requested_owned_shards(self, summary):
+        shard_slice = ShardSlice.from_summary(summary, [0, 1])
+        full_e, full_v = shard_slice.count(None)
+        sub_e, sub_v = shard_slice.count(None, shards=[0])
+        other_e, other_v = shard_slice.count(None, shards=[1])
+        assert full_e == pytest.approx(sub_e + other_e)
+        assert full_v == pytest.approx(sub_v + other_v)
+        assert 0 < sub_e < full_e
+        # unknown / unowned shard indices are ignored, not an error
+        none_e, none_v = shard_slice.count(None, shards=[3])
+        assert (none_e, none_v) == (0.0, 0.0)
+
+    def test_slice_requires_aligned_metadata(self, summary):
+        with pytest.raises(ReproError, match="one global index"):
+            ShardSlice(
+                summary.shards[:2], [0], summary.schema,
+                by_pos=summary.by_position,
+            )
+
+
+class TestHashRing:
+    def test_preference_is_deterministic_and_complete(self):
+        ring = HashRing(range(4))
+        order1 = ring.preferred("key-a", [0, 1, 2, 3])
+        order2 = ring.preferred("key-a", [0, 1, 2, 3])
+        assert order1 == order2
+        assert sorted(order1) == [0, 1, 2, 3]
+
+    def test_distinct_keys_spread_over_workers(self):
+        ring = HashRing(range(4))
+        firsts = {
+            ring.preferred(f"key-{i}", [0, 1, 2, 3])[0] for i in range(64)
+        }
+        assert len(firsts) == 4
+
+    def test_subset_preference_is_stable_under_removal(self):
+        """Removing a worker only remaps keys it served (the point of
+        consistent hashing)."""
+        ring = HashRing(range(4))
+        for i in range(32):
+            full = ring.preferred(f"key-{i}", [0, 1, 2, 3])
+            without = ring.preferred(
+                f"key-{i}", [w for w in (0, 1, 2, 3) if w != full[0]]
+            )
+            assert without == [w for w in full if w != full[0]]
+
+
+# ----------------------------------------------------------------------
+# Real worker processes
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def cluster(summary):
+    # cache_size=0: every request must fan out to the workers, so the
+    # kill/respawn tests exercise live worker traffic, not cache hits.
+    coordinator = ClusterCoordinator(
+        summary,
+        workers=2,
+        replicas=2,
+        config=ServeConfig(port=0, window_ms=0.5, cache_size=0),
+    )
+    with ServerThread(coordinator) as running:
+        yield running
+
+
+class TestClusterServing:
+    def test_binds_ephemeral_ports_everywhere(self, cluster):
+        """Frontend and every worker bind port 0 and read back the
+        assigned port — no fixed ports to race over in a parallel CI
+        matrix."""
+        assert cluster.port != 0
+        ports = cluster.worker_ports()
+        assert len(ports) == 2
+        assert all(port != 0 for port in ports)
+        assert cluster.port not in ports
+
+    def test_parity_with_single_process(self, cluster, single_payloads):
+        with ServeClient(port=cluster.port) as client:
+            for sql in QUERIES:
+                got = client.call("query", sql=sql)["result"]
+                assert _close(_norm(got), _norm(single_payloads[sql])), sql
+
+    def test_stats_reports_cluster_shape(self, cluster):
+        with ServeClient(port=cluster.port) as client:
+            stats = client.stats()
+        assert stats["cluster"]["workers"] == 2
+        assert stats["cluster"]["replicas"] == 2
+        assert set(stats["cluster"]["assignment"]) == {"0", "1"}
+
+    def test_worker_kill_mid_traffic_drops_nothing(
+        self, cluster, single_payloads
+    ):
+        """100 concurrent requests with a worker killed mid-run: zero
+        errors (replicas=2 keeps every shard covered), and the monitor
+        respawns the worker."""
+        respawns_before = cluster.stats()["cluster"]["respawns"]
+        served_before = cluster.requests
+        outcome = {}
+
+        def drive():
+            outcome["report"] = run_load(
+                cluster.host,
+                cluster.port,
+                QUERIES,
+                clients=10,
+                requests_per_client=10,
+            )
+
+        loader = threading.Thread(target=drive, daemon=True)
+        loader.start()
+        # Kill only once traffic is demonstrably in flight, so the
+        # remaining requests run against a one-worker pool.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if cluster.requests - served_before >= 10:
+                break
+            time.sleep(0.002)
+        assert cluster.requests - served_before >= 10, "load never started"
+        cluster.kill_worker()
+        loader.join(timeout=120)
+        assert not loader.is_alive(), "load run hung after the kill"
+        report = outcome["report"]
+        assert report.errors == 0
+        assert report.requests == 100
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            stats = cluster.stats()["cluster"]
+            if stats["live"] == 2 and stats["respawns"] > respawns_before:
+                break
+            time.sleep(0.2)
+        stats = cluster.stats()["cluster"]
+        assert stats["live"] == 2
+        assert stats["respawns"] > respawns_before
+        # answers are exact again after the respawn
+        with ServeClient(port=cluster.port) as client:
+            sql = "SELECT COUNT(*) FROM R WHERE hour >= 1"
+            got = client.call("query", sql=sql)["result"]
+            assert "degraded" not in got
+
+
+class TestClusterReload:
+    @pytest.fixture()
+    def versioned_store(self, tmp_path):
+        store = SummaryStore(tmp_path / "models")
+        store.save(_fit(_relation(rows=600, seed=3), name="demo"), "demo")
+        store.save(_fit(_relation(rows=900, seed=4), name="demo"), "demo")
+        return store
+
+    def test_reload_under_traffic_converges_the_pool(self, versioned_store):
+        coordinator = ClusterCoordinator(
+            store=versioned_store,
+            name="demo",
+            version=1,
+            workers=2,
+            replicas=2,
+            config=ServeConfig(port=0, window_ms=0.5, cache_size=0),
+        )
+        with ServerThread(coordinator):
+            stop = threading.Event()
+            errors = []
+
+            def hammer():
+                with ServeClient(port=coordinator.port) as client:
+                    while not stop.is_set():
+                        try:
+                            client.call(
+                                "query", sql="SELECT COUNT(*) FROM R"
+                            )
+                        except Exception as error:  # pragma: no cover
+                            errors.append(error)
+                            return
+
+            thread = threading.Thread(target=hammer, daemon=True)
+            thread.start()
+            try:
+                with ServeClient(port=coordinator.port) as client:
+                    assert client.ping() == {"version": 1}
+                    before = client.call(
+                        "query", sql="SELECT COUNT(*) FROM R"
+                    )["result"]["value"]
+                    assert client.reload() == 2
+                    assert client.ping() == {"version": 2}
+                    after = client.call(
+                        "query", sql="SELECT COUNT(*) FROM R"
+                    )["result"]["value"]
+            finally:
+                stop.set()
+                thread.join(timeout=10)
+            assert not errors
+            assert before == pytest.approx(600, abs=2)
+            assert after == pytest.approx(900, abs=2)
+
+
+class TestValidation:
+    def test_unsharded_summary_is_rejected(self):
+        single = (
+            SummaryBuilder(_relation(rows=200))
+            .pairs(("state", "hour"))
+            .per_pair_budget(4)
+            .iterations(30)
+            .fit()
+        )
+        with pytest.raises(ReproError, match="sharded"):
+            ClusterCoordinator(single, workers=2)
+
+    def test_pool_shape_bounds(self, summary):
+        with pytest.raises(ReproError, match="workers"):
+            ClusterCoordinator(summary, workers=NUM_SHARDS + 1)
+        with pytest.raises(ReproError, match="replicas"):
+            ClusterCoordinator(summary, workers=2, replicas=3)
+
+    def test_assignment_must_cover_every_worker(self, summary):
+        with pytest.raises(ReproError, match="owns no shards"):
+            ClusterCoordinator(
+                summary,
+                workers=2,
+                assignment=[[0], [0], [0], [0]],
+            )

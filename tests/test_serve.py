@@ -909,7 +909,9 @@ class TestWatcherErrorPaths:
             manifest.write_text(original)  # filesystem heals
             store.save(self._build(500, 4), "demo")  # v2
             assert _wait_until(lambda: server.version == 2)
-            assert server.watcher.reloads >= 1
+            # The counter increments just *after* the version swap, so
+            # wait for it instead of reading it in the same instant.
+            assert _wait_until(lambda: server.watcher.reloads >= 1)
 
     def test_store_dir_deleted_and_recreated(self, tmp_path):
         root = tmp_path / "models"

@@ -393,18 +393,22 @@ class DeprecatedApiRule(Rule):
 
 @register
 class ExecutorPickleSafetyRule(Rule):
-    """Only payload-shipping into ``ProcessPoolExecutor``.
+    """Only payload-shipping into ``ProcessPoolExecutor`` / ``Process``.
 
     Worker processes receive work by pickling; lambdas, nested
     functions, and bound methods do not pickle (or drag a whole object
     graph across the fork).  The sharding design ships plain payload
-    tuples to module-level workers — this rule keeps it that way.
+    tuples to module-level workers — this rule keeps it that way, for
+    both executor submissions and the cluster tier's direct
+    ``Process(target=...)`` spawn path (where the spawn start method
+    pickles the target and every arg into the child).
     """
 
     name = "executor-pickle-safety"
     summary = (
         "no lambdas / nested functions / bound methods submitted to a "
-        "ProcessPoolExecutor — module-level callables and payloads only"
+        "ProcessPoolExecutor or spawned via Process(target=...) — "
+        "module-level callables and payloads only"
     )
     scope = ("src/repro/*.py", "src/repro/**/*.py")
 
@@ -414,6 +418,7 @@ class ExecutorPickleSafetyRule(Rule):
             for node in module.tree.body
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
         }
+        yield from self._check_process_spawns(module, module_level)
         for scope in ast.walk(module.tree):
             if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -498,6 +503,91 @@ class ExecutorPickleSafetyRule(Rule):
                     f"lambda in ProcessPoolExecutor.{verb}() arguments "
                     "cannot be pickled; ship plain payload data",
                 )
+
+    def _check_process_spawns(
+        self, module: Module, module_level: set[str]
+    ) -> Iterator[Violation]:
+        """The ``Process(target=...)`` spawn path, anywhere in the module.
+
+        Matched by the ``target=`` keyword on any ``*.Process(...)``
+        call, so ``multiprocessing.Process``, a spawn context's
+        ``ctx.Process``, and bare ``Process`` are all covered while
+        target-less constructors (``psutil.Process(pid)``) are not.
+        """
+        nested = {
+            inner.name
+            for scope in ast.walk(module.tree)
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef))
+            for inner in ast.walk(scope)
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and inner is not scope
+        }
+        imported = module_imported_names(module)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and (Module.qualname(node.func) or "").split(".")[-1]
+                == "Process"
+            ):
+                continue
+            target = next(
+                (kw.value for kw in node.keywords if kw.arg == "target"),
+                None,
+            )
+            if target is None:
+                continue
+            if isinstance(target, ast.Lambda):
+                yield self.violation(
+                    module,
+                    node,
+                    "lambda as Process target cannot be pickled under "
+                    "the spawn start method; use a module-level function",
+                )
+            elif isinstance(target, ast.Name) and target.id in nested:
+                yield self.violation(
+                    module,
+                    node,
+                    f"nested function {target.id!r} as Process target "
+                    "closes over local state and cannot be pickled under "
+                    "the spawn start method; hoist it to module level "
+                    "and ship its inputs through args=",
+                )
+            elif (
+                isinstance(target, ast.Attribute)
+                and Module.qualname(target) is not None
+                and Module.qualname(target).startswith("self.")
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"bound method {Module.qualname(target)} as Process "
+                    "target pickles the whole instance into the child; "
+                    "use a module-level function plus a payload spec",
+                )
+            elif isinstance(target, ast.Name) and target.id not in (
+                module_level | _ALLOWED_BUILTIN_TARGETS | imported
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"locally-bound callable {target.id!r} as Process "
+                    "target; spawn a module-level function so the child "
+                    "can unpickle it",
+                )
+            args_kw = next(
+                (kw.value for kw in node.keywords if kw.arg == "args"),
+                None,
+            )
+            if isinstance(args_kw, (ast.Tuple, ast.List)):
+                for element in args_kw.elts:
+                    if isinstance(element, ast.Lambda):
+                        yield self.violation(
+                            module,
+                            element,
+                            "lambda in Process args cannot be pickled "
+                            "under the spawn start method; ship plain "
+                            "payload data",
+                        )
 
     @staticmethod
     def _process_pools(scope: ast.AST) -> set[str]:
